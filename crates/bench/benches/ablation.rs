@@ -1,0 +1,117 @@
+//! Ablation studies for the machine-model design choices DESIGN.md calls
+//! out: the stream prefetcher, the shared trace cache, SMT issue
+//! partitioning, bus bandwidth, and the OS placement policy.
+//!
+//! Each ablation prints the effect on a sensitive workload once, then
+//! benchmarks the simulator under the ablated model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxsim_bench::helpers::{trace, warmed_store};
+use paxsim_core::prelude::*;
+use paxsim_machine::config::MachineConfig;
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_nas::{Class, KernelId};
+use paxsim_omp::os::{split_jobs, PlacementPolicy};
+
+fn run(
+    machine: &MachineConfig,
+    t: &std::sync::Arc<paxsim_machine::trace::ProgramTrace>,
+    cfg: &HwConfig,
+) -> u64 {
+    simulate(
+        machine,
+        vec![JobSpec::pinned(t.clone(), cfg.contexts.clone())],
+    )
+    .jobs[0]
+        .cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let class = Class::T;
+    let store = warmed_store(
+        &[KernelId::Mg, KernelId::Lu, KernelId::Ft, KernelId::Cg],
+        class,
+    );
+    let base_machine = MachineConfig::paxville_smp();
+    let cmp_smp = config_by_name("CMP-based SMP").unwrap();
+    let cmt_smp = config_by_name("CMT-based SMP").unwrap();
+
+    // --- Ablation 1: prefetcher off (MG, the streaming benchmark).
+    let mg = trace(&store, KernelId::Mg, class, 4);
+    let mut no_pf = base_machine.clone();
+    no_pf.prefetch = false;
+    println!(
+        "prefetcher: on {} cycles, off {} cycles (MG, CMP-based SMP)",
+        run(&base_machine, &mg, &cmp_smp),
+        run(&no_pf, &mg, &cmp_smp)
+    );
+
+    // --- Ablation 2: trace-cache capacity halved (LU, the TC-bound app).
+    let lu = trace(&store, KernelId::Lu, class, 8);
+    let mut half_tc = base_machine.clone();
+    half_tc.tc_uops /= 2;
+    println!(
+        "trace cache: 12K {} cycles, 6K {} cycles (LU, CMT-based SMP)",
+        run(&base_machine, &lu, &cmt_smp),
+        run(&half_tc, &lu, &cmt_smp)
+    );
+
+    // --- Ablation 3: SMT partitioning tax removed (FT under HT).
+    let ft = trace(&store, KernelId::Ft, class, 8);
+    let mut no_tax = base_machine.clone();
+    no_tax.smt_tpu = 12 / no_tax.issue_width; // same as solo
+    println!(
+        "SMT issue tax: with {} cycles, without {} cycles (FT, CMT-based SMP)",
+        run(&base_machine, &ft, &cmt_smp),
+        run(&no_tax, &ft, &cmt_smp)
+    );
+
+    // --- Ablation 4: memory-controller bandwidth doubled (CG at 8 threads).
+    let cg = trace(&store, KernelId::Cg, class, 8);
+    let mut fat_mem = base_machine.clone();
+    fat_mem.mem_read_cpl /= 2;
+    println!(
+        "memory bandwidth: stock {} cycles, 2x {} cycles (CG, CMT-based SMP)",
+        run(&base_machine, &cg, &cmt_smp),
+        run(&fat_mem, &cg, &cmt_smp)
+    );
+
+    // --- Ablation 5: multi-program placement policy (CG+FT pair).
+    let per = cmp_smp.threads / 2;
+    let cg2 = trace(&store, KernelId::Cg, class, per);
+    let ft2 = trace(&store, KernelId::Ft, class, per);
+    for policy in [PlacementPolicy::Spread, PlacementPolicy::Packed] {
+        let placements = split_jobs(&cmp_smp.contexts, 2, policy);
+        let out = simulate(
+            &base_machine,
+            vec![
+                JobSpec::pinned(cg2.clone(), placements[0].clone()),
+                JobSpec::pinned(ft2.clone(), placements[1].clone()),
+            ],
+        );
+        println!(
+            "placement {policy:?}: wall {} cycles (CG+FT, CMP-based SMP)",
+            out.wall_cycles
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("mg/prefetch_on", |b| {
+        b.iter(|| run(&base_machine, &mg, &cmp_smp))
+    });
+    g.bench_function("mg/prefetch_off", |b| b.iter(|| run(&no_pf, &mg, &cmp_smp)));
+    g.bench_function("lu/tc_12k", |b| {
+        b.iter(|| run(&base_machine, &lu, &cmt_smp))
+    });
+    g.bench_function("lu/tc_6k", |b| b.iter(|| run(&half_tc, &lu, &cmt_smp)));
+    g.bench_function("ft/smt_tax", |b| {
+        b.iter(|| run(&base_machine, &ft, &cmt_smp))
+    });
+    g.bench_function("ft/no_smt_tax", |b| b.iter(|| run(&no_tax, &ft, &cmt_smp)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

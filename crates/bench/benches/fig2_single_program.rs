@@ -1,0 +1,39 @@
+//! F2 — Figure 2: single-program runs whose counters feed the nine metric
+//! panels. Benchmarks the simulator replaying each paper application on
+//! the serial baseline and the two fully loaded configurations.
+//!
+//! Full-figure regeneration (all eight configurations, class S):
+//! `cargo run --release --bin report -- --class S fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxsim_bench::helpers::{trace, warmed_store};
+use paxsim_core::prelude::*;
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_nas::{paper_apps, Class};
+
+fn bench(c: &mut Criterion) {
+    let class = Class::T;
+    let store = warmed_store(&paper_apps(), class);
+    let machine = paxsim_machine::config::MachineConfig::paxville_smp();
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    for bench in paper_apps() {
+        for cfg_name in ["Serial", "HT off -4-2", "HT on -8-2"] {
+            let cfg = config_by_name(cfg_name).unwrap();
+            let t = trace(&store, bench, class, cfg.threads);
+            g.bench_function(format!("{bench}/{}", cfg.name.replace(' ', "_")), |b| {
+                b.iter(|| {
+                    simulate(
+                        &machine,
+                        vec![JobSpec::pinned(t.clone(), cfg.contexts.clone())],
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! F3/T2 — Figure 3 (speedups) and Table 2 (average speedup per
+//! architecture). Prints both at tiny class once, then benchmarks the full
+//! single-program study driver.
+//!
+//! Paper-scale regeneration: `cargo run --release --bin report -- --class S fig3 table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxsim_core::prelude::*;
+use paxsim_nas::Class;
+
+fn bench(c: &mut Criterion) {
+    let opts = StudyOptions::quick();
+
+    // Regenerate the artifacts once (tiny class).
+    let store = TraceStore::new();
+    let study = run_single_program(&opts, &store);
+    println!("{}", fig3_text(&study));
+    println!("{}", table2_text(&study));
+    println!("{}", headlines_text(&headlines(&study)));
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("single_program_study/classT", |b| {
+        b.iter(|| run_single_program(&opts, &store))
+    });
+    let _ = Class::T;
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

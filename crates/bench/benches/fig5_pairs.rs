@@ -1,0 +1,37 @@
+//! F5 — Figure 5: cross-product pair study. Prints the box-and-whisker
+//! figure at tiny class once, then benchmarks the full driver.
+//!
+//! Paper-scale regeneration (all 36 pairs of the eight benchmarks):
+//! `cargo run --release --bin report -- --class S fig5`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxsim_core::prelude::*;
+use paxsim_nas::KernelId;
+
+fn bench(c: &mut Criterion) {
+    // A representative four-benchmark subset keeps the bench quick: the
+    // compute extreme (EP), the scatter kernel (IS), the memory extreme
+    // (CG) and the compute-dense app (BT) → 10 pairs × 7 configurations.
+    let opts = StudyOptions::quick().with_benchmarks(vec![
+        KernelId::Ep,
+        KernelId::Is,
+        KernelId::Cg,
+        KernelId::Bt,
+    ]);
+    let store = TraceStore::new();
+
+    let cross = run_cross_product(&opts, &store);
+    println!("{}", fig5_text(&cross));
+    let (best, median) = cross.best_median();
+    println!("best median configuration: {best} ({median:.2})\n");
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("cross_product/4benchmarks", |b| {
+        b.iter(|| run_cross_product(&opts, &store))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

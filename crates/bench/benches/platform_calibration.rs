@@ -1,0 +1,39 @@
+//! P1 — Section 3 platform characterization (LMbench probes).
+//!
+//! Prints the paper-facing calibration table once, then benchmarks the
+//! probes themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxsim_core::prelude::*;
+use paxsim_lmbench::{latency_ns, read_bw_gbs};
+use paxsim_machine::config::MachineConfig;
+use paxsim_machine::topology::Lcpu;
+
+fn bench(c: &mut Criterion) {
+    let cfg = MachineConfig::paxville_smp();
+
+    // Regenerate the §3 numbers.
+    println!("{}", platform_text(&calibrate(&cfg)));
+
+    let mut g = c.benchmark_group("platform");
+    g.sample_size(10);
+    g.bench_function("lat_mem_rd/L1_8KB", |b| {
+        b.iter(|| latency_ns(&cfg, 8 * 1024))
+    });
+    g.bench_function("lat_mem_rd/L2_256KB", |b| {
+        b.iter(|| latency_ns(&cfg, 256 * 1024))
+    });
+    g.bench_function("lat_mem_rd/DRAM_16MB", |b| {
+        b.iter(|| latency_ns(&cfg, 16 * 1024 * 1024))
+    });
+    g.bench_function("bw_mem_rd/one_chip", |b| {
+        b.iter(|| read_bw_gbs(&cfg, &[Lcpu::B0]))
+    });
+    g.bench_function("bw_mem_rd/two_chips", |b| {
+        b.iter(|| read_bw_gbs(&cfg, &[Lcpu::B0, Lcpu::B2]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! report [--class T|S|W] [--trials N] [--json DIR] [--csv DIR] [SECTION...]
+//!
+//! SECTION ∈ { table1, platform, fig2, fig3, table2, headlines,
+//!             efficiency, phases, fig4, fig5, all }        (default: all)
+//! ```
+
+use std::io::Write;
+
+use paxsim_core::prelude::*;
+use paxsim_core::report;
+use paxsim_nas::{all_kernels, Class};
+
+struct Args {
+    class: Class,
+    trials: usize,
+    json_dir: Option<String>,
+    csv_dir: Option<String>,
+    sections: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        class: Class::S,
+        trials: 3,
+        json_dir: None,
+        csv_dir: None,
+        sections: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--class" => {
+                args.class = match it.next().as_deref() {
+                    Some("T") | Some("t") => Class::T,
+                    Some("S") | Some("s") => Class::S,
+                    Some("W") | Some("w") => Class::W,
+                    other => panic!("unknown class {other:?}"),
+                }
+            }
+            "--trials" => {
+                args.trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trials needs a number")
+            }
+            "--json" => args.json_dir = Some(it.next().expect("--json needs a directory")),
+            "--csv" => args.csv_dir = Some(it.next().expect("--csv needs a directory")),
+            s => args.sections.push(s.to_string()),
+        }
+    }
+    if args.sections.is_empty() {
+        args.sections.push("all".into());
+    }
+    args
+}
+
+fn want(args: &Args, s: &str) -> bool {
+    args.sections.iter().any(|x| x == s || x == "all")
+}
+
+fn write_json(dir: &Option<String>, name: &str, value: &serde_json::Value) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{name}.json");
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        f.write_all(serde_json::to_string_pretty(value).unwrap().as_bytes())
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = StudyOptions::paper(args.class).with_trials(args.trials);
+    let store = TraceStore::new();
+
+    if want(&args, "table1") {
+        println!("{}", table1_text());
+    }
+    if want(&args, "platform") {
+        let cal = calibrate(&opts.machine);
+        println!("{}", platform_text(&cal));
+    }
+
+    let needs_single = ["fig2", "fig3", "table2", "headlines", "efficiency"]
+        .iter()
+        .any(|s| want(&args, s));
+    if needs_single {
+        eprintln!("running single-program study (class {})…", args.class);
+        let study = run_single_program(&opts, &store);
+        if want(&args, "fig2") {
+            println!("{}", fig2_text(&study));
+        }
+        if want(&args, "fig3") {
+            println!("{}", fig3_text(&study));
+        }
+        if want(&args, "table2") {
+            println!("{}", table2_text(&study));
+        }
+        if want(&args, "headlines") {
+            println!("{}", headlines_text(&headlines(&study)));
+        }
+        if want(&args, "efficiency") {
+            println!("{}", efficiency_text(&study));
+        }
+        write_json(&args.json_dir, "single", &report::single_to_json(&study));
+        if let Some(dir) = &args.csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let mut csv = paxsim_perfmon::Csv::new(&[
+                "benchmark",
+                "config",
+                "arch",
+                "cycles_mean",
+                "cycles_cv",
+                "speedup_mean",
+                "cpi",
+                "l1_miss_rate",
+                "l2_miss_rate",
+                "tc_miss_rate",
+                "itlb_miss_rate",
+                "dtlb_misses",
+                "pct_stalled",
+                "branch_prediction_rate",
+                "pct_prefetch_bus",
+            ]);
+            for (bi, bench) in study.benchmarks.iter().enumerate() {
+                for (ci, cfg) in study.configs.iter().enumerate() {
+                    let cell = &study.cells[bi][ci];
+                    let m = cell.metrics();
+                    csv.row(&[
+                        bench.to_string(),
+                        cfg.name.clone(),
+                        cfg.arch.clone(),
+                        format!("{:.0}", cell.cycles.mean),
+                        format!("{:.4}", cell.cycles.cv()),
+                        format!("{:.3}", cell.speedup.mean),
+                        format!("{:.3}", m.cpi),
+                        format!("{:.4}", m.l1_miss_rate),
+                        format!("{:.4}", m.l2_miss_rate),
+                        format!("{:.4}", m.tc_miss_rate),
+                        format!("{:.5}", m.itlb_miss_rate),
+                        m.dtlb_misses.to_string(),
+                        format!("{:.4}", m.pct_stalled),
+                        format!("{:.4}", m.branch_prediction_rate),
+                        format!("{:.4}", m.pct_prefetch_bus),
+                    ]);
+                }
+            }
+            let path = std::path::Path::new(dir).join("single.csv");
+            csv.write_to(&path).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if want(&args, "phases") {
+        use paxsim_machine::sim::{simulate, JobSpec};
+        use paxsim_omp::schedule::Schedule;
+        let cfg = config_by_name("CMP-based SMP").unwrap();
+        for bench in &opts.benchmarks {
+            let trace = store.get(TraceKey {
+                kernel: *bench,
+                class: opts.class,
+                nthreads: cfg.threads,
+                schedule: Schedule::Static,
+            });
+            let out = simulate(
+                &opts.machine,
+                vec![JobSpec::pinned(trace, cfg.contexts.clone())],
+            );
+            println!(
+                "{}",
+                phases_text(&format!("{bench} on {}", cfg.name), &out.jobs[0], 6)
+            );
+        }
+    }
+
+    if want(&args, "fig4") {
+        eprintln!("running multi-program study…");
+        let multi = run_multi_program(&opts, &store, &paper_workloads());
+        println!("{}", fig4_text(&multi));
+        write_json(&args.json_dir, "multi", &report::multi_to_json(&multi));
+    }
+
+    if want(&args, "fig5") {
+        eprintln!("running cross-product study…");
+        // Figure 5 pairs every benchmark in the suite.
+        let opts5 = opts.clone().with_benchmarks(all_kernels().to_vec());
+        let cross = run_cross_product(&opts5, &store);
+        println!("{}", fig5_text(&cross));
+        write_json(&args.json_dir, "cross", &report::cross_to_json(&cross));
+    }
+}

@@ -1,0 +1,36 @@
+//! Smoke check: build, verify and simulate every benchmark at classes T
+//! and S, printing build/simulate timings and headline metrics — the
+//! quick end-to-end health check for the whole stack.
+//!
+//! ```sh
+//! cargo run --release --bin smoke
+//! ```
+
+use paxsim_machine::prelude::*;
+use paxsim_nas::Class;
+use paxsim_omp::schedule::Schedule;
+use std::time::Instant;
+
+fn main() {
+    let cfg = MachineConfig::paxville_smp();
+    for class in [Class::T, Class::S] {
+        for k in paxsim_nas::all_kernels() {
+            let t0 = Instant::now();
+            let built = k.build(class, 1, Schedule::Static);
+            let t_build = t0.elapsed();
+            assert!(built.verify.passed, "{k} {class}: {}", built.verify.details);
+            let ops = built.trace.total_ops();
+            let t1 = Instant::now();
+            let out = simulate(
+                &cfg,
+                vec![JobSpec::pinned(built.trace.clone(), vec![Lcpu::A0])],
+            );
+            let t_sim = t1.elapsed();
+            let m = out.jobs[0].counters.metrics();
+            println!(
+                "{k} {class}: ops={:>9} build={:>6.2?} sim={:>6.2?} cycles={:>11} cpi={:.2} l1={:.3} l2={:.3} tc={:.4} bp={:.3} pf={:.2} stall={:.2}",
+                ops, t_build, t_sim, out.jobs[0].cycles, m.cpi, m.l1_miss_rate, m.l2_miss_rate, m.tc_miss_rate, m.branch_prediction_rate, m.pct_prefetch_bus, m.pct_stalled
+            );
+        }
+    }
+}

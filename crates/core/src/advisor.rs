@@ -1,0 +1,224 @@
+//! Scheduling advisor — the paper's stated future work ("devising optimal
+//! schedulers to improve the performance of multithreaded applications
+//! running on emerging multithreaded, multi-core architectures"),
+//! prototyped on the simulator.
+//!
+//! Two tools:
+//!
+//! * a **symbiosis matrix** (after Snavely & Tullsen's symbiotic job
+//!   scheduling, the paper's reference [14]): for every program pair, how
+//!   much better/worse the pair runs together than the benchmarks'
+//!   standalone runs would predict;
+//! * a **placement advisor** that, given two programs and a
+//!   configuration, simulates every placement policy and recommends the
+//!   best — exactly the decision the paper says the OS scheduler gets
+//!   wrong.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_machine::trace::ProgramTrace;
+use paxsim_nas::KernelId;
+use paxsim_omp::os::{split_jobs, PlacementPolicy};
+use paxsim_perfmon::table::Table;
+
+use crate::configs::HwConfig;
+use crate::store::{TraceKey, TraceStore};
+use crate::study::StudyOptions;
+
+/// How well a pair coexists: the harmonic mean of the two programs'
+/// slowdowns relative to running alone on the same half of the machine.
+#[derive(Debug, Clone)]
+pub struct Symbiosis {
+    pub pair: (KernelId, KernelId),
+    /// Per-program slowdown vs. running alone on the same contexts
+    /// (1.0 = no interference; bigger = worse).
+    pub slowdowns: [f64; 2],
+    /// Symbiosis score: harmonic mean of 1/slowdown (1.0 = perfect).
+    pub score: f64,
+}
+
+fn trace_for(
+    opts: &StudyOptions,
+    store: &TraceStore,
+    k: KernelId,
+    threads: usize,
+) -> Arc<ProgramTrace> {
+    store.get(TraceKey {
+        kernel: k,
+        class: opts.class,
+        nthreads: threads,
+        schedule: opts.schedule,
+    })
+}
+
+/// Compute the symbiosis matrix for `benches` co-running on `config`
+/// (each program gets half the contexts, spread placement).
+pub fn symbiosis_matrix(
+    opts: &StudyOptions,
+    store: &TraceStore,
+    benches: &[KernelId],
+    config: &HwConfig,
+) -> Vec<Symbiosis> {
+    assert!(config.threads >= 2 && config.threads.is_multiple_of(2));
+    let per = config.threads / 2;
+    let halves = split_jobs(&config.contexts, 2, PlacementPolicy::Spread);
+
+    // Baseline: each program alone on its half of the machine.
+    let alone: HashMap<KernelId, [f64; 2]> = benches
+        .iter()
+        .map(|&k| {
+            let t = trace_for(opts, store, k, per);
+            let a = simulate(
+                &opts.machine,
+                vec![JobSpec::pinned(t.clone(), halves[0].clone())],
+            );
+            let b = simulate(&opts.machine, vec![JobSpec::pinned(t, halves[1].clone())]);
+            (k, [a.jobs[0].cycles as f64, b.jobs[0].cycles as f64])
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (i, &a) in benches.iter().enumerate() {
+        for &b in &benches[i..] {
+            let ta = trace_for(opts, store, a, per);
+            let tb = trace_for(opts, store, b, per);
+            let run = simulate(
+                &opts.machine,
+                vec![
+                    JobSpec::pinned(ta, halves[0].clone()),
+                    JobSpec::pinned(tb, halves[1].clone()),
+                ],
+            );
+            let s0 = run.jobs[0].cycles as f64 / alone[&a][0];
+            let s1 = run.jobs[1].cycles as f64 / alone[&b][1];
+            let score = 2.0 / (s0 + s1);
+            out.push(Symbiosis {
+                pair: (a, b),
+                slowdowns: [s0, s1],
+                score,
+            });
+        }
+    }
+    out
+}
+
+/// Render the symbiosis matrix, best pairs first.
+pub fn symbiosis_text(matrix: &[Symbiosis], config: &HwConfig) -> String {
+    let mut rows = matrix.to_vec();
+    rows.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    let mut t = Table::new(format!(
+        "Symbiosis on {} (1.0 = interference-free)",
+        config.name
+    ))
+    .header(["Pair", "Slowdown A", "Slowdown B", "Score"]);
+    for s in rows {
+        t.row([
+            format!("{}/{}", s.pair.0, s.pair.1),
+            format!("{:.2}", s.slowdowns[0]),
+            format!("{:.2}", s.slowdowns[1]),
+            format!("{:.2}", s.score),
+        ]);
+    }
+    t.render()
+}
+
+/// One placement option evaluated by the advisor.
+#[derive(Debug, Clone)]
+pub struct PlacementChoice {
+    pub policy: PlacementPolicy,
+    /// Wall cycles until both programs finish.
+    pub wall_cycles: u64,
+    pub job_cycles: [u64; 2],
+}
+
+/// Recommend a placement for running `a` and `b` together on `config`:
+/// simulates each policy and returns them sorted best-first.
+pub fn advise_placement(
+    opts: &StudyOptions,
+    store: &TraceStore,
+    a: KernelId,
+    b: KernelId,
+    config: &HwConfig,
+) -> Vec<PlacementChoice> {
+    assert!(config.threads >= 2 && config.threads.is_multiple_of(2));
+    let per = config.threads / 2;
+    let ta = trace_for(opts, store, a, per);
+    let tb = trace_for(opts, store, b, per);
+    let mut out: Vec<PlacementChoice> = [PlacementPolicy::Spread, PlacementPolicy::Packed]
+        .into_iter()
+        .map(|policy| {
+            let halves = split_jobs(&config.contexts, 2, policy);
+            let run = simulate(
+                &opts.machine,
+                vec![
+                    JobSpec::pinned(ta.clone(), halves[0].clone()),
+                    JobSpec::pinned(tb.clone(), halves[1].clone()),
+                ],
+            );
+            PlacementChoice {
+                policy,
+                wall_cycles: run.wall_cycles,
+                job_cycles: [run.jobs[0].cycles, run.jobs[1].cycles],
+            }
+        })
+        .collect();
+    out.sort_by_key(|c| c.wall_cycles);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::config_by_name;
+    use paxsim_nas::KernelId;
+
+    #[test]
+    fn symbiosis_scores_bounded_and_identity_pairs_present() {
+        let opts = StudyOptions::quick();
+        let store = TraceStore::new();
+        let cfg = config_by_name("CMP-based SMP").unwrap();
+        let m = symbiosis_matrix(&opts, &store, &[KernelId::Ep, KernelId::Cg], &cfg);
+        assert_eq!(m.len(), 3); // ep/ep, ep/cg, cg/cg
+        for s in &m {
+            assert!(s.score > 0.0 && s.score <= 1.6, "{s:?}");
+            assert!(s.slowdowns.iter().all(|&x| x > 0.5), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn compute_memory_pair_outscores_memory_pair() {
+        // EP (pure compute) coexists with CG better than a second CG does.
+        let opts = StudyOptions::quick();
+        let store = TraceStore::new();
+        let cfg = config_by_name("CMT-based SMP").unwrap();
+        let m = symbiosis_matrix(&opts, &store, &[KernelId::Ep, KernelId::Cg], &cfg);
+        let get = |p: (KernelId, KernelId)| m.iter().find(|s| s.pair == p).unwrap().score;
+        assert!(
+            get((KernelId::Ep, KernelId::Cg)) > get((KernelId::Cg, KernelId::Cg)),
+            "complementary pair must score higher: {m:?}"
+        );
+    }
+
+    #[test]
+    fn advisor_returns_ranked_choices() {
+        let opts = StudyOptions::quick();
+        let store = TraceStore::new();
+        let cfg = config_by_name("CMP-based SMP").unwrap();
+        let choices = advise_placement(&opts, &store, KernelId::Cg, KernelId::Ft, &cfg);
+        assert_eq!(choices.len(), 2);
+        assert!(choices[0].wall_cycles <= choices[1].wall_cycles);
+    }
+
+    #[test]
+    fn symbiosis_text_sorted_best_first() {
+        let opts = StudyOptions::quick();
+        let store = TraceStore::new();
+        let cfg = config_by_name("CMP-based SMP").unwrap();
+        let m = symbiosis_matrix(&opts, &store, &[KernelId::Ep, KernelId::Is], &cfg);
+        let text = symbiosis_text(&m, &cfg);
+        assert!(text.contains("Score"));
+        assert!(text.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Section 3 platform calibration: run the LMbench-style probes on the
+//! simulator and compare against the numbers the paper measured on the
+//! real PowerEdge 2850.
+
+use paxsim_lmbench::{platform_numbers, PlatformNumbers};
+use paxsim_machine::config::MachineConfig;
+
+/// The paper's measured values (Section 3; see DESIGN.md §5 for the
+/// reconstruction of OCR-damaged digits).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperPlatform {
+    pub l1_ns: f64,
+    pub l2_ns: f64,
+    pub mem_ns: f64,
+    pub read_bw_1chip: f64,
+    pub write_bw_1chip: f64,
+    pub read_bw_2chip: f64,
+    pub write_bw_2chip: f64,
+}
+
+pub const PAPER_PLATFORM: PaperPlatform = PaperPlatform {
+    l1_ns: 1.43,
+    l2_ns: 11.4,
+    mem_ns: 136.85,
+    read_bw_1chip: 3.57,
+    write_bw_1chip: 1.77,
+    read_bw_2chip: 4.43,
+    write_bw_2chip: 2.6,
+};
+
+/// One calibration check.
+#[derive(Debug, Clone)]
+pub struct CalibrationRow {
+    pub name: &'static str,
+    pub unit: &'static str,
+    pub paper: f64,
+    pub measured: f64,
+}
+
+impl CalibrationRow {
+    pub fn rel_err(&self) -> f64 {
+        (self.measured - self.paper).abs() / self.paper
+    }
+}
+
+/// Full calibration report.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    pub rows: Vec<CalibrationRow>,
+    pub measured: PlatformNumbers,
+}
+
+impl CalibrationReport {
+    /// True when every row is within `tol` relative error.
+    pub fn within(&self, tol: f64) -> bool {
+        self.rows.iter().all(|r| r.rel_err() <= tol)
+    }
+
+    pub fn worst(&self) -> &CalibrationRow {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.rel_err().partial_cmp(&b.rel_err()).unwrap())
+            .expect("non-empty report")
+    }
+}
+
+/// Run all Section 3 probes and compare against the paper.
+pub fn calibrate(cfg: &MachineConfig) -> CalibrationReport {
+    let m = platform_numbers(cfg);
+    let p = PAPER_PLATFORM;
+    let rows = vec![
+        CalibrationRow {
+            name: "L1 latency",
+            unit: "ns",
+            paper: p.l1_ns,
+            measured: m.l1_ns,
+        },
+        CalibrationRow {
+            name: "L2 latency",
+            unit: "ns",
+            paper: p.l2_ns,
+            measured: m.l2_ns,
+        },
+        CalibrationRow {
+            name: "Memory latency",
+            unit: "ns",
+            paper: p.mem_ns,
+            measured: m.mem_ns,
+        },
+        CalibrationRow {
+            name: "Read BW, 1 chip",
+            unit: "GB/s",
+            paper: p.read_bw_1chip,
+            measured: m.read_bw_1chip,
+        },
+        CalibrationRow {
+            name: "Write BW, 1 chip",
+            unit: "GB/s",
+            paper: p.write_bw_1chip,
+            measured: m.write_bw_1chip,
+        },
+        CalibrationRow {
+            name: "Read BW, 2 chips",
+            unit: "GB/s",
+            paper: p.read_bw_2chip,
+            measured: m.read_bw_2chip,
+        },
+        CalibrationRow {
+            name: "Write BW, 2 chips",
+            unit: "GB/s",
+            paper: p.write_bw_2chip,
+            measured: m.write_bw_2chip,
+        },
+    ];
+    CalibrationReport { rows, measured: m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paxville_calibrates_within_15_percent() {
+        let report = calibrate(&MachineConfig::paxville_smp());
+        assert!(
+            report.within(0.15),
+            "worst row: {:?} (rel err {:.1}%)",
+            report.worst(),
+            report.worst().rel_err() * 100.0
+        );
+    }
+
+    #[test]
+    fn detuned_machine_fails_calibration() {
+        let mut cfg = MachineConfig::paxville_smp();
+        cfg.mem_lat *= 3;
+        let report = calibrate(&cfg);
+        assert!(
+            !report.within(0.15),
+            "tripled memory latency must be caught"
+        );
+    }
+
+    #[test]
+    fn rows_cover_all_section3_numbers() {
+        let report = calibrate(&MachineConfig::paxville_smp());
+        assert_eq!(report.rows.len(), 7);
+    }
+}

@@ -1,0 +1,191 @@
+//! The hardware configurations of Table 1 and the comparison groups of
+//! Section 4.
+//!
+//! Naming follows the paper: `HT on|off -<threads>-<chips>`. Context sets
+//! use the Figure 1 labels (`A0..A7` with HT enabled, `B0..B3` without).
+
+use paxsim_machine::topology::Lcpu;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1: a bootable hardware configuration plus the thread
+/// count the paper runs on it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// Paper name, e.g. "HT on -4-1".
+    pub name: String,
+    /// Architecture label from Table 1 (SMT, CMP, CMT, …).
+    pub arch: String,
+    pub ht_on: bool,
+    /// Application threads (= enabled hardware contexts).
+    pub threads: usize,
+    /// Physical chips in use.
+    pub chips: usize,
+    /// The enabled hardware contexts, in enumeration order.
+    pub contexts: Vec<Lcpu>,
+    /// Comparison group from Section 4 (0 = serial baseline, 1–4 as in
+    /// the paper's grouping).
+    pub group: u8,
+}
+
+impl HwConfig {
+    fn new(
+        name: &str,
+        arch: &str,
+        ht_on: bool,
+        chips: usize,
+        contexts: Vec<Lcpu>,
+        group: u8,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            arch: arch.to_string(),
+            ht_on,
+            threads: contexts.len(),
+            chips,
+            contexts,
+            group,
+        }
+    }
+
+    /// The Figure 1 labels of this configuration's contexts.
+    pub fn context_labels(&self) -> Vec<String> {
+        self.contexts
+            .iter()
+            .map(|c| {
+                if self.ht_on {
+                    c.label_ht()
+                } else {
+                    c.label_no_ht().expect("HT-off configs use context 0 only")
+                }
+            })
+            .collect()
+    }
+}
+
+/// The serial baseline (one thread on one core, HT off).
+pub fn serial() -> HwConfig {
+    HwConfig::new("Serial", "Serial", false, 1, vec![Lcpu::B0], 0)
+}
+
+/// The seven multithreaded configurations of Table 1, paper order.
+pub fn parallel_configs() -> Vec<HwConfig> {
+    vec![
+        HwConfig::new("HT on -2-1", "SMT", true, 1, vec![Lcpu::A0, Lcpu::A1], 1),
+        HwConfig::new("HT off -2-1", "CMP", false, 1, vec![Lcpu::B0, Lcpu::B1], 2),
+        HwConfig::new(
+            "HT on -4-1",
+            "CMT",
+            true,
+            1,
+            vec![Lcpu::A0, Lcpu::A1, Lcpu::A2, Lcpu::A3],
+            2,
+        ),
+        HwConfig::new("HT off -2-2", "SMP", false, 2, vec![Lcpu::B0, Lcpu::B2], 3),
+        HwConfig::new(
+            "HT on -4-2",
+            "SMT-based SMP",
+            true,
+            2,
+            vec![Lcpu::A0, Lcpu::A1, Lcpu::A4, Lcpu::A5],
+            3,
+        ),
+        HwConfig::new(
+            "HT off -4-2",
+            "CMP-based SMP",
+            false,
+            2,
+            vec![Lcpu::B0, Lcpu::B1, Lcpu::B2, Lcpu::B3],
+            4,
+        ),
+        HwConfig::new(
+            "HT on -8-2",
+            "CMT-based SMP",
+            true,
+            2,
+            Lcpu::all().to_vec(),
+            4,
+        ),
+    ]
+}
+
+/// Every configuration including the serial baseline (Table 1 complete).
+pub fn all_configs() -> Vec<HwConfig> {
+    let mut v = vec![serial()];
+    v.extend(parallel_configs());
+    v
+}
+
+/// Look up a configuration by its paper name or architecture label.
+pub fn config_by_name(name: &str) -> Option<HwConfig> {
+    all_configs()
+        .into_iter()
+        .find(|c| c.name.eq_ignore_ascii_case(name) || c.arch.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let all = all_configs();
+        assert_eq!(all.len(), 8);
+        let by_arch = |a: &str| config_by_name(a).unwrap();
+
+        let smt = by_arch("SMT");
+        assert_eq!(smt.context_labels(), ["A0", "A1"]);
+        assert_eq!((smt.threads, smt.chips, smt.ht_on), (2, 1, true));
+
+        let cmp = by_arch("CMP");
+        assert_eq!(cmp.context_labels(), ["B0", "B1"]);
+
+        let cmt = by_arch("CMT");
+        assert_eq!(cmt.context_labels(), ["A0", "A1", "A2", "A3"]);
+
+        let smp = by_arch("SMP");
+        assert_eq!(smp.context_labels(), ["B0", "B2"]);
+        assert_eq!(smp.chips, 2);
+
+        let smtsmp = by_arch("SMT-based SMP");
+        assert_eq!(smtsmp.context_labels(), ["A0", "A1", "A4", "A5"]);
+
+        let cmpsmp = by_arch("CMP-based SMP");
+        assert_eq!(cmpsmp.context_labels(), ["B0", "B1", "B2", "B3"]);
+
+        let cmtsmp = by_arch("CMT-based SMP");
+        assert_eq!(cmtsmp.threads, 8);
+    }
+
+    #[test]
+    fn groups_match_section4() {
+        let g = |name: &str| config_by_name(name).unwrap().group;
+        assert_eq!(g("Serial"), 0);
+        assert_eq!(g("HT on -2-1"), 1);
+        assert_eq!(g("HT off -2-1"), 2);
+        assert_eq!(g("HT on -4-1"), 2);
+        assert_eq!(g("HT off -2-2"), 3);
+        assert_eq!(g("HT on -4-2"), 3);
+        assert_eq!(g("HT off -4-2"), 4);
+        assert_eq!(g("HT on -8-2"), 4);
+    }
+
+    #[test]
+    fn contexts_are_disjoint_and_valid() {
+        for c in all_configs() {
+            let set: std::collections::HashSet<_> = c.contexts.iter().collect();
+            assert_eq!(set.len(), c.threads, "{}", c.name);
+            let chips: std::collections::HashSet<_> = c.contexts.iter().map(|l| l.chip).collect();
+            assert_eq!(chips.len(), c.chips, "{}", c.name);
+            if !c.ht_on {
+                assert!(c.contexts.iter().all(|l| l.ctx == 0), "{}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn name_parsing() {
+        assert!(config_by_name("ht ON -8-2").is_some());
+        assert!(config_by_name("cmt").is_some());
+        assert!(config_by_name("bogus").is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Section 4.3 — cross-product multi-program experiments.
+//!
+//! Every (unordered) pair of benchmarks runs concurrently on each fully
+//! loaded configuration; per configuration, the distribution of
+//! multiprogrammed speedups over all pairs is summarized as a
+//! box-and-whisker (Figure 5).
+
+use paxsim_nas::KernelId;
+use paxsim_perfmon::stats::BoxWhisker;
+
+use crate::configs::{parallel_configs, HwConfig};
+use crate::multi::run_workload;
+use crate::store::{TraceKey, TraceStore};
+use crate::study::StudyOptions;
+
+/// One pair observation: both sides' speedups over their serial runs.
+#[derive(Debug, Clone)]
+pub struct PairPoint {
+    pub pair: (KernelId, KernelId),
+    pub config: String,
+    pub speedups: [f64; 2],
+}
+
+/// Results of the cross-product study.
+#[derive(Debug, Clone)]
+pub struct CrossStudy {
+    pub configs: Vec<HwConfig>,
+    pub points: Vec<PairPoint>,
+}
+
+impl CrossStudy {
+    /// All speedup samples observed on `config` (two per pair).
+    pub fn samples(&self, config_name: &str) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.config == config_name)
+            .flat_map(|p| p.speedups)
+            .collect()
+    }
+
+    /// Figure 5: one box-and-whisker per configuration.
+    pub fn boxes(&self) -> Vec<(String, BoxWhisker)> {
+        self.configs
+            .iter()
+            .map(|c| (c.name.clone(), BoxWhisker::of(&self.samples(&c.name))))
+            .collect()
+    }
+
+    /// The configuration with the highest median pair speedup.
+    pub fn best_median(&self) -> (String, f64) {
+        self.boxes()
+            .into_iter()
+            .map(|(n, b)| (n, b.median))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("non-empty study")
+    }
+}
+
+/// All unordered pairs (including self-pairs) of `benches`.
+pub fn all_pairs(benches: &[KernelId]) -> Vec<(KernelId, KernelId)> {
+    let mut out = Vec::new();
+    for (i, &a) in benches.iter().enumerate() {
+        for &b in &benches[i..] {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// Run the full Section 4.3 study over `benches` on every fully loaded
+/// (≥ 2 threads) configuration.
+pub fn run_cross_product(opts: &StudyOptions, store: &TraceStore) -> CrossStudy {
+    let configs: Vec<HwConfig> = parallel_configs()
+        .into_iter()
+        .filter(|c| c.threads >= 2)
+        .collect();
+    let pairs = all_pairs(&opts.benchmarks);
+
+    // Serial baselines.
+    let bases: std::collections::HashMap<KernelId, f64> = opts
+        .benchmarks
+        .iter()
+        .map(|&b| {
+            let trace = store.get(TraceKey {
+                kernel: b,
+                class: opts.class,
+                nthreads: 1,
+                schedule: opts.schedule,
+            });
+            let spec =
+                paxsim_machine::sim::JobSpec::pinned(trace, crate::configs::serial().contexts);
+            (
+                b,
+                paxsim_machine::sim::simulate(&opts.machine, vec![spec]).jobs[0].cycles as f64,
+            )
+        })
+        .collect();
+
+    // Pre-build every needed trace serially (the store is shared below).
+    for c in &configs {
+        for &b in &opts.benchmarks {
+            store.get(TraceKey {
+                kernel: b,
+                class: opts.class,
+                nthreads: c.threads / 2,
+                schedule: opts.schedule,
+            });
+        }
+    }
+
+    let mut points = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|config| {
+                let pairs = &pairs;
+                let bases = &bases;
+                scope.spawn(move || {
+                    pairs
+                        .iter()
+                        .map(|&pair| {
+                            let cell = run_workload(
+                                opts,
+                                store,
+                                pair,
+                                config,
+                                (bases[&pair.0], bases[&pair.1]),
+                            );
+                            PairPoint {
+                                pair,
+                                config: config.name.clone(),
+                                speedups: [
+                                    cell.sides[0].cell.speedup.mean,
+                                    cell.sides[1].cell.speedup.mean,
+                                ],
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            points.extend(h.join().expect("config worker panicked"));
+        }
+    });
+
+    CrossStudy { configs, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_enumeration() {
+        let p = all_pairs(&[KernelId::Cg, KernelId::Ft, KernelId::Ep]);
+        assert_eq!(p.len(), 6); // 3 self + 3 cross
+        assert!(p.contains(&(KernelId::Cg, KernelId::Cg)));
+        assert!(p.contains(&(KernelId::Cg, KernelId::Ep)));
+        assert!(!p.contains(&(KernelId::Ep, KernelId::Cg)), "unordered");
+    }
+
+    #[test]
+    fn cross_study_collects_two_samples_per_pair() {
+        let opts = StudyOptions::quick().with_benchmarks(vec![KernelId::Ep, KernelId::Is]);
+        let store = TraceStore::new();
+        let s = run_cross_product(&opts, &store);
+        // 3 pairs × 7 configs.
+        assert_eq!(s.points.len(), 21);
+        let samples = s.samples("HT off -4-2");
+        assert_eq!(samples.len(), 6);
+        assert!(samples.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn boxes_cover_every_config() {
+        let opts = StudyOptions::quick().with_benchmarks(vec![KernelId::Ep]);
+        let store = TraceStore::new();
+        let s = run_cross_product(&opts, &store);
+        let boxes = s.boxes();
+        assert_eq!(boxes.len(), 7);
+        let (_, best) = s.best_median();
+        assert!(best > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Resource efficiency — the paper's concluding metric.
+//!
+//! §5: "the most efficient architecture is a single dual-core processor
+//! with HT enabled, in terms of total computing power per system resources
+//! available." This module derives performance-per-resource views of a
+//! single-program study: speedup per physical chip, per core, and per
+//! hardware context.
+
+use paxsim_perfmon::table::Table;
+use serde::Serialize;
+
+use crate::single::SingleStudy;
+
+/// Efficiency of one architecture under several resource denominators.
+#[derive(Debug, Clone, Serialize)]
+pub struct EfficiencyRow {
+    pub arch: String,
+    pub avg_speedup: f64,
+    pub chips: usize,
+    pub cores: usize,
+    pub contexts: usize,
+    pub per_chip: f64,
+    pub per_core: f64,
+    pub per_context: f64,
+}
+
+/// Compute the efficiency table from a single-program study.
+pub fn efficiency(study: &SingleStudy) -> Vec<EfficiencyRow> {
+    let avgs = study.average_speedups();
+    study
+        .configs
+        .iter()
+        .skip(1)
+        .zip(avgs)
+        .map(|(cfg, (arch, avg))| {
+            let cores: std::collections::HashSet<usize> =
+                cfg.contexts.iter().map(|l| l.core_index()).collect();
+            let cores = cores.len();
+            EfficiencyRow {
+                arch,
+                avg_speedup: avg,
+                chips: cfg.chips,
+                cores,
+                contexts: cfg.threads,
+                per_chip: avg / cfg.chips as f64,
+                per_core: avg / cores as f64,
+                per_context: avg / cfg.threads as f64,
+            }
+        })
+        .collect()
+}
+
+/// The architecture with the best average speedup per physical chip —
+/// the paper's notion of "computing power per system resources".
+pub fn most_efficient_per_chip(study: &SingleStudy) -> EfficiencyRow {
+    efficiency(study)
+        .into_iter()
+        .max_by(|a, b| a.per_chip.partial_cmp(&b.per_chip).unwrap())
+        .expect("non-empty study")
+}
+
+/// Render the efficiency view.
+pub fn efficiency_text(study: &SingleStudy) -> String {
+    let mut t = Table::new("Average speedup per system resource").header([
+        "Architecture",
+        "Speedup",
+        "Chips",
+        "Cores",
+        "Contexts",
+        "Per chip",
+        "Per core",
+        "Per context",
+    ]);
+    for r in efficiency(study) {
+        t.row([
+            r.arch,
+            format!("{:.2}", r.avg_speedup),
+            r.chips.to_string(),
+            r.cores.to_string(),
+            r.contexts.to_string(),
+            format!("{:.2}", r.per_chip),
+            format!("{:.2}", r.per_core),
+            format!("{:.2}", r.per_context),
+        ]);
+    }
+    let best = most_efficient_per_chip(study);
+    format!(
+        "{}\nmost efficient per chip: {} ({:.2})\n",
+        t.render(),
+        best.arch,
+        best.per_chip
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TraceStore;
+    use crate::study::StudyOptions;
+    use paxsim_nas::KernelId;
+
+    fn study() -> SingleStudy {
+        let opts =
+            StudyOptions::quick().with_benchmarks(vec![KernelId::Ep, KernelId::Cg, KernelId::Lu]);
+        crate::single::run_single_program(&opts, &TraceStore::new())
+    }
+
+    #[test]
+    fn resource_counts_match_table1() {
+        let s = study();
+        let rows = efficiency(&s);
+        let by = |a: &str| rows.iter().find(|r| r.arch == a).unwrap().clone();
+        let cmt = by("CMT");
+        assert_eq!((cmt.chips, cmt.cores, cmt.contexts), (1, 2, 4));
+        let smp = by("SMP");
+        assert_eq!((smp.chips, smp.cores, smp.contexts), (2, 2, 2));
+        let cmt_smp = by("CMT-based SMP");
+        assert_eq!((cmt_smp.chips, cmt_smp.cores, cmt_smp.contexts), (2, 4, 8));
+    }
+
+    #[test]
+    fn cmt_is_most_efficient_per_chip() {
+        // The paper's conclusion: one HT-enabled dual-core chip delivers
+        // the most computing power per chip.
+        let s = study();
+        let best = most_efficient_per_chip(&s);
+        assert_eq!(best.arch, "CMT", "per-chip ranking: {:?}", efficiency(&s));
+    }
+
+    #[test]
+    fn efficiency_is_speedup_over_denominator() {
+        let s = study();
+        for r in efficiency(&s) {
+            assert!((r.per_chip - r.avg_speedup / r.chips as f64).abs() < 1e-12);
+            assert!((r.per_core - r.avg_speedup / r.cores as f64).abs() < 1e-12);
+            assert!((r.per_context - r.avg_speedup / r.contexts as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_mentions_the_winner() {
+        let s = study();
+        let text = efficiency_text(&s);
+        assert!(text.contains("most efficient per chip"));
+        assert!(text.contains("Per chip"));
+    }
+}

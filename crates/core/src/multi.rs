@@ -1,0 +1,248 @@
+//! Section 4.2 — multithreaded, multi-program experiments.
+//!
+//! Two benchmarks run concurrently, each getting half of a configuration's
+//! hardware contexts ("threads distributed evenly between the executing
+//! programs"). The paper pairs its compute-bound benchmark (FT) with its
+//! memory-bound one (CG — see DESIGN.md §5 on reconstructing the garbled
+//! benchmark name) in three workloads: CG/FT, FT/FT and CG/CG.
+
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_nas::KernelId;
+use paxsim_perfmon::stats::Summary;
+
+use crate::configs::{parallel_configs, serial, HwConfig};
+use crate::store::{TraceKey, TraceStore};
+use crate::study::{Cell, StudyOptions};
+use paxsim_omp::os::{split_jobs, PlacementPolicy};
+
+/// One side of a multi-program run.
+#[derive(Debug, Clone)]
+pub struct JobSide {
+    pub bench: KernelId,
+    pub cell: Cell,
+}
+
+/// One (workload, configuration) data point.
+#[derive(Debug, Clone)]
+pub struct MultiCell {
+    pub config: HwConfig,
+    pub sides: Vec<JobSide>,
+}
+
+/// Results of the multi-program study.
+#[derive(Debug, Clone)]
+pub struct MultiStudy {
+    /// The workloads, e.g. `[(Cg, Ft), (Ft, Ft), (Cg, Cg)]`.
+    pub workloads: Vec<(KernelId, KernelId)>,
+    pub configs: Vec<HwConfig>,
+    /// `cells[workload][config]`.
+    pub cells: Vec<Vec<MultiCell>>,
+}
+
+impl MultiStudy {
+    pub fn cell(&self, workload: (KernelId, KernelId), config_name: &str) -> Option<&MultiCell> {
+        let wi = self.workloads.iter().position(|&w| w == workload)?;
+        let ci = self.configs.iter().position(|c| {
+            c.name.eq_ignore_ascii_case(config_name) || c.arch.eq_ignore_ascii_case(config_name)
+        })?;
+        Some(&self.cells[wi][ci])
+    }
+}
+
+/// The paper's three §4.2 workloads.
+pub fn paper_workloads() -> Vec<(KernelId, KernelId)> {
+    vec![
+        (KernelId::Cg, KernelId::Ft),
+        (KernelId::Ft, KernelId::Ft),
+        (KernelId::Cg, KernelId::Cg),
+    ]
+}
+
+/// Serial baseline cycles for each benchmark (for "speedup over serial").
+fn serial_cycles(opts: &StudyOptions, store: &TraceStore, bench: KernelId) -> f64 {
+    let trace = store.get(TraceKey {
+        kernel: bench,
+        class: opts.class,
+        nthreads: 1,
+        schedule: opts.schedule,
+    });
+    let spec = JobSpec::pinned(trace, serial().contexts);
+    simulate(&opts.machine, vec![spec]).jobs[0].cycles as f64
+}
+
+/// Run one multi-program workload on one configuration over trials.
+pub fn run_workload(
+    opts: &StudyOptions,
+    store: &TraceStore,
+    workload: (KernelId, KernelId),
+    config: &HwConfig,
+    serial_base: (f64, f64),
+) -> MultiCell {
+    assert!(
+        config.threads >= 2 && config.threads.is_multiple_of(2),
+        "{} cannot host two programs",
+        config.name
+    );
+    let per = config.threads / 2;
+    let placements = split_jobs(&config.contexts, 2, PlacementPolicy::Spread);
+    let traces = [
+        store.get(TraceKey {
+            kernel: workload.0,
+            class: opts.class,
+            nthreads: per,
+            schedule: opts.schedule,
+        }),
+        store.get(TraceKey {
+            kernel: workload.1,
+            class: opts.class,
+            nthreads: per,
+            schedule: opts.schedule,
+        }),
+    ];
+
+    let mut cycles = [Vec::new(), Vec::new()];
+    let mut counters0 = [None, None];
+    for trial in 0..opts.trials {
+        let jitter = if trial == 0 { 0 } else { opts.jitter_cycles };
+        let jobs: Vec<JobSpec> = (0..2)
+            .map(|j| {
+                JobSpec::pinned(traces[j].clone(), placements[j].clone())
+                    .with_jitter(jitter, (trial * 2 + j) as u64)
+            })
+            .collect();
+        let out = simulate(&opts.machine, jobs);
+        for j in 0..2 {
+            cycles[j].push(out.jobs[j].cycles as f64);
+            if trial == 0 {
+                counters0[j] = Some(out.jobs[j].counters);
+            }
+        }
+    }
+
+    let bases = [serial_base.0, serial_base.1];
+    let benches = [workload.0, workload.1];
+    let sides = (0..2)
+        .map(|j| JobSide {
+            bench: benches[j],
+            cell: Cell {
+                cycles: Summary::of(&cycles[j]),
+                speedup: Summary::of(&cycles[j].iter().map(|&c| bases[j] / c).collect::<Vec<_>>()),
+                counters: counters0[j].unwrap(),
+            },
+        })
+        .collect();
+    MultiCell {
+        config: config.clone(),
+        sides,
+    }
+}
+
+/// Run the full Section 4.2 study.
+pub fn run_multi_program(
+    opts: &StudyOptions,
+    store: &TraceStore,
+    workloads: &[(KernelId, KernelId)],
+) -> MultiStudy {
+    let configs: Vec<HwConfig> = parallel_configs()
+        .into_iter()
+        .filter(|c| c.threads >= 2)
+        .collect();
+
+    // Serial baselines for every benchmark that appears.
+    let mut benches: Vec<KernelId> = workloads.iter().flat_map(|&(a, b)| [a, b]).collect();
+    benches.sort();
+    benches.dedup();
+    let bases: std::collections::HashMap<KernelId, f64> = benches
+        .iter()
+        .map(|&b| (b, serial_cycles(opts, store, b)))
+        .collect();
+
+    let mut cells = Vec::with_capacity(workloads.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|&w| {
+                let configs = &configs;
+                let bases = &bases;
+                scope.spawn(move || {
+                    configs
+                        .iter()
+                        .map(|c| run_workload(opts, store, w, c, (bases[&w.0], bases[&w.1])))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            cells.push(h.join().expect("workload worker panicked"));
+        }
+    });
+
+    MultiStudy {
+        workloads: workloads.to_vec(),
+        configs,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_match_section_4_2() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 3);
+        assert!(w.contains(&(KernelId::Cg, KernelId::Ft)));
+        assert!(w.contains(&(KernelId::Ft, KernelId::Ft)));
+        assert!(w.contains(&(KernelId::Cg, KernelId::Cg)));
+    }
+
+    #[test]
+    fn multi_study_shape() {
+        let opts = StudyOptions::quick();
+        let store = TraceStore::new();
+        let s = run_multi_program(&opts, &store, &[(KernelId::Ep, KernelId::Ep)]);
+        assert_eq!(s.workloads.len(), 1);
+        assert_eq!(s.configs.len(), 7);
+        for row in &s.cells {
+            for cell in row {
+                assert_eq!(cell.sides.len(), 2);
+                assert!(cell.sides[0].cell.cycles.mean > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_programs_slower_than_alone() {
+        // Two EPs sharing the machine: each side must be slower than the
+        // same program running alone on its half… at minimum, slower than
+        // its own serial baseline divided by its thread count would imply
+        // perfect scaling; we check the weaker, robust property that
+        // speedups are finite and positive and both sides finish.
+        let opts = StudyOptions::quick();
+        let store = TraceStore::new();
+        let s = run_multi_program(&opts, &store, &[(KernelId::Ep, KernelId::Ep)]);
+        let cell = s
+            .cell((KernelId::Ep, KernelId::Ep), "CMP-based SMP")
+            .unwrap();
+        for side in &cell.sides {
+            assert!(side.cell.speedup.mean > 0.5, "{}", side.cell.speedup.mean);
+            assert!(side.cell.speedup.mean < 4.0);
+        }
+    }
+
+    #[test]
+    fn identical_pair_is_symmetric_without_jitter() {
+        // Same program twice, quiet trials, symmetric placement: both
+        // sides should finish in nearly the same time.
+        let opts = StudyOptions::quick();
+        let store = TraceStore::new();
+        let s = run_multi_program(&opts, &store, &[(KernelId::Ep, KernelId::Ep)]);
+        let cell = s
+            .cell((KernelId::Ep, KernelId::Ep), "CMP-based SMP")
+            .unwrap();
+        let a = cell.sides[0].cell.cycles.mean;
+        let b = cell.sides[1].cell.cycles.mean;
+        assert!((a - b).abs() / a < 0.05, "asymmetry: {a} vs {b}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Phase analysis: where a benchmark's cycles go, region by region.
+//!
+//! The paper reasons about *whole-program* counters; the simulator can
+//! additionally attribute time to each OpenMP region (SpMV vs. vector
+//! updates in CG, sweeps vs. RHS in the CFD apps), which is what a
+//! VTune region-level drill-down would have shown the authors.
+
+use std::collections::HashMap;
+
+use paxsim_machine::sim::JobOutcome;
+use paxsim_perfmon::table::Table;
+use serde::Serialize;
+
+/// Aggregated time of all regions sharing a label.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseProfile {
+    pub label: String,
+    /// Total cycles across all executions of this region.
+    pub cycles: u64,
+    /// Fraction of the job's wall cycles.
+    pub share: f64,
+    /// How many times the region executed.
+    pub count: usize,
+}
+
+/// Aggregate a job's region spans by label, sorted by descending cycles.
+pub fn phase_profile(job: &JobOutcome) -> Vec<PhaseProfile> {
+    let mut agg: HashMap<&str, (u64, usize)> = HashMap::new();
+    for span in &job.regions {
+        let e = agg.entry(span.label.as_str()).or_insert((0, 0));
+        e.0 += span.cycles;
+        e.1 += 1;
+    }
+    let wall = job.cycles.max(1) as f64;
+    let mut out: Vec<PhaseProfile> = agg
+        .into_iter()
+        .map(|(label, (cycles, count))| PhaseProfile {
+            label: if label.is_empty() {
+                "(unlabeled)".to_string()
+            } else {
+                label.to_string()
+            },
+            cycles,
+            share: cycles as f64 / wall,
+            count,
+        })
+        .collect();
+    out.sort_by_key(|p| std::cmp::Reverse(p.cycles));
+    out
+}
+
+/// Render the top phases of a job.
+pub fn phases_text(title: &str, job: &JobOutcome, top: usize) -> String {
+    let mut t = Table::new(format!("Phase profile — {title}")).header([
+        "Region",
+        "Executions",
+        "Cycles",
+        "Share",
+    ]);
+    for p in phase_profile(job).into_iter().take(top) {
+        t.row([
+            p.label,
+            p.count.to_string(),
+            p.cycles.to_string(),
+            format!("{:.1}%", 100.0 * p.share),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{config_by_name, serial};
+    use crate::store::{TraceKey, TraceStore};
+    use paxsim_machine::sim::{simulate, JobSpec};
+    use paxsim_nas::{Class, KernelId};
+    use paxsim_omp::schedule::Schedule;
+
+    fn run(bench: KernelId, cfg_name: &str) -> JobOutcome {
+        let store = TraceStore::new();
+        let cfg = if cfg_name == "Serial" {
+            serial()
+        } else {
+            config_by_name(cfg_name).unwrap()
+        };
+        let trace = store.get(TraceKey {
+            kernel: bench,
+            class: Class::T,
+            nthreads: cfg.threads,
+            schedule: Schedule::Static,
+        });
+        let machine = paxsim_machine::config::MachineConfig::paxville_smp();
+        simulate(&machine, vec![JobSpec::pinned(trace, cfg.contexts)]).jobs[0].clone()
+    }
+
+    #[test]
+    fn cg_phases_dominated_by_spmv() {
+        let job = run(KernelId::Cg, "CMP-based SMP");
+        let phases = phase_profile(&job);
+        assert_eq!(phases[0].label, "cg.spmv", "top phase: {phases:?}");
+        assert!(phases[0].share > 0.4);
+        // Shares sum to ~1 (every cycle belongs to some region).
+        let total: f64 = phases.iter().map(|p| p.share).sum();
+        assert!((total - 1.0).abs() < 0.01, "shares sum to {total}");
+    }
+
+    #[test]
+    fn bt_sweeps_present_in_profile() {
+        let job = run(KernelId::Bt, "Serial");
+        let labels: Vec<String> = phase_profile(&job).into_iter().map(|p| p.label).collect();
+        for want in ["bt.xsolve", "bt.ysolve", "bt.zsolve", "cfd.rhs", "bt.add"] {
+            assert!(
+                labels.iter().any(|l| l == want),
+                "missing {want}: {labels:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn execution_counts_match_iterations() {
+        let job = run(KernelId::Lu, "Serial");
+        let (_, iters) = paxsim_nas::lu::size(Class::T);
+        let phases = phase_profile(&job);
+        let blts = phases.iter().find(|p| p.label == "lu.blts").unwrap();
+        assert_eq!(blts.count, iters);
+    }
+
+    #[test]
+    fn render_contains_top_phase() {
+        let job = run(KernelId::Cg, "Serial");
+        let text = phases_text("cg", &job, 3);
+        assert!(text.contains("cg.spmv"));
+        assert!(text.contains("Share"));
+        assert!(text.lines().count() <= 8);
+    }
+}

@@ -1,0 +1,441 @@
+//! Paper-facing reporting: regenerate each table and figure as text, plus
+//! machine-readable JSON for downstream tooling.
+
+use paxsim_machine::counters::Metrics;
+use paxsim_nas::KernelId;
+use paxsim_perfmon::render::{bar_panel, box_plot};
+use paxsim_perfmon::table::Table;
+use serde::Serialize;
+
+use crate::calibrate::CalibrationReport;
+use crate::configs::all_configs;
+use crate::cross::CrossStudy;
+use crate::multi::MultiStudy;
+use crate::single::SingleStudy;
+
+/// Table 1: configuration information.
+pub fn table1_text() -> String {
+    let mut t = Table::new("Table 1. Configuration information").header([
+        "Terminology",
+        "H/W Contexts",
+        "Architecture",
+    ]);
+    for c in all_configs() {
+        t.row([
+            c.name.clone(),
+            c.context_labels().join(", "),
+            c.arch.clone(),
+        ]);
+    }
+    t.render()
+}
+
+/// Section 3 platform characterization vs the paper.
+pub fn platform_text(r: &CalibrationReport) -> String {
+    let mut t = Table::new("Platform characterization (LMbench on the simulator) vs paper §3")
+        .header(["Quantity", "Paper", "Measured", "Rel err"]);
+    for row in &r.rows {
+        t.row([
+            format!("{} ({})", row.name, row.unit),
+            format!("{:.2}", row.paper),
+            format!("{:.2}", row.measured),
+            format!("{:.1}%", row.rel_err() * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+/// The nine Figure 2 panels (single-program metrics per benchmark and
+/// configuration). DTLB misses are normalized to the serial case, as in
+/// the paper.
+pub fn fig2_text(s: &SingleStudy) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 2. Single-program architectural metrics\n\n");
+    let groups: Vec<String> = s.benchmarks.iter().map(|b| b.to_string()).collect();
+    let series: Vec<String> = s.configs.iter().map(|c| c.name.clone()).collect();
+    for (mi, name) in Metrics::NAMES.iter().enumerate() {
+        let values: Vec<Vec<f64>> = s
+            .cells
+            .iter()
+            .map(|row| {
+                let serial_dtlb = row[0].counters.dtlb_miss().max(1) as f64;
+                row.iter()
+                    .map(|cell| {
+                        let v = cell.metrics().values()[mi];
+                        if *name == "DTLB Load and Store Misses" {
+                            v / serial_dtlb
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        out.push_str(&bar_panel(name, &groups, &series, &values, 40));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 3: speedup of each application per configuration.
+pub fn fig3_text(s: &SingleStudy) -> String {
+    let mut t = Table::new("Figure 3. Speedup for NAS OpenMP applications");
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(s.configs.iter().skip(1).map(|c| c.name.clone()));
+    let mut t2 = std::mem::replace(&mut t, Table::new("")).header(header);
+    for (bi, b) in s.benchmarks.iter().enumerate() {
+        let mut row = vec![b.to_string()];
+        row.extend(
+            s.cells[bi]
+                .iter()
+                .skip(1)
+                .map(|c| format!("{:.2}", c.speedup.mean)),
+        );
+        t2.row(row);
+    }
+    t2.render()
+}
+
+/// Table 2: average speedup per architecture.
+pub fn table2_text(s: &SingleStudy) -> String {
+    let mut t = Table::new("Table 2. Average speedup for architectures")
+        .header(["Architecture", "Average speedup"]);
+    for (arch, v) in s.average_speedups() {
+        t.row([arch, format!("{v:.2}")]);
+    }
+    t.render()
+}
+
+/// Figure 4: multi-program metric panels and speedups.
+pub fn fig4_text(m: &MultiStudy) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4. Multi-program workloads\n\n");
+    let series: Vec<String> = m.configs.iter().map(|c| c.name.clone()).collect();
+    // Group labels like "cg (cg/ft)" — each program side of each workload.
+    let mut groups = Vec::new();
+    for &(a, b) in &m.workloads {
+        groups.push(format!("{a} ({a}/{b})"));
+        groups.push(format!("{b} ({a}/{b})"));
+    }
+    for (mi, name) in Metrics::NAMES.iter().enumerate() {
+        let mut values = Vec::new();
+        for (wi, _) in m.workloads.iter().enumerate() {
+            for side in 0..2 {
+                values.push(
+                    m.cells[wi]
+                        .iter()
+                        .map(|cell| cell.sides[side].cell.metrics().values()[mi])
+                        .collect::<Vec<f64>>(),
+                );
+            }
+        }
+        out.push_str(&bar_panel(name, &groups, &series, &values, 40));
+        out.push('\n');
+    }
+    // Speedup panels, one per workload.
+    for (wi, &(a, b)) in m.workloads.iter().enumerate() {
+        let title = format!("Multiprogrammed speedup over serial — {a}/{b}");
+        let groups = vec![a.to_string(), format!("{b} (2nd)")];
+        let values: Vec<Vec<f64>> = (0..2)
+            .map(|side| {
+                m.cells[wi]
+                    .iter()
+                    .map(|cell| cell.sides[side].cell.speedup.mean)
+                    .collect()
+            })
+            .collect();
+        out.push_str(&bar_panel(&title, &groups, &series, &values, 40));
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 5: box-and-whisker of multiprogrammed speedup of benchmark pairs.
+pub fn fig5_text(c: &CrossStudy) -> String {
+    box_plot(
+        "Figure 5. Speedup of NAS benchmark pairs (box = IQR, + = extremes)",
+        &c.boxes(),
+        48,
+    )
+}
+
+/// The paper's headline quantitative claims, recomputed from a study.
+#[derive(Debug, Clone, Serialize)]
+pub struct Headlines {
+    /// (architecture, average speedup), paper Table 2.
+    pub average_speedups: Vec<(String, f64)>,
+    /// Best and second-best architecture by average speedup.
+    pub best_arch: String,
+    pub second_arch: String,
+    /// CMT slowdown vs CMP-based SMP (paper: ~3.6 %).
+    pub cmt_vs_cmp_smp_slowdown: f64,
+    /// CMT-based SMP (HT on 8-2) slowdown vs CMP-based SMP (HT off 4-2)
+    /// (paper: ~6.7 %).
+    pub ht8_vs_htoff4_slowdown: f64,
+    /// Average %stalled over HT-off vs HT-on parallel configurations.
+    pub avg_stalled_ht_off: f64,
+    pub avg_stalled_ht_on: f64,
+}
+
+/// Compute the headline claims from the single-program study.
+pub fn headlines(s: &SingleStudy) -> Headlines {
+    let avgs = s.average_speedups();
+    let by_arch = |arch: &str| -> f64 {
+        avgs.iter()
+            .find(|(a, _)| a == arch)
+            .map(|(_, v)| *v)
+            .expect("architecture present")
+    };
+    let mut ranked = avgs.clone();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    let cmt = by_arch("CMT");
+    let cmp_smp = by_arch("CMP-based SMP");
+    let cmt_smp = by_arch("CMT-based SMP");
+
+    // Average %stalled across benchmarks for HT-on vs HT-off parallel
+    // configurations (the paper compares 10.83 % vs 20.6 %; shapes only).
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for (ci, cfg) in s.configs.iter().enumerate().skip(1) {
+        for row in &s.cells {
+            let v = row[ci].metrics().pct_stalled;
+            if cfg.ht_on {
+                on.push(v);
+            } else {
+                off.push(v);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+
+    Headlines {
+        best_arch: ranked[0].0.clone(),
+        second_arch: ranked[1].0.clone(),
+        cmt_vs_cmp_smp_slowdown: 1.0 - cmt / cmp_smp,
+        ht8_vs_htoff4_slowdown: 1.0 - cmt_smp / cmp_smp,
+        avg_stalled_ht_off: mean(&off),
+        avg_stalled_ht_on: mean(&on),
+        average_speedups: avgs,
+    }
+}
+
+/// Render the headline claims next to the paper's values.
+pub fn headlines_text(h: &Headlines) -> String {
+    let mut t = Table::new("Headline claims: paper vs reproduction").header([
+        "Claim",
+        "Paper",
+        "Reproduced",
+    ]);
+    t.row([
+        "Highest average speedup".to_string(),
+        "CMP-based SMP / CMT-based SMP".to_string(),
+        format!("{} / {}", h.best_arch, h.second_arch),
+    ]);
+    t.row([
+        "CMT slowdown vs CMP-based SMP".to_string(),
+        "3.6%".to_string(),
+        format!("{:.1}%", h.cmt_vs_cmp_smp_slowdown * 100.0),
+    ]);
+    t.row([
+        "HT on -8-2 slowdown vs HT off -4-2".to_string(),
+        "6.7%".to_string(),
+        format!("{:.1}%", h.ht8_vs_htoff4_slowdown * 100.0),
+    ]);
+    t.row([
+        "Avg %stalled, HT off → HT on".to_string(),
+        "rises (10.83% → 20.6%)".to_string(),
+        format!(
+            "{:.1}% → {:.1}%",
+            h.avg_stalled_ht_off * 100.0,
+            h.avg_stalled_ht_on * 100.0
+        ),
+    ]);
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// JSON mirrors (KernelId et al. are stringified for stability).
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct CellJson {
+    cycles: paxsim_perfmon::stats::Summary,
+    speedup: paxsim_perfmon::stats::Summary,
+    counters: paxsim_machine::counters::Counters,
+    metrics: Metrics,
+}
+
+impl From<&crate::study::Cell> for CellJson {
+    fn from(c: &crate::study::Cell) -> Self {
+        Self {
+            cycles: c.cycles,
+            speedup: c.speedup,
+            counters: c.counters,
+            metrics: c.metrics(),
+        }
+    }
+}
+
+/// Serialize a single-program study to JSON.
+pub fn single_to_json(s: &SingleStudy) -> serde_json::Value {
+    #[derive(Serialize)]
+    struct J {
+        class: String,
+        benchmarks: Vec<String>,
+        configs: Vec<crate::configs::HwConfig>,
+        cells: Vec<Vec<CellJson>>,
+    }
+    serde_json::to_value(J {
+        class: s.options_class.clone(),
+        benchmarks: s.benchmarks.iter().map(|b| b.to_string()).collect(),
+        configs: s.configs.clone(),
+        cells: s
+            .cells
+            .iter()
+            .map(|r| r.iter().map(CellJson::from).collect())
+            .collect(),
+    })
+    .expect("serializable")
+}
+
+/// Serialize a multi-program study to JSON.
+pub fn multi_to_json(m: &MultiStudy) -> serde_json::Value {
+    #[derive(Serialize)]
+    struct Side {
+        bench: String,
+        cell: CellJson,
+    }
+    #[derive(Serialize)]
+    struct CellJ {
+        config: String,
+        sides: Vec<Side>,
+    }
+    #[derive(Serialize)]
+    struct J {
+        workloads: Vec<(String, String)>,
+        cells: Vec<Vec<CellJ>>,
+    }
+    serde_json::to_value(J {
+        workloads: m
+            .workloads
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+        cells: m
+            .cells
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|c| CellJ {
+                        config: c.config.name.clone(),
+                        sides: c
+                            .sides
+                            .iter()
+                            .map(|s| Side {
+                                bench: s.bench.to_string(),
+                                cell: CellJson::from(&s.cell),
+                            })
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect(),
+    })
+    .expect("serializable")
+}
+
+/// Serialize the cross-product study to JSON.
+pub fn cross_to_json(c: &CrossStudy) -> serde_json::Value {
+    #[derive(Serialize)]
+    struct Point {
+        pair: (String, String),
+        config: String,
+        speedups: [f64; 2],
+    }
+    #[derive(Serialize)]
+    struct BoxJ {
+        config: String,
+        summary: paxsim_perfmon::stats::BoxWhisker,
+    }
+    #[derive(Serialize)]
+    struct J {
+        points: Vec<Point>,
+        boxes: Vec<BoxJ>,
+    }
+    serde_json::to_value(J {
+        points: c
+            .points
+            .iter()
+            .map(|p| Point {
+                pair: (p.pair.0.to_string(), p.pair.1.to_string()),
+                config: p.config.clone(),
+                speedups: p.speedups,
+            })
+            .collect(),
+        boxes: c
+            .boxes()
+            .into_iter()
+            .map(|(config, summary)| BoxJ { config, summary })
+            .collect(),
+    })
+    .expect("serializable")
+}
+
+/// Benchmark names column order used in figures.
+pub fn bench_names(benches: &[KernelId]) -> Vec<String> {
+    benches.iter().map(|b| b.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TraceStore;
+    use crate::study::StudyOptions;
+
+    #[test]
+    fn table1_lists_all_rows() {
+        let t = table1_text();
+        for name in [
+            "Serial",
+            "HT on -2-1",
+            "HT off -2-1",
+            "HT on -4-1",
+            "HT off -2-2",
+            "HT on -4-2",
+            "HT off -4-2",
+            "HT on -8-2",
+        ] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+        assert!(t.contains("A0, A1, A2, A3"));
+        assert!(t.contains("CMT-based SMP"));
+    }
+
+    #[test]
+    fn single_study_reports_render() {
+        let opts = StudyOptions::quick().with_benchmarks(vec![KernelId::Ep, KernelId::Is]);
+        let s = crate::single::run_single_program(&opts, &TraceStore::new());
+        let f2 = fig2_text(&s);
+        assert!(f2.contains("CPI"));
+        assert!(f2.contains("Trace Cache Miss Rate"));
+        let f3 = fig3_text(&s);
+        assert!(f3.contains("ep"));
+        let t2 = table2_text(&s);
+        assert!(t2.contains("CMP-based SMP"));
+        let h = headlines(&s);
+        assert!(h.avg_stalled_ht_on > 0.0);
+        assert!(headlines_text(&h).contains("3.6%"));
+        let json = single_to_json(&s);
+        assert!(json["cells"][0][0]["metrics"]["cpi"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn headlines_rank_architectures() {
+        let opts = StudyOptions::quick().with_benchmarks(vec![KernelId::Ep]);
+        let s = crate::single::run_single_program(&opts, &TraceStore::new());
+        let h = headlines(&s);
+        assert_ne!(h.best_arch, h.second_arch);
+        assert_eq!(h.average_speedups.len(), 7);
+    }
+}

@@ -1,0 +1,242 @@
+//! Section 4.1 — multithreaded, single-program experiments.
+//!
+//! Runs every benchmark on every Table 1 configuration (including the
+//! serial baseline), over several OS-noise trials, collecting wall cycles
+//! and the full counter set. This regenerates Figure 2 (nine metric
+//! panels), Figure 3 (speedup) and Table 2 (average speedup per
+//! architecture).
+
+use std::sync::Arc;
+
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_machine::trace::ProgramTrace;
+use paxsim_nas::KernelId;
+use paxsim_perfmon::stats::Summary;
+
+use crate::configs::{parallel_configs, serial, HwConfig};
+use crate::store::{TraceKey, TraceStore};
+use crate::study::{Cell, StudyOptions};
+
+/// Results of the single-program study.
+#[derive(Debug, Clone)]
+pub struct SingleStudy {
+    pub options_class: String,
+    pub benchmarks: Vec<KernelId>,
+    /// Table 1 configurations (serial first).
+    pub configs: Vec<HwConfig>,
+    /// `cells[bench][config]`, aligned with `benchmarks` × `configs`.
+    pub cells: Vec<Vec<Cell>>,
+}
+
+impl SingleStudy {
+    /// Index of the serial configuration in `configs`.
+    pub fn serial_index(&self) -> usize {
+        0
+    }
+
+    /// The Figure 3 speedup matrix: `speedups[bench][parallel_config]`
+    /// (mean over trials; serial column omitted).
+    pub fn speedup_matrix(&self) -> Vec<Vec<f64>> {
+        self.cells
+            .iter()
+            .map(|row| row.iter().skip(1).map(|c| c.speedup.mean).collect())
+            .collect()
+    }
+
+    /// Table 2: average speedup per architecture across all benchmarks.
+    pub fn average_speedups(&self) -> Vec<(String, f64)> {
+        let m = self.speedup_matrix();
+        self.configs
+            .iter()
+            .skip(1)
+            .enumerate()
+            .map(|(ci, cfg)| {
+                let avg = m.iter().map(|row| row[ci]).sum::<f64>() / m.len() as f64;
+                (cfg.arch.clone(), avg)
+            })
+            .collect()
+    }
+
+    /// Cell lookup by benchmark and configuration name.
+    pub fn cell(&self, bench: KernelId, config_name: &str) -> Option<&Cell> {
+        let bi = self.benchmarks.iter().position(|&b| b == bench)?;
+        let ci = self.configs.iter().position(|c| {
+            c.name.eq_ignore_ascii_case(config_name) || c.arch.eq_ignore_ascii_case(config_name)
+        })?;
+        Some(&self.cells[bi][ci])
+    }
+}
+
+/// Simulate `trace` on `config` for `trials` trials; returns (per-trial
+/// cycles, counters of trial 0 — the quiet reference trial).
+fn run_trials(
+    opts: &StudyOptions,
+    trace: &Arc<ProgramTrace>,
+    config: &HwConfig,
+) -> (Vec<f64>, paxsim_machine::counters::Counters) {
+    let mut cycles = Vec::with_capacity(opts.trials);
+    let mut counters0 = None;
+    for trial in 0..opts.trials {
+        let jitter = if trial == 0 { 0 } else { opts.jitter_cycles };
+        let spec = JobSpec::pinned(trace.clone(), config.contexts.clone())
+            .with_jitter(jitter, trial as u64);
+        let out = simulate(&opts.machine, vec![spec]);
+        cycles.push(out.jobs[0].cycles as f64);
+        if trial == 0 {
+            counters0 = Some(out.jobs[0].counters);
+        }
+    }
+    (cycles, counters0.unwrap())
+}
+
+/// Run the full Section 4.1 study.
+pub fn run_single_program(opts: &StudyOptions, store: &TraceStore) -> SingleStudy {
+    let configs: Vec<HwConfig> = {
+        let mut v = vec![serial()];
+        v.extend(parallel_configs());
+        v
+    };
+
+    // One worker per benchmark; each handles all configurations so the
+    // serial baseline is available to compute its speedups.
+    let mut cells: Vec<Vec<Cell>> = Vec::with_capacity(opts.benchmarks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = opts
+            .benchmarks
+            .iter()
+            .map(|&bench| {
+                let configs = &configs;
+                scope.spawn(move || {
+                    let mut row = Vec::with_capacity(configs.len());
+                    let serial_trace = store.get(TraceKey {
+                        kernel: bench,
+                        class: opts.class,
+                        nthreads: 1,
+                        schedule: opts.schedule,
+                    });
+                    let (serial_cycles, serial_counters) =
+                        run_trials(opts, &serial_trace, &configs[0]);
+                    row.push(Cell {
+                        speedup: Summary::of(&vec![1.0; opts.trials]),
+                        cycles: Summary::of(&serial_cycles),
+                        counters: serial_counters,
+                    });
+                    for config in configs.iter().skip(1) {
+                        let trace = store.get(TraceKey {
+                            kernel: bench,
+                            class: opts.class,
+                            nthreads: config.threads,
+                            schedule: opts.schedule,
+                        });
+                        let (cycles, counters) = run_trials(opts, &trace, config);
+                        // Per-trial speedups against the mean baseline.
+                        let base = row[0].cycles.mean;
+                        let speedups: Vec<f64> = cycles.iter().map(|&c| base / c).collect();
+                        row.push(Cell {
+                            cycles: Summary::of(&cycles),
+                            speedup: Summary::of(&speedups),
+                            counters,
+                        });
+                    }
+                    row
+                })
+            })
+            .collect();
+        for h in handles {
+            cells.push(h.join().expect("benchmark worker panicked"));
+        }
+    });
+
+    SingleStudy {
+        options_class: opts.class.to_string(),
+        benchmarks: opts.benchmarks.clone(),
+        configs,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxsim_nas::Class;
+
+    fn quick_study() -> SingleStudy {
+        let opts = StudyOptions::quick().with_benchmarks(vec![KernelId::Ep, KernelId::Cg]);
+        run_single_program(&opts, &TraceStore::new())
+    }
+
+    #[test]
+    fn study_shape() {
+        let s = quick_study();
+        assert_eq!(s.benchmarks.len(), 2);
+        assert_eq!(s.configs.len(), 8);
+        assert_eq!(s.cells.len(), 2);
+        assert!(s.cells.iter().all(|r| r.len() == 8));
+    }
+
+    #[test]
+    fn serial_speedup_is_one() {
+        let s = quick_study();
+        for row in &s.cells {
+            assert_eq!(row[0].speedup.mean, 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_configs_speed_up_ep() {
+        // EP is embarrassingly parallel: every multi-context configuration
+        // must beat serial, and CMP-SMP (4 real cores) must scale well.
+        let s = quick_study();
+        let ep = &s.cells[0];
+        for (ci, cell) in ep.iter().enumerate().skip(1) {
+            assert!(
+                cell.speedup.mean > 1.0,
+                "{}: EP speedup {}",
+                s.configs[ci].name,
+                cell.speedup.mean
+            );
+        }
+        let cmp_smp = s.cell(KernelId::Ep, "CMP-based SMP").unwrap();
+        assert!(
+            cmp_smp.speedup.mean > 3.0,
+            "EP on 4 cores: {}",
+            cmp_smp.speedup.mean
+        );
+    }
+
+    #[test]
+    fn speedup_matrix_aligned() {
+        let s = quick_study();
+        let m = s.speedup_matrix();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 7);
+        let avg = s.average_speedups();
+        assert_eq!(avg.len(), 7);
+        assert_eq!(avg[0].0, "SMT");
+    }
+
+    #[test]
+    fn cell_lookup_by_names() {
+        let s = quick_study();
+        assert!(s.cell(KernelId::Cg, "CMT").is_some());
+        assert!(s.cell(KernelId::Cg, "HT on -4-1").is_some());
+        assert!(
+            s.cell(KernelId::Mg, "CMT").is_none(),
+            "mg not in this study"
+        );
+    }
+
+    #[test]
+    fn trials_reduce_to_deterministic_without_jitter() {
+        let mut opts = StudyOptions::quick().with_benchmarks(vec![KernelId::Ep]);
+        opts.trials = 2;
+        opts.jitter_cycles = 0;
+        opts.class = Class::T;
+        let s = run_single_program(&opts, &TraceStore::new());
+        for row in &s.cells {
+            for cell in row {
+                assert!(cell.cycles.cv() < 1e-9, "quiet trials must agree");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Trace memoization: building a benchmark's trace is the expensive step
+//! (it runs the real numerics), but a trace depends only on (benchmark,
+//! class, thread count, schedule) — not on the hardware configuration — so
+//! one build serves every configuration sweep and both sides of a
+//! multi-program pair.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use paxsim_machine::trace::ProgramTrace;
+use paxsim_nas::{Class, KernelId};
+use paxsim_omp::schedule::Schedule;
+
+/// Key identifying one built trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    pub kernel: KernelId,
+    pub class: Class,
+    pub nthreads: usize,
+    pub schedule: Schedule,
+}
+
+/// A thread-safe memoizing store of built (and verified) traces.
+#[derive(Default)]
+pub struct TraceStore {
+    map: Mutex<HashMap<TraceKey, Arc<ProgramTrace>>>,
+}
+
+impl TraceStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the trace for `key`, building (and verifying) it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark's built-in verification fails — a failed
+    /// verification invalidates every experiment, so it is never silent.
+    pub fn get(&self, key: TraceKey) -> Arc<ProgramTrace> {
+        if let Some(t) = self.map.lock().unwrap().get(&key) {
+            return t.clone();
+        }
+        // Build outside the lock: builds are slow and independent.
+        let built = key.kernel.build(key.class, key.nthreads, key.schedule);
+        assert!(
+            built.verify.passed,
+            "{} class {} with {} threads failed verification: {}",
+            key.kernel, key.class, key.nthreads, built.verify.details
+        );
+        let mut map = self.map.lock().unwrap();
+        map.entry(key).or_insert(built.trace).clone()
+    }
+
+    /// Number of distinct traces built so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_by_key() {
+        let store = TraceStore::new();
+        let key = TraceKey {
+            kernel: KernelId::Ep,
+            class: Class::T,
+            nthreads: 2,
+            schedule: Schedule::Static,
+        };
+        let a = store.get(key);
+        let b = store.get(key);
+        assert!(Arc::ptr_eq(&a, &b), "same key must return the same trace");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_thread_counts_distinct_traces() {
+        let store = TraceStore::new();
+        let mk = |n| TraceKey {
+            kernel: KernelId::Ep,
+            class: Class::T,
+            nthreads: n,
+            schedule: Schedule::Static,
+        };
+        let a = store.get(mk(1));
+        let b = store.get(mk(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.nthreads, 1);
+        assert_eq!(b.nthreads, 2);
+        assert_eq!(store.len(), 2);
+    }
+}

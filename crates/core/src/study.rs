@@ -1,0 +1,105 @@
+//! Common experiment options and result cells shared by the single-program,
+//! multi-program and cross-product drivers.
+
+use paxsim_machine::config::MachineConfig;
+use paxsim_machine::counters::{Counters, Metrics};
+use paxsim_nas::{paper_apps, Class, KernelId};
+use paxsim_omp::schedule::Schedule;
+use paxsim_perfmon::stats::Summary;
+
+/// Options governing a study run.
+#[derive(Debug, Clone)]
+pub struct StudyOptions {
+    /// Problem class for every benchmark.
+    pub class: Class,
+    /// Independent trials per data point (the paper ran ten).
+    pub trials: usize,
+    /// Per-trial OS scheduling jitter in cycles (0 = perfectly quiet).
+    pub jitter_cycles: u64,
+    /// Worksharing schedule (NAS default is static).
+    pub schedule: Schedule,
+    /// Benchmarks to run.
+    pub benchmarks: Vec<KernelId>,
+    /// The machine model.
+    pub machine: MachineConfig,
+}
+
+impl StudyOptions {
+    /// The paper's setup at a given class: its six plotted applications,
+    /// multiple trials with OS noise, static scheduling.
+    pub fn paper(class: Class) -> Self {
+        Self {
+            class,
+            trials: 3,
+            jitter_cycles: 2_000,
+            schedule: Schedule::Static,
+            benchmarks: paper_apps().to_vec(),
+            machine: MachineConfig::paxville_smp(),
+        }
+    }
+
+    /// Fast variant for tests: tiny class, single quiet trial.
+    pub fn quick() -> Self {
+        Self {
+            class: Class::T,
+            trials: 1,
+            jitter_cycles: 0,
+            schedule: Schedule::Static,
+            benchmarks: paper_apps().to_vec(),
+            machine: MachineConfig::paxville_smp(),
+        }
+    }
+
+    /// Builder: replace the benchmark list.
+    pub fn with_benchmarks(mut self, b: Vec<KernelId>) -> Self {
+        self.benchmarks = b;
+        self
+    }
+
+    /// Builder: replace the trial count.
+    pub fn with_trials(mut self, t: usize) -> Self {
+        assert!(t >= 1);
+        self.trials = t;
+        self
+    }
+}
+
+/// Measurements of one (program, configuration) data point.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Wall cycles over trials.
+    pub cycles: Summary,
+    /// Speedup over the serial baseline, over trials.
+    pub speedup: Summary,
+    /// Counters from the first (quiet-seed) trial — the representative
+    /// VTune collection run.
+    pub counters: Counters,
+}
+
+impl Cell {
+    pub fn metrics(&self) -> Metrics {
+        self.counters.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_options_shape() {
+        let o = StudyOptions::paper(Class::S);
+        assert_eq!(o.benchmarks.len(), 6);
+        assert!(o.trials >= 3);
+        assert_eq!(o.schedule, Schedule::Static);
+    }
+
+    #[test]
+    fn builders() {
+        let o = StudyOptions::quick()
+            .with_benchmarks(vec![KernelId::Ep])
+            .with_trials(2);
+        assert_eq!(o.benchmarks, vec![KernelId::Ep]);
+        assert_eq!(o.trials, 2);
+    }
+}

@@ -1,0 +1,319 @@
+//! A generic set-associative, LRU, write-back cache model used for the L1
+//! data cache (configured write-through by the engine) and the private L2.
+//!
+//! Lines carry a `ready_at` tick so that in-flight fills (demand misses and
+//! prefetches) can be installed immediately while later accesses that hit
+//! them still observe the remaining fill latency — this is how partial
+//! prefetch coverage shows up in the model.
+
+use crate::config::CacheGeometry;
+
+const INVALID: u64 = u64::MAX;
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present; it becomes usable at `ready_at` (0 for settled lines).
+    Hit { ready_at: u64 },
+    /// Line absent; the caller must fetch and [`SetAssoc::install`] it.
+    Miss,
+}
+
+/// A line evicted by [`SetAssoc::install`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Full line address (tagged, in line units).
+    pub line: u64,
+    /// Whether the line was dirty and must be written back.
+    pub dirty: bool,
+}
+
+/// Set-associative cache over *line addresses* (byte address ≫ line bits,
+/// already ASID-tagged by the caller).
+#[derive(Debug, Clone)]
+pub struct SetAssoc {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    /// `sets × ways` line addresses (INVALID = empty).
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamp: Vec<u64>,
+    dirty: Vec<bool>,
+    ready: Vec<u64>,
+    clock: u64,
+}
+
+impl SetAssoc {
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets();
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        assert!(
+            geom.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let n = sets * geom.ways;
+        Self {
+            sets,
+            ways: geom.ways,
+            line_shift: geom.line.trailing_zeros(),
+            tags: vec![INVALID; n],
+            stamp: vec![0; n],
+            dirty: vec![false; n],
+            ready: vec![0; n],
+            clock: 0,
+        }
+    }
+
+    /// Convert a byte address to a line address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    /// Look up `line`; on a hit the LRU stamp is refreshed and, for writes,
+    /// the line is marked dirty.
+    pub fn access(&mut self, line: u64, write: bool) -> Lookup {
+        let base = self.set_of(line) * self.ways;
+        self.clock += 1;
+        for w in 0..self.ways {
+            let i = base + w;
+            if self.tags[i] == line {
+                self.stamp[i] = self.clock;
+                if write {
+                    self.dirty[i] = true;
+                }
+                return Lookup::Hit {
+                    ready_at: self.ready[i],
+                };
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Install `line` (typically after a miss), evicting the set's LRU way
+    /// if necessary. `ready_at` is the tick at which the fill completes.
+    pub fn install(&mut self, line: u64, dirty: bool, ready_at: u64) -> Option<Evicted> {
+        let base = self.set_of(line) * self.ways;
+        self.clock += 1;
+        // Prefer an empty way; otherwise evict the LRU way.
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            let i = base + w;
+            if self.tags[i] == line {
+                // Already present (racing prefetch/demand): refresh.
+                self.stamp[i] = self.clock;
+                self.dirty[i] |= dirty;
+                self.ready[i] = self.ready[i].min(ready_at);
+                return None;
+            }
+            if self.tags[i] == INVALID {
+                victim = i;
+                oldest = 0;
+            } else if oldest != 0 && self.stamp[i] < oldest {
+                victim = i;
+                oldest = self.stamp[i];
+            }
+        }
+        let evicted = (self.tags[victim] != INVALID).then(|| Evicted {
+            line: self.tags[victim],
+            dirty: self.dirty[victim],
+        });
+        self.tags[victim] = line;
+        self.stamp[victim] = self.clock;
+        self.dirty[victim] = dirty;
+        self.ready[victim] = ready_at;
+        evicted
+    }
+
+    /// Invalidate `line` if resident; returns whether it was dirty.
+    /// Used by the coherence protocol when another core gains exclusive
+    /// ownership.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let base = self.set_of(line) * self.ways;
+        for w in 0..self.ways {
+            let i = base + w;
+            if self.tags[i] == line {
+                self.tags[i] = INVALID;
+                let dirty = self.dirty[i];
+                self.dirty[i] = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Is `line` currently resident (without touching LRU state)?
+    pub fn contains(&self, line: u64) -> bool {
+        let base = self.set_of(line) * self.ways;
+        (0..self.ways).any(|w| self.tags[base + w] == line)
+    }
+
+    /// Number of resident lines (for occupancy diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheGeometry;
+
+    fn tiny() -> SetAssoc {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        SetAssoc::new(CacheGeometry::new(512, 2, 64))
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut c = tiny();
+        assert_eq!(c.access(10, false), Lookup::Miss);
+        assert_eq!(c.install(10, false, 0), None);
+        assert_eq!(c.access(10, false), Lookup::Hit { ready_at: 0 });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.install(0, false, 0);
+        c.install(4, false, 0);
+        c.access(0, false); // 0 is now MRU; 4 is LRU
+        let ev = c.install(8, false, 0).unwrap();
+        assert_eq!(ev.line, 4);
+        assert!(!ev.dirty);
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.install(0, false, 0);
+        c.access(0, true); // write marks dirty
+        c.install(4, false, 0);
+        let ev = c.install(8, false, 0).unwrap();
+        assert_eq!(ev.line, 0); // 4 was touched more recently via install
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn reinstall_merges_state() {
+        let mut c = tiny();
+        c.install(3, false, 100);
+        // A second install (e.g. demand fill racing a prefetch) keeps the
+        // earlier availability and accumulates dirtiness.
+        assert_eq!(c.install(3, true, 50), None);
+        assert_eq!(c.access(3, false), Lookup::Hit { ready_at: 50 });
+        c.install(7, false, 0);
+        let ev = c.install(11, false, 0).unwrap();
+        assert!(ev.dirty, "merged dirty bit must survive");
+    }
+
+    #[test]
+    fn ready_at_visible_to_later_hits() {
+        let mut c = tiny();
+        c.install(5, false, 777);
+        match c.access(5, false) {
+            Lookup::Hit { ready_at } => assert_eq!(ready_at, 777),
+            _ => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn line_of_uses_geometry() {
+        let c = tiny();
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(63), 0);
+        assert_eq!(c.line_of(64), 1);
+        assert_eq!(c.line_of(6400), 100);
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        for i in 0..8 {
+            c.install(i, false, 0);
+        }
+        assert_eq!(c.occupancy(), 8); // full: 4 sets × 2 ways
+        c.install(9, false, 0);
+        assert_eq!(c.occupancy(), 8); // eviction keeps it full
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The most recently installed/accessed line in a set is never
+            /// the next victim when the set is full (LRU property).
+            #[test]
+            fn mru_survives(lines in proptest::collection::vec(0u64..64, 1..200)) {
+                let mut c = tiny();
+                let mut last: Option<u64> = None;
+                for &l in &lines {
+                    if let Lookup::Miss = c.access(l, false) {
+                        c.install(l, false, 0);
+                    }
+                    if let Some(prev) = last {
+                        // The line touched immediately before this op must
+                        // still be resident: with ≥2 ways one access can
+                        // evict at most the LRU way.
+                        prop_assert!(c.contains(prev), "line {prev} evicted while MRU");
+                    }
+                    last = Some(l);
+                }
+            }
+
+            /// Occupancy never exceeds capacity and never shrinks.
+            #[test]
+            fn occupancy_monotone_bounded(lines in proptest::collection::vec(0u64..1024, 1..300)) {
+                let mut c = tiny();
+                let mut prev = 0;
+                for &l in &lines {
+                    if let Lookup::Miss = c.access(l, false) {
+                        c.install(l, false, 0);
+                    }
+                    let occ = c.occupancy();
+                    prop_assert!(occ <= 8);
+                    prop_assert!(occ >= prev);
+                    prev = occ;
+                }
+            }
+
+            /// Accessing a working set no larger than one set's ways never
+            /// misses after the cold pass (conflict-freedom within a set).
+            #[test]
+            fn small_working_set_no_capacity_misses(reps in 1usize..20) {
+                let mut c = tiny();
+                let ws = [0u64, 4]; // same set, exactly `ways` lines
+                for &l in &ws {
+                    prop_assert_eq!(c.access(l, false), Lookup::Miss);
+                    c.install(l, false, 0);
+                }
+                for _ in 0..reps {
+                    for &l in &ws {
+                        let hit = matches!(c.access(l, false), Lookup::Hit { .. });
+                        prop_assert!(hit);
+                    }
+                }
+            }
+        }
+    }
+}

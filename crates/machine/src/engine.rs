@@ -1,0 +1,704 @@
+//! The execution engine: replays per-thread operation streams against the
+//! shared hardware structures in near-causal order.
+//!
+//! Each hardware context owns a local clock (in ticks). The engine always
+//! advances the *least-advanced* runnable context by a small quantum, so
+//! accesses to shared resources (issue ports, caches, predictor, buses)
+//! arrive in approximately global time order while the whole simulation
+//! stays a single deterministic sequential loop.
+//!
+//! Timing model per operation:
+//!
+//! * every uop reserves issue bandwidth on its core's shared issue server —
+//!   when both SMT siblings are runnable they split the width, when one is
+//!   stalled the other gets all of it (the essence of Hyper-Threading);
+//! * independent loads overlap up to `mlp` outstanding misses, dependent
+//!   loads serialize on the data;
+//! * stores retire through a per-context write buffer (write-through L1,
+//!   write-allocate L2);
+//! * branch mispredicts flush the pipeline; trace-cache misses stall the
+//!   front end; TLB misses pay a page walk;
+//! * region ends are OpenMP barriers: early threads accumulate
+//!   synchronization wait until the last arrives.
+
+use std::sync::Arc;
+
+use crate::branch::Gshare;
+use crate::bus::{transact, BusKind, Fsb, MemCtl};
+use crate::cache::{Lookup, SetAssoc};
+use crate::config::MachineConfig;
+use crate::counters::Counters;
+use crate::cycles;
+use crate::op::{tag_address, Op};
+use crate::prefetch::StreamPrefetcher;
+use crate::sim::JobSpec;
+use crate::tlb::Tlb;
+use crate::topology::Lcpu;
+use crate::trace::TraceBuf;
+use crate::trace_cache::TraceCache;
+use crate::TPC;
+
+/// Base of the simulated code segment; far above any data-arena address.
+const CODE_BASE: u64 = 0x7f00_0000_0000;
+/// Max uops issued per engine iteration, so long `Flops` runs interleave
+/// fairly with the SMT sibling.
+const FLOPS_CHUNK: u32 = 24;
+
+/// Shared resources of one core.
+struct CoreRes {
+    issue_next_free: u64,
+    fp_next_free: u64,
+    l1d: SetAssoc,
+    l2: SetAssoc,
+    tc: TraceCache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    bp: Gshare,
+    pf: StreamPrefetcher,
+}
+
+impl CoreRes {
+    fn new(cfg: &MachineConfig) -> Self {
+        Self {
+            issue_next_free: 0,
+            fp_next_free: 0,
+            l1d: SetAssoc::new(cfg.l1d),
+            l2: SetAssoc::new(cfg.l2),
+            tc: TraceCache::new(cfg.tc_uops),
+            itlb: Tlb::new(cfg.itlb_entries, cfg.tlb_ways, cfg.page),
+            dtlb: Tlb::new(cfg.dtlb_entries, cfg.tlb_ways, cfg.page),
+            bp: Gshare::new(cfg.bp_pht_bits, cfg.bp_ghr_bits),
+            pf: StreamPrefetcher::new(cfg.pf_streams, cfg.pf_degree),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Run,
+    Barrier,
+    Done,
+}
+
+/// One hardware context's execution state.
+struct Ctx {
+    t: u64,
+    job: usize,
+    thread: usize,
+    lcpu: Lcpu,
+    region: usize,
+    idx: usize,
+    /// Remaining uops of a partially issued `Flops` op (0 = none pending).
+    pending_uops: u32,
+    /// Completion ticks of in-flight independent load misses.
+    outstanding: Vec<u64>,
+    /// Completion ticks of in-flight store-allocate misses (write buffer).
+    wb: Vec<u64>,
+    phase: Phase,
+}
+
+struct JobState {
+    trace: Arc<crate::trace::ProgramTrace>,
+    asid: u8,
+    seed: u64,
+    jitter: u64,
+    start: u64,
+    finish: u64,
+    arrived: usize,
+    counters: Counters,
+    ctx_ids: Vec<usize>,
+    /// Barrier-release tick of each completed region, in order.
+    region_ends: Vec<u64>,
+}
+
+/// Deterministic per-(job, region, thread) jitter in ticks, modeling OS
+/// scheduling noise between trials.
+fn jitter_ticks(seed: u64, region: usize, thread: usize, max_cycles: u64) -> u64 {
+    if max_cycles == 0 {
+        return 0;
+    }
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((region as u64) << 32)
+        .wrapping_add(thread as u64 + 1);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    cycles(x % (max_cycles + 1))
+}
+
+/// Result of a full simulation, before being shaped into the public API.
+pub(crate) struct EngineOutcome {
+    pub job_finishes: Vec<u64>,
+    pub job_starts: Vec<u64>,
+    pub job_counters: Vec<Counters>,
+    pub job_region_ends: Vec<Vec<u64>>,
+}
+
+pub(crate) fn run(cfg: &MachineConfig, specs: &[JobSpec]) -> EngineOutcome {
+    let mut cores: Vec<CoreRes> = (0..cfg.cores()).map(|_| CoreRes::new(cfg)).collect();
+    let mut fsbs: Vec<Fsb> = (0..cfg.chips).map(|_| Fsb::default()).collect();
+    let mut mem = MemCtl::default();
+    let mut ctxs: Vec<Ctx> = Vec::new();
+    let mut jobs: Vec<JobState> = Vec::new();
+    let mut pf_buf: Vec<u64> = Vec::new();
+
+    for (ji, spec) in specs.iter().enumerate() {
+        let start = cycles(spec.start_delay_cycles);
+        let mut ctx_ids = Vec::new();
+        for (th, &lcpu) in spec.placement.iter().enumerate() {
+            let t0 = start + jitter_ticks(spec.seed, 0, th, spec.jitter_cycles);
+            ctx_ids.push(ctxs.len());
+            ctxs.push(Ctx {
+                t: t0,
+                job: ji,
+                thread: th,
+                lcpu,
+                region: 0,
+                idx: 0,
+                pending_uops: 0,
+                outstanding: Vec::with_capacity(cfg.mlp + 1),
+                wb: Vec::with_capacity(cfg.write_buffer + 1),
+                phase: if spec.trace.regions.is_empty() {
+                    Phase::Done
+                } else {
+                    Phase::Run
+                },
+            });
+        }
+        jobs.push(JobState {
+            trace: spec.trace.clone(),
+            asid: (ji + 1) as u8,
+            seed: spec.seed,
+            jitter: spec.jitter_cycles,
+            start,
+            finish: start,
+            arrived: 0,
+            counters: Counters::default(),
+            ctx_ids,
+            region_ends: Vec::with_capacity(spec.trace.regions.len()),
+        });
+    }
+
+    // Map hardware context slots to engine contexts, for sibling lookups.
+    let mut ctx_at: Vec<Option<usize>> = vec![None; cfg.logical_cpus()];
+    for (i, c) in ctxs.iter().enumerate() {
+        ctx_at[c.lcpu.index()] = Some(i);
+    }
+
+    let tpu = TPC / cfg.issue_width; // ticks per uop
+    loop {
+        // Pick the least-advanced runnable context (deterministic tie-break
+        // on index).
+        let mut best: Option<usize> = None;
+        for (i, c) in ctxs.iter().enumerate() {
+            if c.phase == Phase::Run && best.is_none_or(|b| c.t < ctxs[b].t) {
+                best = Some(i);
+            }
+        }
+        let Some(ci) = best else {
+            break; // every context is Done (barriers release eagerly)
+        };
+
+        // Netburst statically partitions the load fill buffers and store
+        // buffers between SMT siblings: a context with a *running* sibling
+        // works with half the miss-level parallelism it gets solo.
+        let sibling_active = ctx_at[ctxs[ci].lcpu.sibling().index()]
+            .map(|s| ctxs[s].phase == Phase::Run)
+            .unwrap_or(false);
+
+        let finished_region = step_ctx(
+            cfg,
+            tpu,
+            sibling_active,
+            &mut ctxs[ci],
+            &mut cores,
+            &mut fsbs,
+            &mut mem,
+            &mut jobs,
+            &mut pf_buf,
+        );
+
+        if finished_region {
+            handle_arrival(cfg, ci, &mut ctxs, &mut jobs);
+        }
+    }
+
+    EngineOutcome {
+        job_finishes: jobs.iter().map(|j| j.finish).collect(),
+        job_starts: jobs.iter().map(|j| j.start).collect(),
+        job_counters: jobs.iter().map(|j| j.counters).collect(),
+        job_region_ends: jobs.into_iter().map(|j| j.region_ends).collect(),
+    }
+}
+
+/// Advance one context by up to a quantum. Returns `true` if it reached the
+/// end of its current region (caller must run barrier bookkeeping).
+#[allow(clippy::too_many_arguments)]
+fn step_ctx(
+    cfg: &MachineConfig,
+    tpu: u64,
+    sibling_active: bool,
+    ctx: &mut Ctx,
+    cores: &mut [CoreRes],
+    fsbs: &mut [Fsb],
+    mem: &mut MemCtl,
+    jobs: &mut [JobState],
+    pf_buf: &mut Vec<u64>,
+) -> bool {
+    let job = &mut jobs[ctx.job];
+    let asid = job.asid;
+    let ctr = &mut job.counters;
+    let buf: Arc<TraceBuf> = job.trace.regions[ctx.region].threads[ctx.thread].clone();
+    let ops = buf.ops();
+    let core_idx = ctx.lcpu.core_index();
+    let fsb = &mut fsbs[ctx.lcpu.chip as usize];
+    let slot = ctx.lcpu.ctx as usize;
+    let limit = ctx.t + cfg.quantum;
+    // Store buffers are hard-partitioned under SMT; the load
+    // miss-level-parallelism limit is per-thread (scheduler-window bound)
+    // and does not grow when running solo. The shared front end issues
+    // slightly below 2× half-width when both contexts run (partitioning
+    // tax).
+    let mlp = cfg.mlp;
+    let wb_cap = if sibling_active {
+        cfg.write_buffer
+    } else {
+        cfg.write_buffer * 2
+    };
+    let tpu = if sibling_active { cfg.smt_tpu } else { tpu };
+
+    while ctx.idx < ops.len() {
+        if ctx.t >= limit {
+            return false;
+        }
+        match ops[ctx.idx] {
+            Op::Flops { n } => {
+                if ctx.pending_uops == 0 {
+                    ctx.pending_uops = n;
+                }
+                let m = ctx.pending_uops.min(FLOPS_CHUNK);
+                // FP work flows through the core's single FP unit, shared
+                // by the SMT siblings (its rate, not the 3-wide issue,
+                // bounds FP-dense code). The out-of-order window lets the
+                // context run ahead of the FP backlog by `fp_queue` ticks;
+                // only a sustained backlog throttles it.
+                let core = &mut cores[core_idx];
+                let start = ctx.t.max(core.fp_next_free);
+                let cost = m as u64 * cfg.fp_tpu;
+                core.fp_next_free = start + cost;
+                let dispatch = m as u64 * tpu;
+                let visible = (start + cost - cfg.fp_queue.min(start + cost)).max(ctx.t + dispatch);
+                ctr.ticks_issue += visible - ctx.t;
+                ctx.t = visible;
+                ctr.instructions += m as u64;
+                ctx.pending_uops -= m;
+                if ctx.pending_uops == 0 {
+                    ctx.idx += 1;
+                }
+                continue;
+            }
+            Op::Load { addr } => {
+                mem_ref(
+                    cfg,
+                    tpu,
+                    mlp,
+                    wb_cap,
+                    ctx,
+                    cores,
+                    core_idx,
+                    fsb,
+                    mem,
+                    ctr,
+                    asid,
+                    addr,
+                    MemRef::Load,
+                    pf_buf,
+                );
+            }
+            Op::LoadDep { addr } => {
+                mem_ref(
+                    cfg,
+                    tpu,
+                    mlp,
+                    wb_cap,
+                    ctx,
+                    cores,
+                    core_idx,
+                    fsb,
+                    mem,
+                    ctr,
+                    asid,
+                    addr,
+                    MemRef::LoadDep,
+                    pf_buf,
+                );
+            }
+            Op::Store { addr } => {
+                mem_ref(
+                    cfg,
+                    tpu,
+                    mlp,
+                    wb_cap,
+                    ctx,
+                    cores,
+                    core_idx,
+                    fsb,
+                    mem,
+                    ctr,
+                    asid,
+                    addr,
+                    MemRef::Store,
+                    pf_buf,
+                );
+            }
+            Op::Branch { site, taken } => {
+                let core = &mut cores[core_idx];
+                issue(ctx, core, ctr, tpu);
+                ctr.instructions += 1;
+                ctr.branches += 1;
+                let key = ((asid as u64) << 32) | site as u64;
+                if !core.bp.execute(slot, key, taken) {
+                    ctr.branch_mispredict += 1;
+                    let p = cycles(cfg.bp_penalty);
+                    ctx.t += p;
+                    ctr.ticks_stall_branch += p;
+                }
+            }
+            Op::Block { bb, uops, body } => {
+                let core = &mut cores[core_idx];
+                ctr.tc_access += 1;
+                ctr.itlb_access += 1;
+                let code_addr = tag_address(asid, CODE_BASE + (bb as u64) * 64);
+                if !core.itlb.access(code_addr) {
+                    ctr.itlb_miss += 1;
+                    let p = cycles(cfg.tlb_walk);
+                    ctx.t += p;
+                    ctr.ticks_stall_tlb += p;
+                }
+                let key = ((asid as u64) << 32) | bb as u64;
+                if !core.tc.access(key, uops.max(body) as u32) {
+                    ctr.tc_miss += 1;
+                    let p = cycles(cfg.tc_refill);
+                    ctx.t += p;
+                    ctr.ticks_stall_tc += p;
+                }
+                issue(ctx, core, ctr, uops as u64 * tpu);
+                ctr.instructions += uops as u64;
+            }
+        }
+        ctx.idx += 1;
+    }
+
+    // Region complete: drain in-flight memory operations before the barrier.
+    if let Some(&max_out) = ctx.outstanding.iter().max() {
+        if max_out > ctx.t {
+            ctr.ticks_stall_mem += max_out - ctx.t;
+            ctx.t = max_out;
+        }
+    }
+    ctx.outstanding.clear();
+    if let Some(&max_wb) = ctx.wb.iter().max() {
+        if max_wb > ctx.t {
+            ctr.ticks_stall_wb += max_wb - ctx.t;
+            ctx.t = max_wb;
+        }
+    }
+    ctx.wb.clear();
+    true
+}
+
+/// Reserve `cost` ticks of the core's shared issue bandwidth.
+#[inline]
+fn issue(ctx: &mut Ctx, core: &mut CoreRes, ctr: &mut Counters, cost: u64) {
+    let start = ctx.t.max(core.issue_next_free);
+    ctr.ticks_stall_issue += start - ctx.t;
+    core.issue_next_free = start + cost;
+    ctx.t = start + cost;
+    ctr.ticks_issue += cost;
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MemRef {
+    Load,
+    LoadDep,
+    Store,
+}
+
+/// Execute one memory reference through DTLB → L1 → L2 → bus.
+#[allow(clippy::too_many_arguments)]
+fn mem_ref(
+    cfg: &MachineConfig,
+    tpu: u64,
+    mlp: usize,
+    wb_cap: usize,
+    ctx: &mut Ctx,
+    cores: &mut [CoreRes],
+    core_idx: usize,
+    fsb: &mut Fsb,
+    mem: &mut MemCtl,
+    ctr: &mut Counters,
+    asid: u8,
+    addr: u64,
+    kind: MemRef,
+    pf_buf: &mut Vec<u64>,
+) {
+    let core = &mut cores[core_idx];
+    issue(ctx, core, ctr, tpu);
+    ctr.instructions += 1;
+    let a = tag_address(asid, addr);
+
+    // Data TLB.
+    ctr.dtlb_access += 1;
+    if !core.dtlb.access(a) {
+        match kind {
+            MemRef::Store => ctr.dtlb_miss_store += 1,
+            _ => ctr.dtlb_miss_load += 1,
+        }
+        let p = cycles(cfg.tlb_walk);
+        ctx.t += p;
+        ctr.ticks_stall_tlb += p;
+    }
+
+    // L1 data cache (write-through: stores never dirty L1).
+    ctr.l1d_access += 1;
+    let line = core.l1d.line_of(a);
+    let mut took_l1_miss = false;
+    let ready = match core.l1d.access(line, false) {
+        Lookup::Hit { ready_at } => {
+            if kind == MemRef::Store {
+                // Write-through: keep L2's copy dirty when present. This is
+                // bookkeeping, not a demand reference, so no counters.
+                let _ = core.l2.access(line, true);
+            }
+            ready_at
+        }
+        Lookup::Miss => {
+            took_l1_miss = true;
+            ctr.l1d_miss += 1;
+            ctr.l2_access += 1;
+            let is_store = kind == MemRef::Store;
+            let ready = match core.l2.access(line, is_store) {
+                Lookup::Hit { ready_at } => {
+                    // Consuming a still-in-flight prefetched line keeps the
+                    // stream trained so the frontier advances without
+                    // waiting for a demand miss.
+                    if cfg.prefetch && ready_at > ctx.t {
+                        prefetch_after_miss(cfg, core, fsb, mem, ctr, line, ctx.t, pf_buf);
+                    }
+                    (ctx.t + cycles(cfg.l2_lat)).max(ready_at)
+                }
+                Lookup::Miss => {
+                    ctr.l2_miss += 1;
+                    ctr.bus_demand_read += 1;
+                    let done = transact(cfg, fsb, mem, ctx.t, BusKind::DemandRead);
+                    if let Some(ev) = core.l2.install(line, is_store, done) {
+                        if ev.dirty {
+                            ctr.bus_write += 1;
+                            transact(cfg, fsb, mem, ctx.t, BusKind::Write);
+                        }
+                    }
+                    // Let the stream prefetcher chase this miss.
+                    if cfg.prefetch {
+                        prefetch_after_miss(cfg, core, fsb, mem, ctr, line, ctx.t, pf_buf);
+                    }
+                    done
+                }
+            };
+            core.l1d.install(line, false, ready);
+            ready
+        }
+    };
+
+    // MESI-style ownership: a store that had to allocate (missed L1) may
+    // have sharers on other cores — invalidate them and account the snoop.
+    if kind == MemRef::Store && took_l1_miss {
+        for (oi, other) in cores.iter_mut().enumerate() {
+            if oi == core_idx {
+                continue;
+            }
+            let in_l1 = other.l1d.invalidate(line).is_some();
+            let l2_state = other.l2.invalidate(line);
+            if in_l1 || l2_state.is_some() {
+                ctr.coherence_invalidations += 1;
+                if l2_state == Some(true) {
+                    // The remote dirty copy is written back on the snoop.
+                    ctr.bus_write += 1;
+                    transact(cfg, fsb, mem, ctx.t, BusKind::Write);
+                }
+            }
+        }
+    }
+
+    match kind {
+        MemRef::LoadDep => {
+            // Serialize on the data. Even an L1 hit costs the load-to-use
+            // latency on the critical path.
+            let avail = ready.max(ctx.t + cycles(cfg.l1_lat));
+            if avail > ctx.t {
+                let wait = avail - ctx.t;
+                if ready > ctx.t + cycles(cfg.l1_lat) {
+                    ctr.ticks_stall_mem += wait;
+                } else {
+                    // Pure pipeline latency: execution time, not a stall.
+                    ctr.ticks_issue += wait;
+                }
+                ctx.t = avail;
+            }
+        }
+        MemRef::Load => {
+            if ready > ctx.t {
+                ctx.outstanding.push(ready);
+                retire(&mut ctx.outstanding, ctx.t);
+                if ctx.outstanding.len() > mlp {
+                    let min = pop_min(&mut ctx.outstanding);
+                    if min > ctx.t {
+                        ctr.ticks_stall_mem += min - ctx.t;
+                        ctx.t = min;
+                    }
+                    retire(&mut ctx.outstanding, ctx.t);
+                }
+            }
+        }
+        MemRef::Store => {
+            if ready > ctx.t {
+                ctx.wb.push(ready);
+                retire(&mut ctx.wb, ctx.t);
+                if ctx.wb.len() > wb_cap {
+                    let min = pop_min(&mut ctx.wb);
+                    if min > ctx.t {
+                        ctr.ticks_stall_wb += min - ctx.t;
+                        ctx.t = min;
+                    }
+                    retire(&mut ctx.wb, ctx.t);
+                }
+            }
+        }
+    }
+}
+
+/// Drop all completions at or before `now`.
+#[inline]
+fn retire(v: &mut Vec<u64>, now: u64) {
+    v.retain(|&c| c > now);
+}
+
+#[inline]
+fn pop_min(v: &mut Vec<u64>) -> u64 {
+    let (i, &min) = v
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &c)| c)
+        .expect("pop_min on empty vec");
+    v.swap_remove(i);
+    min
+}
+
+/// Issue speculative prefetches for an established stream, but only while
+/// the chip's bus has headroom.
+#[allow(clippy::too_many_arguments)]
+fn prefetch_after_miss(
+    cfg: &MachineConfig,
+    core: &mut CoreRes,
+    fsb: &mut Fsb,
+    mem: &mut MemCtl,
+    ctr: &mut Counters,
+    line: u64,
+    now: u64,
+    pf_buf: &mut Vec<u64>,
+) {
+    pf_buf.clear();
+    core.pf.on_demand_miss(line, pf_buf);
+    for &pline in pf_buf.iter() {
+        if fsb.backlog(now) > cycles(cfg.pf_bus_headroom) {
+            break; // speculative traffic yields to demand traffic
+        }
+        if core.l2.contains(pline) {
+            continue;
+        }
+        ctr.bus_prefetch += 1;
+        let done = transact(cfg, fsb, mem, now, BusKind::Prefetch);
+        if let Some(ev) = core.l2.install(pline, false, done) {
+            if ev.dirty {
+                ctr.bus_write += 1;
+                transact(cfg, fsb, mem, now, BusKind::Write);
+            }
+        }
+    }
+}
+
+/// A context reached its region-end barrier.
+fn handle_arrival(cfg: &MachineConfig, ci: usize, ctxs: &mut [Ctx], jobs: &mut [JobState]) {
+    let ji = ctxs[ci].job;
+    ctxs[ci].phase = Phase::Barrier;
+    jobs[ji].arrived += 1;
+    let n = jobs[ji].trace.nthreads;
+    if jobs[ji].arrived < n {
+        return;
+    }
+    // Last arriver: release everyone.
+    jobs[ji].arrived = 0;
+    let ctx_ids = jobs[ji].ctx_ids.clone();
+    let arrivals_max = ctx_ids.iter().map(|&i| ctxs[i].t).max().unwrap();
+    let release = if n > 1 {
+        arrivals_max + cycles(cfg.barrier_lat)
+    } else {
+        arrivals_max
+    };
+    jobs[ji].region_ends.push(release);
+    let next_region = ctxs[ci].region + 1;
+    let done = next_region >= jobs[ji].trace.regions.len();
+    for &i in &ctx_ids {
+        let wait = release - ctxs[i].t;
+        jobs[ji].counters.ticks_sync += wait;
+        ctxs[i].t = release;
+        if done {
+            ctxs[i].phase = Phase::Done;
+        } else {
+            ctxs[i].phase = Phase::Run;
+            ctxs[i].region = next_region;
+            ctxs[i].idx = 0;
+            ctxs[i].pending_uops = 0;
+            ctxs[i].t += jitter_ticks(jobs[ji].seed, next_region, ctxs[i].thread, jobs[ji].jitter);
+        }
+    }
+    if done {
+        jobs[ji].finish = release;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        for seed in [0u64, 1, 99] {
+            for r in 0..4 {
+                for th in 0..4 {
+                    let a = jitter_ticks(seed, r, th, 100);
+                    let b = jitter_ticks(seed, r, th, 100);
+                    assert_eq!(a, b);
+                    assert!(a <= cycles(100));
+                }
+            }
+        }
+        assert_eq!(jitter_ticks(5, 1, 1, 0), 0);
+    }
+
+    #[test]
+    fn jitter_varies_with_seed() {
+        let vals: std::collections::HashSet<u64> =
+            (0..32).map(|s| jitter_ticks(s, 1, 1, 1000)).collect();
+        assert!(vals.len() > 16, "seeds should spread: {}", vals.len());
+    }
+
+    #[test]
+    fn pop_min_and_retire() {
+        let mut v = vec![30, 10, 20];
+        assert_eq!(pop_min(&mut v), 10);
+        assert_eq!(v.len(), 2);
+        retire(&mut v, 25);
+        assert_eq!(v, vec![30]);
+    }
+}

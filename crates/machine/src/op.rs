@@ -1,0 +1,133 @@
+//! Trace operations — the instruction-stream abstraction between workloads
+//! and the machine model.
+//!
+//! A workload (a NAS kernel running under the `paxsim-omp` runtime) executes
+//! its real numerics natively and, as it does so, emits one [`Op`] per
+//! architecturally interesting event. The engine replays these per-thread
+//! streams against the shared hardware structures.
+
+/// One traced operation.
+///
+/// Addresses are *virtual* addresses in the job's address space; the engine
+/// tags them with the job's ASID before they touch any cache or TLB, so the
+/// same trace can be replayed as several concurrent jobs (multi-program
+/// workloads) without aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// An independent (streaming) load: later work does not wait on the
+    /// result, so the context only stalls when its miss-level-parallelism
+    /// budget is exhausted.
+    Load { addr: u64 },
+    /// A dependent load on the program's critical path (pointer chase,
+    /// indexed gather): the context blocks until the line arrives.
+    LoadDep { addr: u64 },
+    /// A store. L1 is write-through (as on Netburst); misses allocate via
+    /// the write buffer without stalling unless the buffer is full.
+    Store { addr: u64 },
+    /// `n` uops of FP/ALU work with no memory side effects.
+    Flops { n: u32 },
+    /// A conditional branch at static site `site` with its actual outcome.
+    Branch { site: u32, taken: bool },
+    /// Entry into basic block `bb`, costing `uops` front-end uops
+    /// (loop/address overhead); drives the trace cache and the ITLB.
+    /// `body` is the block's full decoded footprint — every uop executed
+    /// until the next block begins — which is what occupies trace-cache
+    /// capacity. The trace builder backfills it.
+    Block { bb: u32, uops: u16, body: u16 },
+}
+
+impl Op {
+    /// Number of retired instructions (uops) this operation represents.
+    #[inline]
+    pub fn uops(&self) -> u64 {
+        match *self {
+            Op::Load { .. } | Op::LoadDep { .. } | Op::Store { .. } => 1,
+            Op::Flops { n } => n as u64,
+            Op::Branch { .. } => 1,
+            Op::Block { uops, .. } => uops as u64,
+        }
+    }
+
+    /// Trace-cache footprint of this op (only blocks occupy the TC).
+    #[inline]
+    pub fn tc_footprint(&self) -> u32 {
+        match *self {
+            Op::Block { uops, body, .. } => uops.max(body) as u32,
+            _ => 0,
+        }
+    }
+
+    /// Is this a memory operation?
+    #[inline]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Op::Load { .. } | Op::LoadDep { .. } | Op::Store { .. }
+        )
+    }
+}
+
+/// Compose the effective physical tag for `addr` under address-space `asid`.
+/// The ASID occupies the top byte, well above any arena-assigned address.
+#[inline]
+pub fn tag_address(asid: u8, addr: u64) -> u64 {
+    (addr & 0x00ff_ffff_ffff_ffff) | ((asid as u64) << 56)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uop_accounting() {
+        assert_eq!(Op::Load { addr: 0 }.uops(), 1);
+        assert_eq!(Op::Flops { n: 17 }.uops(), 17);
+        assert_eq!(
+            Op::Block {
+                bb: 3,
+                uops: 5,
+                body: 9
+            }
+            .uops(),
+            5
+        );
+        assert_eq!(
+            Op::Branch {
+                site: 1,
+                taken: true
+            }
+            .uops(),
+            1
+        );
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Op::Load { addr: 1 }.is_memory());
+        assert!(Op::LoadDep { addr: 1 }.is_memory());
+        assert!(Op::Store { addr: 1 }.is_memory());
+        assert!(!Op::Flops { n: 1 }.is_memory());
+        assert!(!Op::Block {
+            bb: 0,
+            uops: 1,
+            body: 1
+        }
+        .is_memory());
+    }
+
+    #[test]
+    fn asid_tagging_disjoint() {
+        let a = tag_address(1, 0xdead_beef);
+        let b = tag_address(2, 0xdead_beef);
+        assert_ne!(a, b);
+        assert_eq!(a & 0x00ff_ffff_ffff_ffff, 0xdead_beef);
+        // High address bits are masked before tagging.
+        assert_eq!(tag_address(1, u64::MAX) >> 56, 1);
+    }
+
+    #[test]
+    fn op_is_compact() {
+        // Keep the trace footprint bounded: 16 bytes per op.
+        assert!(std::mem::size_of::<Op>() <= 16);
+    }
+}

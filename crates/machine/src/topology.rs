@@ -1,0 +1,131 @@
+//! Logical-CPU naming and topology math, following Figure 1 of the paper.
+//!
+//! With Hyper-Threading enabled the eight hardware contexts are labeled
+//! `A0..A7`: `A0,A1` are the SMT siblings of chip 0 / core 0, `A2,A3` of
+//! chip 0 / core 1, `A4..A7` the same on chip 1. With HT disabled the four
+//! cores appear as `B0..B3` (`B0,B1` = chip 0, `B2,B3` = chip 1); a `B`
+//! label maps onto context 0 of the corresponding core.
+
+use serde::{Deserialize, Serialize};
+
+/// A logical CPU: one hardware SMT context, identified by chip, core and
+/// context indices. `Lcpu::A0..A7` are the Figure 1 HT-on labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Lcpu {
+    pub chip: u8,
+    pub core: u8,
+    pub ctx: u8,
+}
+
+impl Lcpu {
+    pub const A0: Lcpu = Lcpu::new(0, 0, 0);
+    pub const A1: Lcpu = Lcpu::new(0, 0, 1);
+    pub const A2: Lcpu = Lcpu::new(0, 1, 0);
+    pub const A3: Lcpu = Lcpu::new(0, 1, 1);
+    pub const A4: Lcpu = Lcpu::new(1, 0, 0);
+    pub const A5: Lcpu = Lcpu::new(1, 0, 1);
+    pub const A6: Lcpu = Lcpu::new(1, 1, 0);
+    pub const A7: Lcpu = Lcpu::new(1, 1, 1);
+
+    /// HT-disabled labels: each core's context 0.
+    pub const B0: Lcpu = Lcpu::A0;
+    pub const B1: Lcpu = Lcpu::A2;
+    pub const B2: Lcpu = Lcpu::A4;
+    pub const B3: Lcpu = Lcpu::A6;
+
+    pub const fn new(chip: u8, core: u8, ctx: u8) -> Self {
+        Self { chip, core, ctx }
+    }
+
+    /// Flat index over the whole machine (2 contexts/core, 2 cores/chip):
+    /// `A0..A7 → 0..7`.
+    pub const fn index(&self) -> usize {
+        (self.chip as usize) * 4 + (self.core as usize) * 2 + self.ctx as usize
+    }
+
+    /// Inverse of [`Lcpu::index`].
+    pub const fn from_index(i: usize) -> Self {
+        Self::new((i / 4) as u8, ((i / 2) % 2) as u8, (i % 2) as u8)
+    }
+
+    /// Machine-wide core index (0..4).
+    pub const fn core_index(&self) -> usize {
+        (self.chip as usize) * 2 + self.core as usize
+    }
+
+    /// The SMT sibling sharing this context's core.
+    pub const fn sibling(&self) -> Lcpu {
+        Lcpu::new(self.chip, self.core, 1 - self.ctx)
+    }
+
+    /// Figure 1 label under the HT-on naming (`A<k>`).
+    pub fn label_ht(&self) -> String {
+        format!("A{}", self.index())
+    }
+
+    /// Figure 1 label under the HT-off naming (`B<k>`); only context-0
+    /// CPUs have one.
+    pub fn label_no_ht(&self) -> Option<String> {
+        (self.ctx == 0).then(|| format!("B{}", self.core_index()))
+    }
+
+    /// All eight contexts in enumeration order.
+    pub fn all() -> [Lcpu; 8] {
+        [
+            Lcpu::A0,
+            Lcpu::A1,
+            Lcpu::A2,
+            Lcpu::A3,
+            Lcpu::A4,
+            Lcpu::A5,
+            Lcpu::A6,
+            Lcpu::A7,
+        ]
+    }
+}
+
+impl std::fmt::Display for Lcpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label_ht())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..8 {
+            assert_eq!(Lcpu::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn figure1_labels() {
+        assert_eq!(Lcpu::A0.label_ht(), "A0");
+        assert_eq!(Lcpu::A5.label_ht(), "A5");
+        assert_eq!(Lcpu::A5, Lcpu::new(1, 0, 1));
+        assert_eq!(Lcpu::B1.label_no_ht().unwrap(), "B1");
+        assert_eq!(Lcpu::B2, Lcpu::new(1, 0, 0));
+        assert_eq!(Lcpu::A1.label_no_ht(), None);
+    }
+
+    #[test]
+    fn siblings_share_core() {
+        for l in Lcpu::all() {
+            let s = l.sibling();
+            assert_eq!(s.core_index(), l.core_index());
+            assert_ne!(s, l);
+            assert_eq!(s.sibling(), l);
+        }
+    }
+
+    #[test]
+    fn core_indices() {
+        assert_eq!(Lcpu::A0.core_index(), 0);
+        assert_eq!(Lcpu::A3.core_index(), 1);
+        assert_eq!(Lcpu::A4.core_index(), 2);
+        assert_eq!(Lcpu::A7.core_index(), 3);
+    }
+}

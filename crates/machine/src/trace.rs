@@ -1,0 +1,347 @@
+//! Per-thread operation traces and whole-program trace containers.
+//!
+//! A [`ProgramTrace`] is a sequence of fork/join *regions*. Each region has
+//! one [`TraceBuf`] per OpenMP thread (serial regions carry ops only on
+//! thread 0). Traces depend only on the thread count and loop schedule —
+//! *not* on the machine configuration — so one trace can be replayed across
+//! every hardware configuration of the study, and twice concurrently for
+//! multi-program workloads.
+
+use std::sync::Arc;
+
+use crate::op::Op;
+
+/// A growable buffer of trace operations for one thread in one region,
+/// with convenience emitters used by the runtime and by tests.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuf {
+    ops: Vec<Op>,
+    /// Index of the most recent `Block` op, for body backfilling.
+    open_block: Option<usize>,
+    /// Uops accumulated since that block began (including its own).
+    open_uops: u64,
+}
+
+impl TraceBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, op: Op) {
+        self.open_uops += op.uops();
+        self.ops.push(op);
+    }
+
+    /// Emit an independent (streaming) load.
+    #[inline]
+    pub fn load(&mut self, addr: u64) {
+        self.open_uops += 1;
+        self.ops.push(Op::Load { addr });
+    }
+
+    /// Emit a dependent (critical-path) load.
+    #[inline]
+    pub fn load_dep(&mut self, addr: u64) {
+        self.open_uops += 1;
+        self.ops.push(Op::LoadDep { addr });
+    }
+
+    /// Emit a store.
+    #[inline]
+    pub fn store(&mut self, addr: u64) {
+        self.open_uops += 1;
+        self.ops.push(Op::Store { addr });
+    }
+
+    /// Emit `n` uops of FP/ALU work. Coalesces with a preceding `Flops` op
+    /// to keep traces compact when kernels emit work in small pieces.
+    #[inline]
+    pub fn flops(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        self.open_uops += n as u64;
+        if let Some(Op::Flops { n: last }) = self.ops.last_mut() {
+            if let Some(sum) = last.checked_add(n) {
+                *last = sum;
+                return;
+            }
+        }
+        self.ops.push(Op::Flops { n });
+    }
+
+    /// Emit a conditional branch outcome at static site `site`.
+    #[inline]
+    pub fn branch(&mut self, site: u32, taken: bool) {
+        self.open_uops += 1;
+        self.ops.push(Op::Branch { site, taken });
+    }
+
+    /// Emit a basic-block fetch. The previous block's decoded-body
+    /// footprint is backfilled now that its extent is known; call
+    /// [`TraceBuf::seal`] (or let the runtime do it) after the last op so
+    /// the final block is finalized too.
+    #[inline]
+    pub fn block(&mut self, bb: u32, uops: u16) {
+        self.seal();
+        self.open_block = Some(self.ops.len());
+        self.open_uops = uops as u64;
+        self.ops.push(Op::Block {
+            bb,
+            uops,
+            body: uops,
+        });
+    }
+
+    /// Finalize the trailing open block's body footprint.
+    pub fn seal(&mut self) {
+        if let Some(i) = self.open_block.take() {
+            let total = self.open_uops.min(u16::MAX as u64) as u16;
+            if let Op::Block { body, .. } = &mut self.ops[i] {
+                *body = total.max(*body);
+            }
+        }
+        self.open_uops = 0;
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total retired instructions represented by this buffer.
+    pub fn instructions(&self) -> u64 {
+        self.ops.iter().map(Op::uops).sum()
+    }
+
+    /// Number of memory operations.
+    pub fn memory_ops(&self) -> u64 {
+        self.ops.iter().filter(|o| o.is_memory()).count() as u64
+    }
+}
+
+impl FromIterator<Op> for TraceBuf {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        let mut buf = Self::new();
+        for op in iter {
+            buf.push(op);
+        }
+        buf
+    }
+}
+
+/// One fork/join region: a trace per thread. All threads join a barrier at
+/// the region's end. Thread `i`'s buffer may be empty (it still participates
+/// in the barrier), which is how serial sections are represented.
+#[derive(Debug, Clone)]
+pub struct RegionTrace {
+    pub threads: Vec<Arc<TraceBuf>>,
+    /// Optional label for diagnostics ("cg.spmv", "ft.transpose", …).
+    pub label: String,
+}
+
+impl RegionTrace {
+    pub fn new(threads: Vec<TraceBuf>) -> Self {
+        Self::labeled(threads, "")
+    }
+
+    pub fn labeled(threads: Vec<TraceBuf>, label: impl Into<String>) -> Self {
+        Self {
+            threads: threads
+                .into_iter()
+                .map(|mut t| {
+                    t.seal();
+                    Arc::new(t)
+                })
+                .collect(),
+            label: label.into(),
+        }
+    }
+
+    pub fn nthreads(&self) -> usize {
+        self.threads.len()
+    }
+
+    pub fn instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.instructions()).sum()
+    }
+
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(|t| t.len()).sum()
+    }
+}
+
+/// A complete traced program: an ordered list of regions, all with the same
+/// thread arity.
+#[derive(Debug, Clone)]
+pub struct ProgramTrace {
+    pub name: String,
+    pub nthreads: usize,
+    pub regions: Vec<RegionTrace>,
+}
+
+impl ProgramTrace {
+    pub fn new(name: impl Into<String>, nthreads: usize) -> Self {
+        assert!(nthreads >= 1, "a program needs at least one thread");
+        Self {
+            name: name.into(),
+            nthreads,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for a program with exactly one region.
+    pub fn single_region(name: impl Into<String>, threads: Vec<TraceBuf>) -> Self {
+        let nthreads = threads.len();
+        let mut p = Self::new(name, nthreads);
+        p.push_region(RegionTrace::new(threads));
+        p
+    }
+
+    /// Append a region; its thread arity must match the program's.
+    pub fn push_region(&mut self, region: RegionTrace) {
+        assert_eq!(
+            region.nthreads(),
+            self.nthreads,
+            "region thread arity must match program arity"
+        );
+        self.regions.push(region);
+    }
+
+    pub fn instructions(&self) -> u64 {
+        self.regions.iter().map(|r| r.instructions()).sum()
+    }
+
+    pub fn total_ops(&self) -> usize {
+        self.regions.iter().map(|r| r.total_ops()).sum()
+    }
+
+    /// Summary statistics, useful for sanity checks and reports.
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats {
+            regions: self.regions.len() as u64,
+            ..Default::default()
+        };
+        for r in &self.regions {
+            for t in &r.threads {
+                for op in t.ops() {
+                    match op {
+                        Op::Load { .. } => s.loads += 1,
+                        Op::LoadDep { .. } => s.dep_loads += 1,
+                        Op::Store { .. } => s.stores += 1,
+                        Op::Flops { n } => s.flop_uops += *n as u64,
+                        Op::Branch { .. } => s.branches += 1,
+                        Op::Block { uops, .. } => {
+                            s.blocks += 1;
+                            s.block_uops += *uops as u64;
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Aggregate composition of a program trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    pub regions: u64,
+    pub loads: u64,
+    pub dep_loads: u64,
+    pub stores: u64,
+    pub flop_uops: u64,
+    pub branches: u64,
+    pub blocks: u64,
+    pub block_uops: u64,
+}
+
+impl TraceStats {
+    pub fn instructions(&self) -> u64 {
+        self.loads + self.dep_loads + self.stores + self.flop_uops + self.branches + self.block_uops
+    }
+
+    pub fn memory_ops(&self) -> u64 {
+        self.loads + self.dep_loads + self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_coalesce() {
+        let mut b = TraceBuf::new();
+        b.flops(3);
+        b.flops(4);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.instructions(), 7);
+        b.load(64);
+        b.flops(1);
+        assert_eq!(b.len(), 3);
+        b.flops(0); // no-op
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn flops_coalesce_saturates() {
+        let mut b = TraceBuf::new();
+        b.flops(u32::MAX - 1);
+        b.flops(10); // would overflow: must start a new op
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.instructions(), (u32::MAX - 1) as u64 + 10);
+    }
+
+    #[test]
+    fn program_arity_checked() {
+        let mut p = ProgramTrace::new("t", 2);
+        p.push_region(RegionTrace::new(vec![TraceBuf::new(), TraceBuf::new()]));
+        assert_eq!(p.regions.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn program_arity_mismatch_panics() {
+        let mut p = ProgramTrace::new("t", 2);
+        p.push_region(RegionTrace::new(vec![TraceBuf::new()]));
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut a = TraceBuf::new();
+        a.block(1, 2);
+        a.load(0);
+        a.load_dep(64);
+        a.store(128);
+        a.flops(5);
+        a.branch(1, true);
+        let p = ProgramTrace::single_region("s", vec![a]);
+        let s = p.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.dep_loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.flop_uops, 5);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.blocks, 1);
+        assert_eq!(s.block_uops, 2);
+        assert_eq!(s.instructions(), 1 + 1 + 1 + 5 + 1 + 2);
+        assert_eq!(s.instructions(), p.instructions());
+        assert_eq!(s.memory_ops(), 3);
+    }
+}

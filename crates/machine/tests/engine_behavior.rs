@@ -1,0 +1,352 @@
+//! Behavioral tests of the execution engine: latency composition,
+//! contention on each shared structure, prefetch accounting, and
+//! multi-program counter attribution.
+
+use std::sync::Arc;
+
+use paxsim_machine::prelude::*;
+
+fn single(cfg: &MachineConfig, buf: TraceBuf, lcpu: Lcpu) -> paxsim_machine::sim::SimOutcome {
+    let prog = Arc::new(ProgramTrace::single_region("t", vec![buf]));
+    simulate(cfg, vec![JobSpec::pinned(prog, vec![lcpu])])
+}
+
+#[test]
+fn dependent_chase_sees_full_memory_latency() {
+    let cfg = MachineConfig::paxville_smp();
+    // Far-apart lines: every access misses L1, L2 and defeats the
+    // prefetcher (random-ish large strides).
+    let mut b = TraceBuf::new();
+    let n = 2000u64;
+    for i in 0..n {
+        b.load_dep(((i * 2654435761) % 100_000) * 4096 + 0x100_0000);
+    }
+    let out = single(&cfg, b, Lcpu::A0);
+    let per_load = out.jobs[0].cycles as f64 / n as f64;
+    let expect = cfg.memory_latency_cycles() as f64;
+    assert!(
+        (per_load - expect).abs() < 0.25 * expect,
+        "chase {per_load} cyc/load vs memory latency {expect}"
+    );
+}
+
+#[test]
+fn l1_resident_loads_cost_issue_only() {
+    let cfg = MachineConfig::paxville_smp();
+    let mut b = TraceBuf::new();
+    // Warm one line, then hammer it.
+    for _ in 0..10_000 {
+        b.load(0x10_0000);
+    }
+    let out = single(&cfg, b, Lcpu::A0);
+    // 1 uop per load at width 3 → ~0.34 cycles per load (plus cold miss).
+    let per = out.jobs[0].cycles as f64 / 10_000.0;
+    assert!(per < 1.0, "L1 hits must be pipelined: {per} cyc/load");
+    assert_eq!(out.jobs[0].counters.l1d_miss, 1);
+}
+
+#[test]
+fn prefetcher_hides_streaming_latency_and_is_counted() {
+    let cfg = MachineConfig::paxville_smp();
+    let stream = |pf_on: bool| {
+        let mut c = cfg.clone();
+        c.prefetch = pf_on;
+        let mut b = TraceBuf::new();
+        for i in 0..20_000u64 {
+            b.load(0x200_0000 + i * 64);
+        }
+        single(&c, b, Lcpu::A0)
+    };
+    let on = stream(true);
+    let off = stream(false);
+    assert!(
+        on.wall_cycles * 3 < off.wall_cycles * 2,
+        "prefetch must speed streams: on {} vs off {}",
+        on.wall_cycles,
+        off.wall_cycles
+    );
+    assert!(
+        on.total.bus_prefetch > 10_000,
+        "prefetches counted on the bus"
+    );
+    assert_eq!(off.total.bus_prefetch, 0);
+    // Total lines moved is the same either way (no overfetch of this
+    // stream beyond the frontier).
+    let moved_on = on.total.bus_prefetch + on.total.bus_demand_read;
+    let moved_off = off.total.bus_demand_read;
+    assert!(moved_on <= moved_off + 16, "{moved_on} vs {moved_off}");
+}
+
+#[test]
+fn write_buffer_backpressure_paces_store_streams() {
+    let cfg = MachineConfig::paxville_smp();
+    // 4 MiB of stores: half the lines must be dirty-evicted through the
+    // bus (the L2 keeps the rest).
+    let n = 65_536u64;
+    let mut b = TraceBuf::new();
+    for i in 0..n {
+        b.store(0x300_0000 + i * 64);
+    }
+    let out = single(&cfg, b, Lcpu::A0);
+    let c = &out.jobs[0].counters;
+    assert!(
+        c.ticks_stall_wb > 0,
+        "store stream must hit write-buffer limits"
+    );
+    assert!(
+        c.bus_write > n / 3,
+        "dirty evictions must reach the bus: {} writebacks",
+        c.bus_write
+    );
+    // Allocate-read (50) plus ~50% writeback (51) per line.
+    let per_line = out.jobs[0].cycles as f64 / n as f64;
+    assert!(
+        per_line > 65.0,
+        "write stream too fast: {per_line} cyc/line"
+    );
+}
+
+#[test]
+fn mispredicted_branches_flush() {
+    let cfg = MachineConfig::paxville_smp();
+    // Deterministic pseudo-random outcomes: ~50% mispredict.
+    let mut b = TraceBuf::new();
+    let mut x = 12345u64;
+    for _ in 0..10_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        b.branch(7, (x >> 40) & 1 == 1);
+    }
+    let out = single(&cfg, b, Lcpu::A0);
+    let c = &out.jobs[0].counters;
+    let mis_rate = c.branch_mispredict as f64 / c.branches as f64;
+    assert!(
+        mis_rate > 0.3,
+        "random branches must mispredict: {mis_rate}"
+    );
+    assert!(c.ticks_stall_branch > 0);
+    // Each mispredict costs ~bp_penalty cycles.
+    let per = paxsim_machine::to_cycles(c.ticks_stall_branch) as f64 / c.branch_mispredict as f64;
+    assert!((per - cfg.bp_penalty as f64).abs() < 1.0, "penalty {per}");
+}
+
+#[test]
+fn multiprogram_counters_attributed_per_job() {
+    let cfg = MachineConfig::paxville_smp();
+    // Job A: memory heavy. Job B: compute only.
+    let mut a = TraceBuf::new();
+    for i in 0..4_000u64 {
+        a.load(0x400_0000 + i * 64);
+    }
+    let mut bb = TraceBuf::new();
+    bb.flops(40_000);
+    let pa = Arc::new(ProgramTrace::single_region("mem", vec![a]));
+    let pb = Arc::new(ProgramTrace::single_region("fp", vec![bb]));
+    let out = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(pa, vec![Lcpu::A0]),
+            JobSpec::pinned(pb, vec![Lcpu::A2]),
+        ],
+    );
+    let (ca, cb) = (&out.jobs[0].counters, &out.jobs[1].counters);
+    assert!(ca.l1d_access >= 4_000 && cb.l1d_access == 0);
+    assert!(cb.instructions >= 40_000);
+    assert!(ca.bus_total() > 0 && cb.bus_total() == 0);
+    assert_eq!(out.jobs[0].name, "mem");
+    assert_eq!(out.jobs[1].name, "fp");
+}
+
+#[test]
+fn two_jobs_same_trace_do_not_share_caches() {
+    // Replaying the same trace as two concurrent jobs: ASIDs keep their
+    // address spaces apart, so each job takes its own cold misses.
+    let cfg = MachineConfig::paxville_smp();
+    let mut b = TraceBuf::new();
+    for i in 0..4_000u64 {
+        b.load(0x500_0000 + i * 64);
+    }
+    let prog = Arc::new(ProgramTrace::single_region("s", vec![b]));
+    // Same core's two contexts: shared L1/L2, but disjoint tags.
+    let out = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(prog.clone(), vec![Lcpu::A0]),
+            JobSpec::pinned(prog, vec![Lcpu::A1]),
+        ],
+    );
+    let demand = out.total.bus_demand_read + out.total.bus_prefetch;
+    assert!(
+        demand >= 7_900,
+        "both jobs must fetch their own copies: {demand} lines"
+    );
+}
+
+#[test]
+fn smt_sharing_slows_fp_dense_pairs() {
+    // The single FP unit is the Netburst SMT bottleneck for FP code.
+    let cfg = MachineConfig::paxville_smp();
+    let fp_prog = || {
+        let mut b = TraceBuf::new();
+        for _ in 0..200 {
+            b.block(1, 2);
+            b.flops(400);
+            b.branch(1, true);
+        }
+        Arc::new(ProgramTrace::single_region("fp", vec![b]))
+    };
+    let same_core = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(fp_prog(), vec![Lcpu::A0]),
+            JobSpec::pinned(fp_prog(), vec![Lcpu::A1]),
+        ],
+    );
+    let two_cores = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(fp_prog(), vec![Lcpu::A0]),
+            JobSpec::pinned(fp_prog(), vec![Lcpu::A2]),
+        ],
+    );
+    assert!(
+        same_core.wall_cycles as f64 > 1.7 * two_cores.wall_cycles as f64,
+        "FP pairs gain almost nothing from SMT: {} vs {}",
+        same_core.wall_cycles,
+        two_cores.wall_cycles
+    );
+}
+
+#[test]
+fn chips_do_not_contend_until_the_memory_controller() {
+    // Two streams on different chips beat two streams on one chip, but by
+    // less than 2× (shared memory controller) — the §3 asymmetry.
+    let cfg = MachineConfig::paxville_smp();
+    let stream = |base: u64| {
+        let mut b = TraceBuf::new();
+        for i in 0..30_000u64 {
+            b.load(base + i * 64);
+        }
+        b
+    };
+    let one_chip = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(
+                Arc::new(ProgramTrace::single_region("a", vec![stream(0x1000_0000)])),
+                vec![Lcpu::B0],
+            ),
+            JobSpec::pinned(
+                Arc::new(ProgramTrace::single_region("b", vec![stream(0x2000_0000)])),
+                vec![Lcpu::B1],
+            ),
+        ],
+    );
+    let two_chips = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(
+                Arc::new(ProgramTrace::single_region("a", vec![stream(0x1000_0000)])),
+                vec![Lcpu::B0],
+            ),
+            JobSpec::pinned(
+                Arc::new(ProgramTrace::single_region("b", vec![stream(0x2000_0000)])),
+                vec![Lcpu::B2],
+            ),
+        ],
+    );
+    let ratio = one_chip.wall_cycles as f64 / two_chips.wall_cycles as f64;
+    assert!(
+        ratio > 1.15 && ratio < 1.9,
+        "two-chip advantage should be the §3 1.24× bandwidth step, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn itlb_pressure_grows_with_two_code_heavy_jobs() {
+    let cfg = MachineConfig::paxville_smp();
+    let codey = || {
+        // 40 one-page-apart blocks: fits a 64-entry ITLB alone, thrashes
+        // when two jobs share it.
+        let mut b = TraceBuf::new();
+        for _r in 0..200u32 {
+            for bb in 0..40u32 {
+                b.block(bb * 64, 4);
+            }
+        }
+        Arc::new(ProgramTrace::single_region("code", vec![b]))
+    };
+    let alone = simulate(&cfg, vec![JobSpec::pinned(codey(), vec![Lcpu::A0])]);
+    let shared = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(codey(), vec![Lcpu::A0]),
+            JobSpec::pinned(codey(), vec![Lcpu::A1]),
+        ],
+    );
+    let rate =
+        |o: &paxsim_machine::sim::SimOutcome| o.total.itlb_miss as f64 / o.total.itlb_access as f64;
+    assert!(
+        rate(&shared) > rate(&alone),
+        "two jobs sharing a core's ITLB must miss more: {} vs {}",
+        rate(&shared),
+        rate(&alone)
+    );
+}
+
+#[test]
+fn stores_invalidate_remote_sharers() {
+    // Producer/consumer across a barrier: thread 0 reads an array into its
+    // core's caches, then thread 1 (other core) overwrites it — gaining
+    // ownership must invalidate thread 0's copies and be counted.
+    let cfg = MachineConfig::paxville_smp();
+    let lines = 2_000u64;
+    let mut p = ProgramTrace::new("coherence", 2);
+    let mut r1t0 = TraceBuf::new();
+    for i in 0..lines {
+        r1t0.load(0x600_0000 + i * 64);
+    }
+    p.push_region(paxsim_machine::trace::RegionTrace::new(vec![
+        r1t0,
+        TraceBuf::new(),
+    ]));
+    let mut r2t1 = TraceBuf::new();
+    for i in 0..lines {
+        r2t1.store(0x600_0000 + i * 64);
+    }
+    p.push_region(paxsim_machine::trace::RegionTrace::new(vec![
+        TraceBuf::new(),
+        r2t1,
+    ]));
+    let out = simulate(
+        &cfg,
+        vec![JobSpec::pinned(Arc::new(p), vec![Lcpu::B0, Lcpu::B1])],
+    );
+    let c = &out.jobs[0].counters;
+    assert!(
+        c.coherence_invalidations > lines / 2,
+        "remote copies must be invalidated: {} of {lines}",
+        c.coherence_invalidations
+    );
+}
+
+#[test]
+fn private_data_causes_no_invalidations() {
+    // Two jobs on different cores touching the same *virtual* addresses:
+    // distinct ASIDs mean no sharing and no coherence traffic.
+    let cfg = MachineConfig::paxville_smp();
+    let prog = || {
+        let mut b = TraceBuf::new();
+        for i in 0..2_000u64 {
+            b.store(0x700_0000 + i * 64);
+        }
+        Arc::new(ProgramTrace::single_region("w", vec![b]))
+    };
+    let out = simulate(
+        &cfg,
+        vec![
+            JobSpec::pinned(prog(), vec![Lcpu::B0]),
+            JobSpec::pinned(prog(), vec![Lcpu::B1]),
+        ],
+    );
+    assert_eq!(out.total.coherence_invalidations, 0);
+}

@@ -1,0 +1,158 @@
+//! Property tests of the whole engine: random programs on random
+//! placements never panic, and the counters always satisfy the
+//! accounting identities the metrics depend on.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use paxsim_machine::prelude::*;
+
+/// Strategy: one random trace operation over a bounded address space.
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|a| Op::Load { addr: a * 8 }),
+        (0u64..1_000_000).prop_map(|a| Op::LoadDep { addr: a * 8 }),
+        (0u64..1_000_000).prop_map(|a| Op::Store { addr: a * 8 }),
+        (1u32..200).prop_map(|n| Op::Flops { n }),
+        ((0u32..50), proptest::bool::ANY).prop_map(|(site, taken)| Op::Branch { site, taken }),
+        ((0u32..200), (1u16..40)).prop_map(|(bb, uops)| Op::Block {
+            bb,
+            uops,
+            body: uops
+        }),
+    ]
+}
+
+fn arb_buf(max_ops: usize) -> impl Strategy<Value = TraceBuf> {
+    proptest::collection::vec(arb_op(), 0..max_ops)
+        .prop_map(|ops| ops.into_iter().collect::<TraceBuf>())
+}
+
+/// Strategy: a program of 1–3 regions × `threads` threads.
+fn arb_program(threads: usize) -> impl Strategy<Value = ProgramTrace> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_buf(120), threads..=threads),
+        1..4,
+    )
+    .prop_map(move |regions| {
+        let mut p = ProgramTrace::new("prop", threads);
+        for r in regions {
+            p.push_region(paxsim_machine::trace::RegionTrace::new(r));
+        }
+        p
+    })
+}
+
+fn counters_invariants(c: &Counters) {
+    assert!(c.l1d_miss <= c.l1d_access, "L1 misses exceed accesses");
+    assert!(c.l2_miss <= c.l2_access, "L2 misses exceed accesses");
+    assert!(c.tc_miss <= c.tc_access);
+    assert!(c.itlb_miss <= c.itlb_access);
+    assert!(c.dtlb_miss() <= c.dtlb_access);
+    assert!(c.branch_mispredict <= c.branches);
+    // L2 is only reached through L1 misses (demand path).
+    assert!(c.l2_access <= c.l1d_miss);
+    // Demand bus reads are a subset of L2 misses (TC refills excluded by
+    // construction; prefetches counted separately).
+    assert!(c.bus_demand_read <= c.l2_miss);
+    let m = c.metrics();
+    for v in [
+        m.l1_miss_rate,
+        m.l2_miss_rate,
+        m.tc_miss_rate,
+        m.itlb_miss_rate,
+        m.pct_stalled,
+        m.branch_prediction_rate,
+        m.pct_prefetch_bus,
+    ] {
+        assert!((0.0..=1.0).contains(&v), "rate {v} out of range");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single-threaded program simulates cleanly with consistent
+    /// accounting, and instruction counts match the trace exactly.
+    #[test]
+    fn single_thread_invariants(prog in arb_program(1)) {
+        let cfg = MachineConfig::paxville_smp();
+        let expect_instr = prog.instructions();
+        let out = simulate(&cfg, vec![JobSpec::pinned(Arc::new(prog), vec![Lcpu::A0])]);
+        prop_assert_eq!(out.jobs[0].counters.instructions, expect_instr);
+        counters_invariants(&out.jobs[0].counters);
+        prop_assert!(out.wall_cycles >= out.jobs[0].cycles);
+    }
+
+    /// Two-threaded programs on SMT siblings: same invariants, plus the
+    /// job takes at least as long as either thread alone would need in
+    /// pure issue terms.
+    #[test]
+    fn smt_pair_invariants(prog in arb_program(2)) {
+        let cfg = MachineConfig::paxville_smp();
+        let expect_instr = prog.instructions();
+        let out = simulate(
+            &cfg,
+            vec![JobSpec::pinned(Arc::new(prog), vec![Lcpu::A0, Lcpu::A1])],
+        );
+        prop_assert_eq!(out.jobs[0].counters.instructions, expect_instr);
+        counters_invariants(&out.jobs[0].counters);
+    }
+
+    /// Two independent jobs: per-job instruction attribution is exact and
+    /// the totals are the sum of the parts.
+    #[test]
+    fn two_job_attribution(pa in arb_program(1), pb in arb_program(1)) {
+        let cfg = MachineConfig::paxville_smp();
+        let (ia, ib) = (pa.instructions(), pb.instructions());
+        let out = simulate(
+            &cfg,
+            vec![
+                JobSpec::pinned(Arc::new(pa), vec![Lcpu::B0]),
+                JobSpec::pinned(Arc::new(pb), vec![Lcpu::B2]),
+            ],
+        );
+        prop_assert_eq!(out.jobs[0].counters.instructions, ia);
+        prop_assert_eq!(out.jobs[1].counters.instructions, ib);
+        prop_assert_eq!(out.total.instructions, ia + ib);
+        counters_invariants(&out.total);
+    }
+
+    /// Determinism under arbitrary inputs: the same spec replayed twice
+    /// gives bit-identical counters and timing.
+    #[test]
+    fn replay_determinism(prog in arb_program(2), seed in 0u64..1000) {
+        let cfg = MachineConfig::paxville_smp();
+        let arc = Arc::new(prog);
+        let spec = || {
+            JobSpec::pinned(arc.clone(), vec![Lcpu::A0, Lcpu::A4]).with_jitter(500, seed)
+        };
+        let a = simulate(&cfg, vec![spec()]);
+        let b = simulate(&cfg, vec![spec()]);
+        prop_assert_eq!(a.wall_cycles, b.wall_cycles);
+        prop_assert_eq!(a.jobs[0].counters, b.jobs[0].counters);
+    }
+
+    /// Contention monotonicity: adding a second job never finishes the
+    /// first one sooner than running it alone (same placement).
+    #[test]
+    fn contention_never_helps(pa in arb_program(1), pb in arb_program(1)) {
+        let cfg = MachineConfig::paxville_smp();
+        let pa = Arc::new(pa);
+        let alone = simulate(&cfg, vec![JobSpec::pinned(pa.clone(), vec![Lcpu::A0])]);
+        let together = simulate(
+            &cfg,
+            vec![
+                JobSpec::pinned(pa, vec![Lcpu::A0]),
+                JobSpec::pinned(Arc::new(pb), vec![Lcpu::A1]),
+            ],
+        );
+        prop_assert!(
+            together.jobs[0].cycles >= alone.jobs[0].cycles,
+            "sibling contention made the job faster: {} < {}",
+            together.jobs[0].cycles,
+            alone.jobs[0].cycles
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared benchmark infrastructure: problem classes, the kernel trait,
+//! verification reporting, and the NAS `randlc` pseudo-random generator.
+
+use std::sync::Arc;
+
+use paxsim_machine::trace::ProgramTrace;
+use paxsim_omp::schedule::Schedule;
+
+/// Scaled problem classes. NAS class B does not fit a simulator budget;
+/// these are chosen so that, like class B against the real 2 MB L2, the
+/// interesting classes do not fit a single core's L2:
+///
+/// * `T` — tiny, for unit/integration tests (seconds for the whole suite);
+/// * `S` — small, the default for figure regeneration (working sets of a
+///   few MB, ≳ the 2 MB L2);
+/// * `W` — workstation, for longer-running studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    T,
+    S,
+    W,
+}
+
+impl Class {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Class::T => "T",
+            Class::S => "S",
+            Class::W => "W",
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Result of a benchmark's built-in verification (the NAS suites verify
+/// every run; so do we).
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    pub passed: bool,
+    pub details: String,
+}
+
+impl VerifyReport {
+    pub fn pass(details: impl Into<String>) -> Self {
+        Self {
+            passed: true,
+            details: details.into(),
+        }
+    }
+
+    pub fn fail(details: impl Into<String>) -> Self {
+        Self {
+            passed: false,
+            details: details.into(),
+        }
+    }
+}
+
+/// A built benchmark: the replayable trace plus its verification outcome.
+pub struct Built {
+    pub trace: Arc<ProgramTrace>,
+    pub verify: VerifyReport,
+}
+
+/// A NAS benchmark that can be traced at any (class, thread count,
+/// schedule) combination.
+pub trait NasKernel: Sync + Send {
+    /// Short lowercase name ("cg", "ft", …).
+    fn name(&self) -> &'static str;
+
+    /// Run the benchmark natively with `nthreads` OpenMP threads, verify
+    /// the numerics, and return the trace.
+    fn build(&self, class: Class, nthreads: usize, sched: Schedule) -> Built;
+}
+
+/// The NAS `randlc` linear congruential generator: `x_{k+1} = a·x_k mod
+/// 2^46`, returning uniforms in (0,1). Used verbatim by EP and to generate
+/// IS keys and CG patterns, exactly as NPB does.
+#[derive(Debug, Clone)]
+pub struct Randlc {
+    x: u64,
+    a: u64,
+}
+
+const MOD46: u64 = 1 << 46;
+
+impl Randlc {
+    /// NPB's default multiplier 5^13 and the caller's seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            x: seed % MOD46,
+            a: 5u64.pow(13) % MOD46,
+        }
+    }
+
+    /// Next uniform in (0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 128-bit product avoids the double-double dance of the original.
+        self.x = ((self.x as u128 * self.a as u128) % MOD46 as u128) as u64;
+        self.x as f64 / MOD46 as f64
+    }
+
+    /// Next integer uniform in `[0, n)`.
+    #[inline]
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        ((self.next_f64() * n as f64) as usize).min(n - 1)
+    }
+
+    /// Jump the stream ahead by `k` steps in O(log k) (NPB's `ipow46`),
+    /// so each OpenMP thread can own a disjoint substream.
+    pub fn skip(&mut self, mut k: u64) {
+        let mut mult = self.a as u128;
+        let mut acc: u128 = 1;
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = acc * mult % MOD46 as u128;
+            }
+            mult = mult * mult % MOD46 as u128;
+            k >>= 1;
+        }
+        self.x = (self.x as u128 * acc % MOD46 as u128) as u64;
+    }
+}
+
+/// Basic-block id ranges per benchmark, so traces from different kernels
+/// never collide in the simulated trace cache or ITLB.
+pub mod bbid {
+    pub const EP: u32 = 100;
+    pub const IS: u32 = 200;
+    pub const CG: u32 = 300;
+    pub const MG: u32 = 400;
+    pub const FT: u32 = 500;
+    pub const BT: u32 = 600;
+    pub const SP: u32 = 700;
+    pub const LU: u32 = 800;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randlc_in_unit_interval() {
+        let mut r = Randlc::new(314159265);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn randlc_mean_is_half() {
+        let mut r = Randlc::new(271828183);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn skip_matches_sequential() {
+        let mut a = Randlc::new(12345);
+        let mut b = Randlc::new(12345);
+        for _ in 0..1000 {
+            a.next_f64();
+        }
+        b.skip(1000);
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+
+    #[test]
+    fn skip_zero_is_identity() {
+        let mut a = Randlc::new(99);
+        let before = a.x;
+        a.skip(0);
+        assert_eq!(a.x, before);
+    }
+
+    #[test]
+    fn next_usize_in_range() {
+        let mut r = Randlc::new(7);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = r.next_usize(10);
+            assert!(v < 10);
+            seen_low |= v < 2;
+            seen_high |= v >= 8;
+        }
+        assert!(seen_low && seen_high, "range should be exercised");
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Randlc::new(1);
+        let mut b = Randlc::new(2);
+        let same = (0..100).filter(|_| a.next_f64() == b.next_f64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn class_ordering_and_tags() {
+        assert!(Class::T < Class::S && Class::S < Class::W);
+        assert_eq!(Class::S.to_string(), "S");
+    }
+}

@@ -1,0 +1,246 @@
+//! EP — the "embarrassingly parallel" kernel.
+//!
+//! Generates pairs of uniform deviates with the NAS `randlc` generator,
+//! applies the acceptance-rejection (Marsaglia polar) transform to obtain
+//! Gaussian pairs, and tallies them into ten concentric square annuli —
+//! exactly NPB-EP's computation, at scaled pair counts.
+//!
+//! Architecturally EP is almost pure floating-point work with a tiny
+//! working set: the paper's canonical compute-bound benchmark.
+
+use std::sync::Arc;
+
+use paxsim_omp::prelude::*;
+
+use crate::common::{bbid, Built, Class, NasKernel, Randlc, VerifyReport};
+
+/// Pairs of deviates attempted per class.
+pub fn pairs(class: Class) -> u64 {
+    match class {
+        Class::T => 1 << 13,
+        Class::S => 1 << 15,
+        Class::W => 1 << 17,
+    }
+}
+
+const SEED: u64 = 271_828_183;
+const NQ: usize = 10;
+
+/// Result of the native computation (the quantities NPB-EP prints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    pub accepted: u64,
+    pub sx: f64,
+    pub sy: f64,
+    pub q: [u64; NQ],
+}
+
+/// EP benchmark.
+pub struct Ep;
+
+impl Ep {
+    /// Run natively (no tracing): the reference the traced run must match.
+    pub fn reference(class: Class) -> EpResult {
+        let n = pairs(class);
+        let mut rng = Randlc::new(SEED);
+        let mut r = EpResult {
+            accepted: 0,
+            sx: 0.0,
+            sy: 0.0,
+            q: [0; NQ],
+        };
+        for _ in 0..n {
+            let u = rng.next_f64();
+            let v = rng.next_f64();
+            accumulate(u, v, &mut r);
+        }
+        r
+    }
+}
+
+fn accumulate(u: f64, v: f64, r: &mut EpResult) {
+    let x = 2.0 * u - 1.0;
+    let y = 2.0 * v - 1.0;
+    let t = x * x + y * y;
+    if t <= 1.0 && t > 0.0 {
+        let z = (-2.0 * t.ln() / t).sqrt();
+        let gx = x * z;
+        let gy = y * z;
+        r.sx += gx;
+        r.sy += gy;
+        let l = (gx.abs().max(gy.abs())) as usize;
+        if l < NQ {
+            r.q[l] += 1;
+        }
+        r.accepted += 1;
+    }
+}
+
+impl NasKernel for Ep {
+    fn name(&self) -> &'static str {
+        "ep"
+    }
+
+    fn build(&self, class: Class, nthreads: usize, sched: Schedule) -> Built {
+        let n = pairs(class);
+        let mut arena = Arena::new();
+        // Per-thread tally arrays, padded to distinct cache lines, exactly
+        // like NPB-EP's privatized q arrays.
+        let mut qloc = arena.alloc::<u64>("ep.q", nthreads * 64);
+
+        let mut team = Team::new(format!("ep.{class}"), nthreads);
+        team.set_schedule(sched);
+        // Model the real code's decoded footprint (see Team::set_code_expansion).
+        team.set_code_expansion(4);
+
+        let mut totals: Vec<EpResult> = Vec::new();
+        team.parallel("ep.main", |p| {
+            let mut local = EpResult {
+                accepted: 0,
+                sx: 0.0,
+                sy: 0.0,
+                q: [0; NQ],
+            };
+            // Each thread owns a disjoint randlc substream via skip-ahead,
+            // independent of the schedule: NPB-EP blocks the stream.
+            let lo = (n as usize * p.tid) / p.nthreads;
+            let hi = (n as usize * (p.tid + 1)) / p.nthreads;
+            let mut rng = Randlc::new(SEED);
+            rng.skip(2 * lo as u64);
+            let tid = p.tid;
+            p.lp(bbid::EP, 6, hi - lo, |p, _| {
+                let u = rng.next_f64();
+                let v = rng.next_f64();
+                // Two randlc steps: integer multiply chains.
+                p.flops(10);
+                let before = local.accepted;
+                accumulate(u, v, &mut local);
+                let accepted = local.accepted > before;
+                // The acceptance test: a genuinely data-dependent branch.
+                p.branch(bbid::EP + 1, accepted);
+                if accepted {
+                    // ln + sqrt are long-latency on Netburst: weight them.
+                    p.flops(36);
+                    // Tally into this thread's padded bin.
+                    p.rmw(&mut qloc, tid * 64, |c| c + 1);
+                }
+            });
+            totals.push(local);
+        });
+
+        // Combine per-thread results (the OpenMP reduction).
+        let mut combined = EpResult {
+            accepted: 0,
+            sx: 0.0,
+            sy: 0.0,
+            q: [0; NQ],
+        };
+        team.parallel_reduce(
+            "ep.reduce",
+            0.0,
+            |a, b| a + b,
+            |p| {
+                p.flops(8);
+                0.0
+            },
+        );
+        for t in &totals {
+            combined.accepted += t.accepted;
+            combined.sx += t.sx;
+            combined.sy += t.sy;
+            for i in 0..NQ {
+                combined.q[i] += t.q[i];
+            }
+        }
+
+        let reference = Ep::reference(class);
+        let verify = verify(&combined, &reference);
+        Built {
+            trace: Arc::new(team.finish()),
+            verify,
+        }
+    }
+}
+
+fn verify(got: &EpResult, want: &EpResult) -> VerifyReport {
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+    if got.accepted != want.accepted {
+        return VerifyReport::fail(format!(
+            "accepted {} != reference {}",
+            got.accepted, want.accepted
+        ));
+    }
+    if !close(got.sx, want.sx) || !close(got.sy, want.sy) {
+        return VerifyReport::fail(format!(
+            "sums mismatch: ({}, {}) vs ({}, {})",
+            got.sx, got.sy, want.sx, want.sy
+        ));
+    }
+    if got.q != want.q {
+        return VerifyReport::fail("annulus counts mismatch");
+    }
+    if got.q.iter().sum::<u64>() != got.accepted {
+        return VerifyReport::fail("annulus counts do not sum to accepted");
+    }
+    VerifyReport::pass(format!(
+        "accepted={} sx={:.6} sy={:.6}",
+        got.accepted, got.sx, got.sy
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_rate_near_pi_over_4() {
+        let r = Ep::reference(Class::T);
+        let rate = r.accepted as f64 / pairs(Class::T) as f64;
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.02,
+            "rate {rate}"
+        );
+    }
+
+    #[test]
+    fn gaussian_sums_near_zero() {
+        let r = Ep::reference(Class::S);
+        let n = r.accepted as f64;
+        assert!((r.sx / n).abs() < 0.05, "sx/n = {}", r.sx / n);
+        assert!((r.sy / n).abs() < 0.05);
+    }
+
+    #[test]
+    fn traced_run_matches_reference_any_threads() {
+        for threads in [1, 2, 4, 8] {
+            let b = Ep.build(Class::T, threads, Schedule::Static);
+            assert!(b.verify.passed, "t={threads}: {}", b.verify.details);
+        }
+    }
+
+    #[test]
+    fn trace_is_compute_dominated() {
+        let b = Ep.build(Class::T, 2, Schedule::Static);
+        let s = b.trace.stats();
+        assert!(
+            s.flop_uops > 10 * s.memory_ops(),
+            "EP must be compute-bound: {} flops vs {} mem",
+            s.flop_uops,
+            s.memory_ops()
+        );
+    }
+
+    #[test]
+    fn acceptance_branch_is_data_dependent() {
+        let b = Ep.build(Class::T, 1, Schedule::Static);
+        let s = b.trace.stats();
+        // Branches: one loop branch + one acceptance branch per pair.
+        assert!(s.branches as u64 >= 2 * pairs(Class::T) - 2);
+    }
+
+    #[test]
+    fn classes_scale() {
+        assert!(pairs(Class::T) < pairs(Class::S));
+        assert!(pairs(Class::S) < pairs(Class::W));
+    }
+}

@@ -1,0 +1,561 @@
+//! FT — 3-D fast Fourier transform (spectral PDE solver step).
+//!
+//! Performs NPB-FT's computation at scaled sizes: fill a 3-D complex grid
+//! with `randlc` deviates, forward-FFT it, then for each iteration apply
+//! the spectral evolution factor and inverse-FFT, accumulating the NAS
+//! checksum. The 1-D FFTs are radix-2 Stockham transforms applied per
+//! pencil, with the NPB structure of copy-pencil-to-work / transform /
+//! copy-back (which is what creates FT's strided + contiguous mix).
+//!
+//! FT is the paper's compute-bound multi-program partner: lots of FP work
+//! per byte, working set friendly to the 2 MB L2 at class S.
+
+use std::sync::Arc;
+
+use paxsim_omp::prelude::*;
+
+use crate::common::{bbid, Built, Class, NasKernel, Randlc, VerifyReport};
+
+/// (nx, ny, nz, iterations). All dims are powers of two.
+pub fn size(class: Class) -> (usize, usize, usize, usize) {
+    match class {
+        Class::T => (16, 16, 8, 1),
+        Class::S => (32, 32, 16, 1),
+        Class::W => (64, 32, 32, 2),
+    }
+}
+
+const SEED: u64 = 161_803_398;
+const ALPHA: f64 = 1e-6;
+
+/// Naive O(n²) DFT used as a test oracle.
+pub fn dft_naive(re: &[f64], im: &[f64], inverse: bool) -> (Vec<f64>, Vec<f64>) {
+    let n = re.len();
+    let sign = if inverse { 2.0 } else { -2.0 };
+    let mut or = vec![0.0; n];
+    let mut oi = vec![0.0; n];
+    for k in 0..n {
+        let mut sr = 0.0;
+        let mut si = 0.0;
+        for t in 0..n {
+            let ang = sign * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            let (s, c) = ang.sin_cos();
+            sr += re[t] * c - im[t] * s;
+            si += re[t] * s + im[t] * c;
+        }
+        let scale = if inverse { 1.0 / n as f64 } else { 1.0 };
+        or[k] = sr * scale;
+        oi[k] = si * scale;
+    }
+    (or, oi)
+}
+
+/// Radix-2 decimation-in-frequency Stockham FFT over plain slices
+/// (native math; the traced variant mirrors this loop structure).
+/// `tw` is the master twiddle table `exp(-2πik/m)` for `k < m/2`.
+pub fn stockham(
+    re: &mut [f64],
+    im: &mut [f64],
+    sre: &mut [f64],
+    sim: &mut [f64],
+    tw: &[(f64, f64)],
+    inverse: bool,
+) {
+    let m = re.len();
+    debug_assert!(m.is_power_of_two());
+    let mut n = m;
+    let mut s = 1usize;
+    let mut flip = false;
+    while n > 1 {
+        let half = n / 2;
+        for q in 0..s {
+            for p in 0..half {
+                let (wr, wi0) = tw[p * s];
+                let wi = if inverse { -wi0 } else { wi0 };
+                let (x_re, x_im, y_re, y_im): (&[f64], &[f64], &mut [f64], &mut [f64]) = if !flip {
+                    (re, im, sre, sim)
+                } else {
+                    (sre, sim, re, im)
+                };
+                let ia = q + s * p;
+                let ib = q + s * (p + half);
+                let (ar, ai) = (x_re[ia], x_im[ia]);
+                let (br, bi) = (x_re[ib], x_im[ib]);
+                y_re[q + s * 2 * p] = ar + br;
+                y_im[q + s * 2 * p] = ai + bi;
+                let dr = ar - br;
+                let di = ai - bi;
+                y_re[q + s * (2 * p + 1)] = dr * wr - di * wi;
+                y_im[q + s * (2 * p + 1)] = dr * wi + di * wr;
+            }
+        }
+        n = half;
+        s *= 2;
+        flip = !flip;
+    }
+    if flip {
+        re.copy_from_slice(sre);
+        im.copy_from_slice(sim);
+    }
+    if inverse {
+        let inv = 1.0 / m as f64;
+        for v in re.iter_mut() {
+            *v *= inv;
+        }
+        for v in im.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Master twiddle table for length `m`.
+pub fn twiddles(m: usize) -> Vec<(f64, f64)> {
+    (0..m / 2)
+        .map(|k| {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / m as f64;
+            (ang.cos(), ang.sin())
+        })
+        .collect()
+}
+
+/// FT benchmark.
+pub struct Ft;
+
+struct Grid {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+}
+
+impl Grid {
+    #[inline]
+    fn at(&self, i: usize, j: usize, k: usize) -> usize {
+        i + self.nx * (j + self.ny * k)
+    }
+    fn total(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+impl NasKernel for Ft {
+    fn name(&self) -> &'static str {
+        "ft"
+    }
+
+    fn build(&self, class: Class, nthreads: usize, sched: Schedule) -> Built {
+        let (nx, ny, nz, niter) = size(class);
+        let g = Grid { nx, ny, nz };
+        let total = g.total();
+        let maxdim = nx.max(ny).max(nz);
+
+        let mut arena = Arena::new();
+        let mut re = arena.alloc::<f64>("ft.re", total);
+        let mut im = arena.alloc::<f64>("ft.im", total);
+        {
+            let mut rng = Randlc::new(SEED);
+            for i in 0..total {
+                re.set(i, rng.next_f64() - 0.5);
+                im.set(i, rng.next_f64() - 0.5);
+            }
+        }
+        let energy_in: f64 = (0..total)
+            .map(|i| re.get(i) * re.get(i) + im.get(i) * im.get(i))
+            .sum();
+
+        // Twiddle tables per dimension length (shared, traced on use).
+        let mut tw_re = arena.alloc::<f64>("ft.tw_re", maxdim / 2 * 3);
+        let mut tw_im = arena.alloc::<f64>("ft.tw_im", maxdim / 2 * 3);
+        let tw_off = |dim_id: usize, m: usize| dim_id * (m / 2).max(1);
+        for (d, m) in [(0, nx), (1, ny), (2, nz)] {
+            let t = twiddles(m);
+            for (k, &(c, s)) in t.iter().enumerate() {
+                tw_re.set(d * (maxdim / 2) + k, c);
+                tw_im.set(d * (maxdim / 2) + k, s);
+            }
+        }
+        let _ = tw_off;
+
+        // Per-thread pencil work arrays (NPB's cffts work arrays).
+        let mut wre: Vec<Array<f64>> = (0..nthreads)
+            .map(|t| arena.alloc::<f64>(&format!("ft.wre{t}"), maxdim))
+            .collect();
+        let mut wim: Vec<Array<f64>> = (0..nthreads)
+            .map(|t| arena.alloc::<f64>(&format!("ft.wim{t}"), maxdim))
+            .collect();
+        let mut sre: Vec<Array<f64>> = (0..nthreads)
+            .map(|t| arena.alloc::<f64>(&format!("ft.sre{t}"), maxdim))
+            .collect();
+        let mut sim_: Vec<Array<f64>> = (0..nthreads)
+            .map(|t| arena.alloc::<f64>(&format!("ft.sim{t}"), maxdim))
+            .collect();
+
+        let mut team = Team::new(format!("ft.{class}"), nthreads);
+        team.set_schedule(sched);
+        // Model the real code's decoded footprint (see Team::set_code_expansion).
+        team.set_code_expansion(64);
+
+        // Forward 3-D FFT.
+        for dim in 0..3 {
+            fft_dim(
+                &mut team, &g, dim, false, maxdim, &mut re, &mut im, &tw_re, &tw_im, &mut wre,
+                &mut wim, &mut sre, &mut sim_,
+            );
+        }
+        let energy_freq: f64 = (0..total)
+            .map(|i| re.get(i) * re.get(i) + im.get(i) * im.get(i))
+            .sum();
+
+        // Keep the frequency-domain field for repeated evolution.
+        let u1_re: Vec<f64> = re.as_slice().to_vec();
+        let u1_im: Vec<f64> = im.as_slice().to_vec();
+
+        let mut checksums = Vec::new();
+        for it in 1..=niter {
+            // evolve: X(k̄) ← U1(k̄) · exp(−4απ² |k̄|² t).
+            let t_fac = it as f64;
+            team.parallel("ft.evolve", |p| {
+                p.for_static(bbid::FT, 4, nz, |p, k| {
+                    let kz = freq(k, nz);
+                    for j in 0..ny {
+                        p.block(bbid::FT + 1, 2);
+                        let ky = freq(j, ny);
+                        for i in 0..nx {
+                            let kx = freq(i, nx);
+                            let k2 = (kx * kx + ky * ky + kz * kz) as f64;
+                            let f =
+                                (-4.0 * ALPHA * std::f64::consts::PI.powi(2) * k2 * t_fac).exp();
+                            let id = g.at(i, j, k);
+                            // u1 is kept in host memory (NPB keeps a
+                            // separate u1 array; model its read).
+                            p.raw_load(re.addr(id));
+                            p.raw_load(im.addr(id));
+                            p.flops(12);
+                            p.st(&mut re, id, u1_re[id] * f);
+                            p.st(&mut im, id, u1_im[id] * f);
+                        }
+                        p.branch(bbid::FT + 1, j + 1 < ny);
+                    }
+                });
+            });
+
+            // Inverse 3-D FFT back to physical space.
+            for dim in (0..3).rev() {
+                fft_dim(
+                    &mut team, &g, dim, true, maxdim, &mut re, &mut im, &tw_re, &tw_im, &mut wre,
+                    &mut wim, &mut sre, &mut sim_,
+                );
+            }
+
+            // NAS checksum: Σ x[(5·j) mod total] over 1024 samples.
+            let samples = 1024.min(total);
+            let csum = team.parallel_reduce(
+                "ft.checksum",
+                (0.0f64, 0.0f64),
+                |a, b| (a.0 + b.0, a.1 + b.1),
+                |p| {
+                    let mut s = (0.0, 0.0);
+                    p.for_static(bbid::FT + 2, 3, samples, |p, j| {
+                        let id = (5 * j) % total;
+                        s.0 += p.ld_dep(&re, id);
+                        s.1 += p.ld_dep(&im, id);
+                        p.flops(2);
+                    });
+                    s
+                },
+            );
+            checksums.push(csum);
+        }
+
+        // Verification:
+        //  1. Parseval: ‖FFT(x)‖² = N·‖x‖².
+        //  2. With the evolution factor → 1 as |k̄|→0, the checksum stays
+        //     finite and the final physical field's energy is ≤ input
+        //     energy (the evolution is a pure decay).
+        let energy_out: f64 = (0..total)
+            .map(|i| re.get(i) * re.get(i) + im.get(i) * im.get(i))
+            .sum();
+        let parseval = (energy_freq / total as f64 - energy_in).abs() / energy_in;
+        let verify = if parseval > 1e-10 {
+            VerifyReport::fail(format!("Parseval violated: rel err {parseval:.3e}"))
+        } else if !(energy_out.is_finite() && energy_out <= energy_in * 1.000001) {
+            VerifyReport::fail(format!(
+                "decay violated: in {energy_in:.6e}, out {energy_out:.6e}"
+            ))
+        } else if checksums
+            .iter()
+            .any(|c| !(c.0.is_finite() && c.1.is_finite()))
+        {
+            VerifyReport::fail("checksum not finite")
+        } else {
+            VerifyReport::pass(format!(
+                "parseval rel err {parseval:.1e}; checksum(1) = {:.6} + {:.6}i",
+                checksums[0].0, checksums[0].1
+            ))
+        };
+
+        Built {
+            trace: Arc::new(team.finish()),
+            verify,
+        }
+    }
+}
+
+/// Signed frequency of index `i` in a length-`n` dimension.
+#[inline]
+fn freq(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+/// FFT all pencils along `dim`, NPB-style: copy the strided pencil into a
+/// per-thread work array, transform it contiguously, copy it back.
+#[allow(clippy::too_many_arguments)]
+fn fft_dim(
+    team: &mut Team,
+    g: &Grid,
+    dim: usize,
+    inverse: bool,
+    maxdim: usize,
+    re: &mut Array<f64>,
+    im: &mut Array<f64>,
+    tw_re: &Array<f64>,
+    tw_im: &Array<f64>,
+    wre: &mut [Array<f64>],
+    wim: &mut [Array<f64>],
+    sre: &mut [Array<f64>],
+    sim_: &mut [Array<f64>],
+) {
+    let (m, npencils) = match dim {
+        0 => (g.nx, g.ny * g.nz),
+        1 => (g.ny, g.nx * g.nz),
+        _ => (g.nz, g.nx * g.ny),
+    };
+    let site = bbid::FT + 10 + dim as u32 * 4 + if inverse { 40 } else { 0 };
+    let tw_base = dim * (maxdim / 2);
+    let label = match (dim, inverse) {
+        (0, false) => "ft.cffts1",
+        (1, false) => "ft.cffts2",
+        (2, false) => "ft.cffts3",
+        (0, true) => "ft.cffts1.inv",
+        (1, true) => "ft.cffts2.inv",
+        _ => "ft.cffts3.inv",
+    };
+
+    team.parallel(label, |p| {
+        let tid = p.tid;
+        p.for_static(site, 5, npencils, |p, pe| {
+            // Element index of pencil element `e` along `dim`.
+            let at = |e: usize| -> usize {
+                match dim {
+                    0 => {
+                        let j = pe % g.ny;
+                        let k = pe / g.ny;
+                        g.at(e, j, k)
+                    }
+                    1 => {
+                        let i = pe % g.nx;
+                        let k = pe / g.nx;
+                        g.at(i, e, k)
+                    }
+                    _ => {
+                        let i = pe % g.nx;
+                        let j = pe / g.nx;
+                        g.at(i, j, e)
+                    }
+                }
+            };
+            // Copy in (strided loads, contiguous stores).
+            for e in 0..m {
+                p.block(site + 1, 2);
+                let id = at(e);
+                let vr = p.ld(re, id);
+                let vi = p.ld(im, id);
+                p.st(&mut wre[tid], e, vr);
+                p.st(&mut wim[tid], e, vi);
+            }
+            // Transform in the work arrays (traced butterflies).
+            fft_work(
+                p,
+                site + 2,
+                m,
+                inverse,
+                tw_base,
+                tw_re,
+                tw_im,
+                &mut wre[tid],
+                &mut wim[tid],
+                &mut sre[tid],
+                &mut sim_[tid],
+            );
+            // Copy back.
+            for e in 0..m {
+                p.block(site + 3, 2);
+                let vr = p.ld(&wre[tid], e);
+                let vi = p.ld(&wim[tid], e);
+                p.st(re, at(e), vr);
+                p.st(im, at(e), vi);
+            }
+        });
+    });
+}
+
+/// Traced Stockham FFT of one pencil living in `wre/wim`.
+#[allow(clippy::too_many_arguments)]
+fn fft_work(
+    p: &mut Par,
+    site: u32,
+    m: usize,
+    inverse: bool,
+    tw_base: usize,
+    tw_re: &Array<f64>,
+    tw_im: &Array<f64>,
+    wre: &mut Array<f64>,
+    wim: &mut Array<f64>,
+    sre: &mut Array<f64>,
+    sim_: &mut Array<f64>,
+) {
+    let mut n = m;
+    let mut s = 1usize;
+    let mut flip = false;
+    while n > 1 {
+        let half = n / 2;
+        for q in 0..s {
+            for pp in 0..half {
+                p.block(site, 3);
+                let twr = p.ld(tw_re, tw_base + pp * s);
+                let twi0 = p.ld(tw_im, tw_base + pp * s);
+                let twi = if inverse { -twi0 } else { twi0 };
+                let ia = q + s * pp;
+                let ib = q + s * (pp + half);
+                let (x_re, x_im, y_re, y_im): (
+                    &mut Array<f64>,
+                    &mut Array<f64>,
+                    &mut Array<f64>,
+                    &mut Array<f64>,
+                ) = if !flip {
+                    (wre, wim, sre, sim_)
+                } else {
+                    (sre, sim_, wre, wim)
+                };
+                let ar = p.ld(x_re, ia);
+                let ai = p.ld(x_im, ia);
+                let br = p.ld(x_re, ib);
+                let bi = p.ld(x_im, ib);
+                p.st(y_re, q + s * 2 * pp, ar + br);
+                p.st(y_im, q + s * 2 * pp, ai + bi);
+                let dr = ar - br;
+                let di = ai - bi;
+                p.st(y_re, q + s * (2 * pp + 1), dr * twr - di * twi);
+                p.st(y_im, q + s * (2 * pp + 1), dr * twi + di * twr);
+                p.flops(10);
+            }
+        }
+        n = half;
+        s *= 2;
+        flip = !flip;
+    }
+    if flip {
+        for e in 0..m {
+            let vr = p.ld(sre, e);
+            let vi = p.ld(sim_, e);
+            p.st(wre, e, vr);
+            p.st(wim, e, vi);
+        }
+        p.flops(2);
+    }
+    if inverse {
+        let inv = 1.0 / m as f64;
+        for e in 0..m {
+            p.rmw(wre, e, |v| v * inv);
+            p.rmw(wim, e, |v| v * inv);
+        }
+        p.flops(2 * m as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stockham_matches_naive_dft() {
+        for m in [2usize, 4, 8, 16, 32] {
+            let mut rng = Randlc::new(42);
+            let re: Vec<f64> = (0..m).map(|_| rng.next_f64() - 0.5).collect();
+            let im: Vec<f64> = (0..m).map(|_| rng.next_f64() - 0.5).collect();
+            let (er, ei) = dft_naive(&re, &im, false);
+            let tw = twiddles(m);
+            let mut ar = re.clone();
+            let mut ai = im.clone();
+            let mut sr = vec![0.0; m];
+            let mut si = vec![0.0; m];
+            stockham(&mut ar, &mut ai, &mut sr, &mut si, &tw, false);
+            for k in 0..m {
+                assert!((ar[k] - er[k]).abs() < 1e-9, "m={m} re[{k}]");
+                assert!((ai[k] - ei[k]).abs() < 1e-9, "m={m} im[{k}]");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_identity() {
+        let m = 64;
+        let mut rng = Randlc::new(7);
+        let re: Vec<f64> = (0..m).map(|_| rng.next_f64() - 0.5).collect();
+        let im: Vec<f64> = (0..m).map(|_| rng.next_f64() - 0.5).collect();
+        let tw = twiddles(m);
+        let mut ar = re.clone();
+        let mut ai = im.clone();
+        let mut sr = vec![0.0; m];
+        let mut si = vec![0.0; m];
+        stockham(&mut ar, &mut ai, &mut sr, &mut si, &tw, false);
+        stockham(&mut ar, &mut ai, &mut sr, &mut si, &tw, true);
+        for k in 0..m {
+            assert!((ar[k] - re[k]).abs() < 1e-10);
+            assert!((ai[k] - im[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ft_verifies_for_thread_counts() {
+        for threads in [1, 2, 4] {
+            let b = Ft.build(Class::T, threads, Schedule::Static);
+            assert!(b.verify.passed, "t={threads}: {}", b.verify.details);
+        }
+    }
+
+    #[test]
+    fn ft_checksum_independent_of_threads() {
+        let a = Ft.build(Class::T, 1, Schedule::Static);
+        let b = Ft.build(Class::T, 4, Schedule::Static);
+        // The grid math is identical; only reduction order differs, and the
+        // formatted 6-decimal checksum must agree.
+        let tail = |d: &str| d.split("checksum").last().map(str::to_string);
+        assert_eq!(tail(&a.verify.details), tail(&b.verify.details));
+    }
+
+    #[test]
+    fn trace_is_flop_rich() {
+        let b = Ft.build(Class::T, 2, Schedule::Static);
+        let s = b.trace.stats();
+        // FFTs do ~10 flops per 10 memory ops in the butterflies plus
+        // copies; overall FT must be clearly more FP-dense than CG/MG.
+        assert!(
+            s.flop_uops as f64 > 0.5 * s.memory_ops() as f64,
+            "flops {} mem {}",
+            s.flop_uops,
+            s.memory_ops()
+        );
+    }
+
+    #[test]
+    fn freq_is_signed() {
+        assert_eq!(freq(0, 16), 0);
+        assert_eq!(freq(8, 16), 8);
+        assert_eq!(freq(9, 16), -7);
+        assert_eq!(freq(15, 16), -1);
+    }
+}

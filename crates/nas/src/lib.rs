@@ -1,0 +1,42 @@
+//! # paxsim-nas
+//!
+//! The NAS Parallel Benchmarks (OpenMP version) reimplemented for the
+//! paxsim simulator: the five kernels **EP, IS, CG, MG, FT** and the three
+//! simulated-CFD applications **BT, SP, LU** — the suite Grant & Afsahi ran
+//! (NPB-OMP 3.0, class B) on the real machine.
+//!
+//! Each benchmark:
+//!
+//! * executes its real algorithm natively (results are verified — CG
+//!   reduces a residual, IS produces a correct ranking, FT satisfies
+//!   Parseval + round-trip identity, …);
+//! * emits its memory/branch/uop stream through the `paxsim-omp` runtime
+//!   while doing so, preserving its architectural signature (indirect
+//!   gathers for CG, strided stencils for MG, butterflies + transposes for
+//!   FT, histogram scatter for IS, pure compute for EP, pencil solves for
+//!   BT/SP/LU);
+//! * comes in scaled [`Class`]es chosen so that the class-S/W working sets
+//!   straddle the 2 MB per-core L2 the way class B straddled it on the
+//!   paper's machine.
+//!
+//! Problem classes are necessarily smaller than NAS class B (the substrate
+//! is a simulator); DESIGN.md documents the substitution.
+
+// Index-based loops mirror the Fortran stencil/solver math they implement;
+// iterator rewrites would obscure the numerics.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bt;
+pub mod cfd;
+pub mod cg;
+pub mod common;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+pub mod suite;
+
+pub use common::{Built, Class, NasKernel, VerifyReport};
+pub use suite::{all_kernels, kernel_by_name, paper_apps, KernelId};

@@ -1,0 +1,138 @@
+//! The benchmark registry: every kernel behind one enum, plus the subsets
+//! the paper uses.
+
+use crate::bt::Bt;
+use crate::cg::Cg;
+use crate::common::{Built, Class, NasKernel};
+use crate::ep::Ep;
+use crate::ft::Ft;
+use crate::is::Is;
+use crate::lu::Lu;
+use crate::mg::Mg;
+use crate::sp::Sp;
+use paxsim_omp::schedule::Schedule;
+
+/// Identifier for each NAS benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelId {
+    Ep,
+    Is,
+    Cg,
+    Mg,
+    Ft,
+    Bt,
+    Sp,
+    Lu,
+}
+
+impl KernelId {
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelId::Ep => "ep",
+            KernelId::Is => "is",
+            KernelId::Cg => "cg",
+            KernelId::Mg => "mg",
+            KernelId::Ft => "ft",
+            KernelId::Bt => "bt",
+            KernelId::Sp => "sp",
+            KernelId::Lu => "lu",
+        }
+    }
+
+    /// The kernel object.
+    pub fn kernel(&self) -> &'static dyn NasKernel {
+        match self {
+            KernelId::Ep => &Ep,
+            KernelId::Is => &Is,
+            KernelId::Cg => &Cg,
+            KernelId::Mg => &Mg,
+            KernelId::Ft => &Ft,
+            KernelId::Bt => &Bt,
+            KernelId::Sp => &Sp,
+            KernelId::Lu => &Lu,
+        }
+    }
+
+    /// Build (trace + verify) at the given configuration.
+    pub fn build(&self, class: Class, nthreads: usize, sched: Schedule) -> Built {
+        self.kernel().build(class, nthreads, sched)
+    }
+}
+
+impl std::fmt::Display for KernelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for KernelId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        kernel_by_name(s).ok_or_else(|| format!("unknown NAS benchmark '{s}'"))
+    }
+}
+
+/// All eight benchmarks, suite order.
+pub fn all_kernels() -> [KernelId; 8] {
+    [
+        KernelId::Ep,
+        KernelId::Is,
+        KernelId::Cg,
+        KernelId::Mg,
+        KernelId::Ft,
+        KernelId::Bt,
+        KernelId::Sp,
+        KernelId::Lu,
+    ]
+}
+
+/// The six benchmarks the paper's figures plot (§3.2: class B of six; the
+/// panels show CG, MG, FT and the three applications).
+pub fn paper_apps() -> [KernelId; 6] {
+    [
+        KernelId::Cg,
+        KernelId::Mg,
+        KernelId::Ft,
+        KernelId::Bt,
+        KernelId::Sp,
+        KernelId::Lu,
+    ]
+}
+
+/// Look up a benchmark by its lowercase name.
+pub fn kernel_by_name(name: &str) -> Option<KernelId> {
+    all_kernels()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let names: std::collections::HashSet<_> = all_kernels().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 8);
+        for k in all_kernels() {
+            assert_eq!(kernel_by_name(k.name()), Some(k));
+            assert_eq!(k.kernel().name(), k.name());
+        }
+        assert_eq!(kernel_by_name("CG"), Some(KernelId::Cg));
+        assert_eq!(kernel_by_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_apps_subset_of_all() {
+        let all: std::collections::HashSet<_> = all_kernels().into_iter().collect();
+        for k in paper_apps() {
+            assert!(all.contains(&k));
+        }
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("ft".parse::<KernelId>().unwrap(), KernelId::Ft);
+        assert!("xx".parse::<KernelId>().is_err());
+    }
+}

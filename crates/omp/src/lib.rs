@@ -1,0 +1,63 @@
+//! # paxsim-omp
+//!
+//! An OpenMP-style runtime for the paxsim machine simulator.
+//!
+//! Kernels written against this crate execute their numerics *natively* (so
+//! results are real and verifiable) while every architecturally relevant
+//! event — loads, stores, FP work, branches, basic-block fetches — is
+//! recorded into per-thread traces. The runtime mirrors the OpenMP
+//! constructs the NAS benchmarks use: `parallel` regions, static / dynamic /
+//! guided worksharing, reductions, and implicit barriers at region ends.
+//!
+//! Thread bodies run sequentially in thread order while tracing. For
+//! well-formed OpenMP programs (no data races between barriers) this
+//! produces exactly the values a real parallel execution would, and the
+//! resulting [`paxsim_machine::trace::ProgramTrace`] depends only on the
+//! thread count and schedule — so one trace replays across every hardware
+//! configuration of the study.
+//!
+//! ```
+//! use paxsim_omp::prelude::*;
+//!
+//! let mut arena = Arena::new();
+//! let mut a = arena.alloc::<f64>("a", 1024);
+//! let mut team = Team::new("axpy", 4);
+//! team.parallel("axpy.init", |p| {
+//!     p.for_static(bb::GENERIC, 4, 1024, |p, i| {
+//!         p.st(&mut a, i, i as f64);
+//!     });
+//! });
+//! let sum = team.parallel_reduce("axpy.sum", 0.0, |x, y| x + y, |p| {
+//!     let mut s = 0.0;
+//!     p.for_static(bb::GENERIC2, 4, 1024, |p, i| {
+//!         s += p.ld(&a, i);
+//!         p.flops(1);
+//!     });
+//!     s
+//! });
+//! assert_eq!(sum, (0..1024).sum::<i64>() as f64);
+//! let prog = team.finish();
+//! assert_eq!(prog.nthreads, 4);
+//! assert!(prog.regions.len() >= 2);
+//! ```
+
+pub mod mem;
+pub mod os;
+pub mod schedule;
+pub mod team;
+
+pub mod bb {
+    //! Well-known basic-block ids for doctests and small examples. Kernels
+    //! define their own site ids; they only need to be distinct within a
+    //! program.
+    pub const GENERIC: u32 = 9000;
+    pub const GENERIC2: u32 = 9001;
+}
+
+pub mod prelude {
+    pub use crate::bb;
+    pub use crate::mem::{Arena, Array};
+    pub use crate::os::{split_jobs, PlacementPolicy};
+    pub use crate::schedule::Schedule;
+    pub use crate::team::{Par, Team};
+}

@@ -1,0 +1,197 @@
+//! The simulated virtual address space: an arena that backs typed arrays
+//! with real host memory while assigning them stable simulated addresses.
+//!
+//! Arrays are shared by all threads of a team (OpenMP shared data). Their
+//! *values* live in an ordinary `Vec<T>`; their *addresses* are what the
+//! tracer records, so cache/TLB behaviour in the simulator reflects the
+//! kernel's true layout and strides.
+
+/// Base of the simulated data segment. Must stay below the engine's code
+/// segment and leave the top byte free for ASID tags.
+const DATA_BASE: u64 = 0x0000_1000_0000;
+/// Arrays are padded to page multiples so distinct arrays never share a
+/// page or a cache line (mirrors large-allocation behaviour of malloc).
+const ALIGN: u64 = 4096;
+
+/// Allocates simulated address ranges.
+#[derive(Debug)]
+pub struct Arena {
+    next: u64,
+}
+
+impl Arena {
+    pub fn new() -> Self {
+        Self { next: DATA_BASE }
+    }
+
+    /// Allocate an array of `len` elements of `T`, zero-initialized.
+    pub fn alloc<T: Copy + Default>(&mut self, name: &str, len: usize) -> Array<T> {
+        self.alloc_with(name, len, T::default())
+    }
+
+    /// Allocate an array filled with `fill`.
+    pub fn alloc_with<T: Copy>(&mut self, name: &str, len: usize, fill: T) -> Array<T> {
+        let bytes = (len.max(1) * std::mem::size_of::<T>()) as u64;
+        let base = self.next;
+        self.next += bytes.div_ceil(ALIGN) * ALIGN;
+        assert!(
+            self.next < 0x7f00_0000_0000,
+            "simulated data segment exhausted"
+        );
+        Array {
+            name: name.to_string(),
+            base,
+            data: vec![fill; len],
+        }
+    }
+
+    /// Bytes of simulated address space handed out so far.
+    pub fn used(&self) -> u64 {
+        self.next - DATA_BASE
+    }
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A typed array with a simulated base address. Plain indexing (`a[i]`)
+/// reads/writes the host data *without* tracing — use it for setup and
+/// verification. Traced accesses go through [`crate::team::Par`].
+#[derive(Debug, Clone)]
+pub struct Array<T> {
+    name: String,
+    base: u64,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Array<T> {
+    /// Simulated address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.data.len(), "{}[{i}] out of bounds", self.name);
+        self.base + (i * std::mem::size_of::<T>()) as u64
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Untraced view of the backing data.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Untraced mutable view (setup/verification only).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Footprint in bytes (what the cache hierarchy sees).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T> std::ops::Index<usize> for Array<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Array<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_are_page_disjoint() {
+        let mut a = Arena::new();
+        let x = a.alloc::<f64>("x", 100); // 800 B → 1 page
+        let y = a.alloc::<f64>("y", 100);
+        assert_eq!(x.base() % ALIGN, 0);
+        assert_eq!(y.base() % ALIGN, 0);
+        assert!(y.base() >= x.base() + 4096);
+        assert_eq!(a.used(), 8192);
+    }
+
+    #[test]
+    fn element_addresses_follow_layout() {
+        let mut a = Arena::new();
+        let x = a.alloc::<f64>("x", 16);
+        assert_eq!(x.addr(0), x.base());
+        assert_eq!(x.addr(1) - x.addr(0), 8);
+        let y = a.alloc::<u32>("y", 16);
+        assert_eq!(y.addr(3) - y.addr(0), 12);
+    }
+
+    #[test]
+    fn values_live_in_host_memory() {
+        let mut a = Arena::new();
+        let mut x = a.alloc::<f64>("x", 4);
+        x.set(2, 7.5);
+        assert_eq!(x.get(2), 7.5);
+        x[3] = 1.25;
+        assert_eq!(x[3], 1.25);
+        assert_eq!(x.as_slice(), &[0.0, 0.0, 7.5, 1.25]);
+    }
+
+    #[test]
+    fn alloc_with_fill() {
+        let mut a = Arena::new();
+        let x = a.alloc_with::<i32>("x", 5, -3);
+        assert!(x.as_slice().iter().all(|&v| v == -3));
+        assert_eq!(x.bytes(), 20);
+    }
+
+    #[test]
+    fn zero_length_array_still_has_address() {
+        let mut a = Arena::new();
+        let x = a.alloc::<f64>("x", 0);
+        assert!(x.is_empty());
+        let y = a.alloc::<f64>("y", 1);
+        assert!(y.base() > x.base());
+    }
+
+    #[test]
+    fn addresses_stay_below_code_segment() {
+        let mut a = Arena::new();
+        // 1 GiB worth of arrays.
+        for i in 0..64 {
+            let _ = a.alloc::<u8>(&format!("big{i}"), 16 * 1024 * 1024);
+        }
+        assert!(a.used() < 0x7f00_0000_0000);
+    }
+}

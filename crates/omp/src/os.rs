@@ -1,0 +1,157 @@
+//! The OS model: logical-CPU enumeration, `maxcpus`-style masking and
+//! thread placement.
+//!
+//! The paper boots Linux 2.6.9 with `maxcpus=X` to expose subsets of the
+//! eight hardware contexts and lets the default scheduler place threads.
+//! We reproduce that as: an *enabled CPU list* per configuration (Table 1
+//! gives the exact sets) plus a deterministic placement of application
+//! threads over that list, with a seedable rotation standing in for the
+//! scheduler's run-to-run placement variance.
+
+use paxsim_machine::topology::Lcpu;
+use serde::{Deserialize, Serialize};
+
+/// How the contexts of concurrent programs are chosen from the enabled set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Program `j` gets a contiguous slice of the enabled list (packs a
+    /// program onto neighbouring contexts — e.g. one chip).
+    Packed,
+    /// Programs are dealt round-robin over the enabled list (the Linux
+    /// load balancer's tendency to spread runnable threads — the default).
+    Spread,
+}
+
+/// The order Linux enumerates logical CPUs on this platform with HT
+/// enabled: all physical cores first (context 0 of each), then the HT
+/// siblings — the standard ACPI ordering on Netburst-era SMPs, and the set
+/// `maxcpus=X` truncates.
+pub fn linux_enumeration_ht() -> Vec<Lcpu> {
+    vec![
+        Lcpu::A0,
+        Lcpu::A2,
+        Lcpu::A4,
+        Lcpu::A6,
+        Lcpu::A1,
+        Lcpu::A3,
+        Lcpu::A5,
+        Lcpu::A7,
+    ]
+}
+
+/// Enumeration with HT disabled in firmware: just the four cores.
+pub fn linux_enumeration_no_ht() -> Vec<Lcpu> {
+    vec![Lcpu::B0, Lcpu::B1, Lcpu::B2, Lcpu::B3]
+}
+
+/// Place `nthreads` application threads on `cpus` (one per context; the
+/// paper always runs exactly as many threads as enabled contexts).
+/// `seed` rotates the assignment, modeling which context each thread lands
+/// on in a given trial.
+pub fn placement(cpus: &[Lcpu], nthreads: usize, seed: u64) -> Vec<Lcpu> {
+    assert!(
+        nthreads <= cpus.len(),
+        "cannot place {nthreads} threads on {} contexts",
+        cpus.len()
+    );
+    let rot = (seed as usize) % cpus.len();
+    (0..nthreads)
+        .map(|i| cpus[(i + rot) % cpus.len()])
+        .collect()
+}
+
+/// Split the enabled contexts evenly between `njobs` concurrent programs
+/// (§4.2: "threads being distributed evenly between the executing
+/// programs").
+pub fn split_jobs(cpus: &[Lcpu], njobs: usize, policy: PlacementPolicy) -> Vec<Vec<Lcpu>> {
+    assert!(njobs >= 1);
+    assert!(
+        cpus.len().is_multiple_of(njobs),
+        "{} contexts do not split evenly into {njobs} programs",
+        cpus.len()
+    );
+    let per = cpus.len() / njobs;
+    match policy {
+        PlacementPolicy::Packed => cpus.chunks(per).map(|c| c.to_vec()).collect(),
+        PlacementPolicy::Spread => {
+            let mut out = vec![Vec::with_capacity(per); njobs];
+            for (i, &c) in cpus.iter().enumerate() {
+                out[i % njobs].push(c);
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerations_cover_topology() {
+        let ht = linux_enumeration_ht();
+        assert_eq!(ht.len(), 8);
+        let set: std::collections::HashSet<_> = ht.iter().collect();
+        assert_eq!(set.len(), 8);
+        // Physical cores come first.
+        assert!(ht[..4].iter().all(|c| c.ctx == 0));
+        assert!(ht[4..].iter().all(|c| c.ctx == 1));
+        assert_eq!(linux_enumeration_no_ht().len(), 4);
+    }
+
+    #[test]
+    fn placement_is_one_to_one() {
+        let cpus = linux_enumeration_no_ht();
+        let p = placement(&cpus, 4, 0);
+        let set: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn placement_rotation_by_seed() {
+        let cpus = linux_enumeration_no_ht();
+        let p0 = placement(&cpus, 2, 0);
+        let p1 = placement(&cpus, 2, 1);
+        assert_ne!(p0, p1);
+        assert_eq!(p0, placement(&cpus, 2, 4), "rotation wraps");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn placement_overflow_panics() {
+        placement(&linux_enumeration_no_ht(), 5, 0);
+    }
+
+    #[test]
+    fn split_packed_vs_spread() {
+        let cpus = vec![Lcpu::B0, Lcpu::B1, Lcpu::B2, Lcpu::B3];
+        let packed = split_jobs(&cpus, 2, PlacementPolicy::Packed);
+        assert_eq!(packed[0], vec![Lcpu::B0, Lcpu::B1]); // chip 0
+        assert_eq!(packed[1], vec![Lcpu::B2, Lcpu::B3]); // chip 1
+        let spread = split_jobs(&cpus, 2, PlacementPolicy::Spread);
+        assert_eq!(spread[0], vec![Lcpu::B0, Lcpu::B2]); // one core per chip
+        assert_eq!(spread[1], vec![Lcpu::B1, Lcpu::B3]);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let cpus = Lcpu::all().to_vec();
+        for policy in [PlacementPolicy::Packed, PlacementPolicy::Spread] {
+            for njobs in [1, 2, 4] {
+                let split = split_jobs(&cpus, njobs, policy);
+                assert_eq!(split.len(), njobs);
+                let mut all: Vec<Lcpu> = split.concat();
+                all.sort();
+                let mut want = cpus.clone();
+                want.sort();
+                assert_eq!(all, want, "{policy:?}/{njobs}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not split evenly")]
+    fn uneven_split_panics() {
+        split_jobs(&linux_enumeration_no_ht(), 3, PlacementPolicy::Spread);
+    }
+}

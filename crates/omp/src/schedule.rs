@@ -1,0 +1,222 @@
+//! OpenMP loop-worksharing schedules.
+//!
+//! `static` partitions iterations into contiguous blocks (the NAS default);
+//! `static,c` deals chunks round-robin; `dynamic,c` and `guided,c` are
+//! modeled as deterministic round-robin chunk deals — without live timing
+//! feedback the trace-time runtime cannot know which thread would grab the
+//! next chunk, so the fair deal is the canonical approximation (it matches
+//! real behaviour for balanced iterations, which NAS loops are).
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A worksharing schedule for `for` loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Schedule {
+    /// One contiguous block per thread (OpenMP `schedule(static)`).
+    #[default]
+    Static,
+    /// Fixed-size chunks dealt round-robin (`schedule(static, c)`).
+    StaticChunk(usize),
+    /// Fixed-size chunks grabbed on demand (`schedule(dynamic, c)`),
+    /// modeled as a round-robin deal.
+    Dynamic(usize),
+    /// Exponentially shrinking chunks (`schedule(guided, c_min)`), modeled
+    /// as a round-robin deal of the guided chunk sequence.
+    Guided(usize),
+}
+
+impl Schedule {
+    /// The iteration ranges thread `tid` of `nthreads` executes for a loop
+    /// of `n` iterations, in execution order.
+    pub fn ranges(&self, tid: usize, nthreads: usize, n: usize) -> Vec<Range<usize>> {
+        assert!(tid < nthreads, "tid {tid} out of {nthreads}");
+        match *self {
+            Schedule::Static => {
+                // OpenMP static: ⌈n/p⌉-ish blocks, first `rem` threads get
+                // one extra iteration.
+                let base = n / nthreads;
+                let rem = n % nthreads;
+                let lo = tid * base + tid.min(rem);
+                let hi = lo + base + usize::from(tid < rem);
+                if lo < hi {
+                    // One contiguous range per thread (a Vec<Range>, not a
+                    // range expansion).
+                    #[allow(clippy::single_range_in_vec_init)]
+                    {
+                        vec![lo..hi]
+                    }
+                } else {
+                    vec![]
+                }
+            }
+            Schedule::StaticChunk(c) | Schedule::Dynamic(c) => {
+                let c = c.max(1);
+                let mut out = Vec::new();
+                let mut chunk = 0;
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + c).min(n);
+                    if chunk % nthreads == tid {
+                        out.push(lo..hi);
+                    }
+                    lo = hi;
+                    chunk += 1;
+                }
+                out
+            }
+            Schedule::Guided(cmin) => {
+                let cmin = cmin.max(1);
+                let mut out = Vec::new();
+                let mut remaining = n;
+                let mut lo = 0;
+                let mut chunk = 0;
+                while remaining > 0 {
+                    let c = (remaining.div_ceil(nthreads)).max(cmin).min(remaining);
+                    if chunk % nthreads == tid {
+                        out.push(lo..lo + c);
+                    }
+                    lo += c;
+                    remaining -= c;
+                    chunk += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Total iterations thread `tid` executes.
+    pub fn count(&self, tid: usize, nthreads: usize, n: usize) -> usize {
+        self.ranges(tid, nthreads, n).iter().map(|r| r.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_exactly(s: Schedule, nthreads: usize, n: usize) {
+        let mut seen = vec![0u32; n];
+        for tid in 0..nthreads {
+            for r in s.ranges(tid, nthreads, n) {
+                for i in r {
+                    seen[i] += 1;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "{s:?} p={nthreads} n={n}: not a partition"
+        );
+    }
+
+    #[test]
+    fn static_blocks_are_balanced() {
+        let s = Schedule::Static;
+        assert_eq!(s.ranges(0, 4, 10), vec![0..3]);
+        assert_eq!(s.ranges(1, 4, 10), vec![3..6]);
+        assert_eq!(s.ranges(2, 4, 10), vec![6..8]);
+        assert_eq!(s.ranges(3, 4, 10), vec![8..10]);
+    }
+
+    #[test]
+    fn static_more_threads_than_iterations() {
+        let s = Schedule::Static;
+        assert_eq!(s.ranges(0, 8, 3), vec![0..1]);
+        assert_eq!(s.ranges(3, 8, 3), vec![]);
+        covers_exactly(s, 8, 3);
+    }
+
+    #[test]
+    fn chunked_round_robin() {
+        let s = Schedule::StaticChunk(2);
+        assert_eq!(s.ranges(0, 2, 8), vec![0..2, 4..6]);
+        assert_eq!(s.ranges(1, 2, 8), vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn guided_chunks_shrink() {
+        let s = Schedule::Guided(1);
+        let all: Vec<_> = (0..2).flat_map(|t| s.ranges(t, 2, 100)).collect();
+        let mut sizes: Vec<usize> = all.iter().map(|r| r.len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(sizes[0] >= 50, "first guided chunk is ~n/p: {sizes:?}");
+        assert!(sizes[sizes.len() - 1] >= 1);
+    }
+
+    #[test]
+    fn zero_iterations() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(4),
+            Schedule::Dynamic(4),
+            Schedule::Guided(2),
+        ] {
+            assert!(s.ranges(0, 4, 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(3),
+            Schedule::Dynamic(5),
+            Schedule::Guided(2),
+        ] {
+            for p in [1, 2, 3, 8] {
+                for n in [0, 1, 7, 100, 1023] {
+                    let total: usize = (0..p).map(|t| s.count(t, p, n)).sum();
+                    assert_eq!(total, n, "{s:?} p={p} n={n}");
+                }
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn any_schedule() -> impl Strategy<Value = Schedule> {
+            prop_oneof![
+                Just(Schedule::Static),
+                (1usize..16).prop_map(Schedule::StaticChunk),
+                (1usize..16).prop_map(Schedule::Dynamic),
+                (1usize..16).prop_map(Schedule::Guided),
+            ]
+        }
+
+        proptest! {
+            /// Every schedule partitions 0..n exactly (no drops, no dups).
+            #[test]
+            fn partitions(s in any_schedule(), p in 1usize..9, n in 0usize..400) {
+                covers_exactly(s, p, n);
+            }
+
+            /// Static is maximally balanced: thread loads differ by ≤ 1.
+            #[test]
+            fn static_balance(p in 1usize..9, n in 0usize..400) {
+                let counts: Vec<usize> =
+                    (0..p).map(|t| Schedule::Static.count(t, p, n)).collect();
+                let min = counts.iter().min().unwrap();
+                let max = counts.iter().max().unwrap();
+                prop_assert!(max - min <= 1);
+            }
+
+            /// Ranges are disjoint, in-bounds and ordered per thread.
+            #[test]
+            fn ranges_well_formed(s in any_schedule(), p in 1usize..9, n in 0usize..400) {
+                for t in 0..p {
+                    let rs = s.ranges(t, p, n);
+                    for w in rs.windows(2) {
+                        prop_assert!(w[0].end <= w[1].start);
+                    }
+                    for r in &rs {
+                        prop_assert!(r.start < r.end);
+                        prop_assert!(r.end <= n);
+                    }
+                }
+            }
+        }
+    }
+}

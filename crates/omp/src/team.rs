@@ -1,0 +1,566 @@
+//! Fork/join teams and the per-thread tracing context.
+//!
+//! [`Team`] accumulates a program as a sequence of regions; [`Par`] is the
+//! handle a thread body uses to perform *traced* work: loads/stores against
+//! [`Array`]s, FP work, branches and worksharing loops. The numerics happen
+//! natively; the trace captures their architectural footprint.
+
+use paxsim_machine::trace::{ProgramTrace, RegionTrace, TraceBuf};
+
+use crate::mem::Array;
+use crate::schedule::Schedule;
+
+/// Reduction scratch lines live here: one cache line per (reduction, thread)
+/// so partial-result stores behave like a padded OpenMP reduction array.
+const REDUX_BASE: u64 = 0x0e00_0000_0000;
+/// Lock words for `critical` / atomic updates.
+const LOCK_BASE: u64 = 0x0e80_0000_0000;
+
+/// A `sections` body: one closure per OpenMP section.
+pub type SectionBody<'a> = Box<dyn FnMut(&mut Par) + 'a>;
+
+/// Per-thread execution/tracing context passed to region bodies.
+pub struct Par<'a> {
+    /// This thread's id within the team.
+    pub tid: usize,
+    /// Team size.
+    pub nthreads: usize,
+    schedule: Schedule,
+    /// Static code-footprint expansion (see [`Team::set_code_expansion`]).
+    code_expansion: u32,
+    code_rot: u32,
+    trace: &'a mut TraceBuf,
+}
+
+impl<'a> Par<'a> {
+    /// Traced streaming load: returns `a[i]` and records the access.
+    #[inline]
+    pub fn ld<T: Copy>(&mut self, a: &Array<T>, i: usize) -> T {
+        self.trace.load(a.addr(i));
+        a.get(i)
+    }
+
+    /// Traced dependent load (critical path: pointer chase / gather index).
+    #[inline]
+    pub fn ld_dep<T: Copy>(&mut self, a: &Array<T>, i: usize) -> T {
+        self.trace.load_dep(a.addr(i));
+        a.get(i)
+    }
+
+    /// Traced store.
+    #[inline]
+    pub fn st<T: Copy>(&mut self, a: &mut Array<T>, i: usize, v: T) {
+        self.trace.store(a.addr(i));
+        a.set(i, v);
+    }
+
+    /// Traced read-modify-write (`a[i] = f(a[i])`): one load + one store.
+    #[inline]
+    pub fn rmw<T: Copy>(&mut self, a: &mut Array<T>, i: usize, f: impl FnOnce(T) -> T) {
+        let v = self.ld(a, i);
+        self.st(a, i, f(v));
+    }
+
+    /// Record `n` uops of FP/ALU work.
+    #[inline]
+    pub fn flops(&mut self, n: u32) {
+        self.trace.flops(n);
+    }
+
+    /// Emit a streaming load at a raw simulated address (for access
+    /// patterns the typed helpers cannot express, e.g. computed scatter
+    /// targets).
+    #[inline]
+    pub fn raw_load(&mut self, addr: u64) {
+        self.trace.load(addr);
+    }
+
+    /// Emit a dependent load at a raw simulated address.
+    #[inline]
+    pub fn raw_load_dep(&mut self, addr: u64) {
+        self.trace.load_dep(addr);
+    }
+
+    /// Emit a store at a raw simulated address.
+    #[inline]
+    pub fn raw_store(&mut self, addr: u64) {
+        self.trace.store(addr);
+    }
+
+    /// Record a conditional branch outcome at static site `site`.
+    #[inline]
+    pub fn branch(&mut self, site: u32, taken: bool) {
+        self.trace.branch(site, taken);
+    }
+
+    /// Record entry into basic block `bb` costing `uops` front-end uops.
+    ///
+    /// With a code expansion factor `E > 1` the site is fanned out over
+    /// `E` distinct block ids in rotation, modeling the large unrolled
+    /// loop bodies of the real (Fortran) benchmarks whose decoded
+    /// footprint pressures the 12 Kuop trace cache.
+    #[inline]
+    pub fn block(&mut self, bb: u32, uops: u16) {
+        let rot = self.code_rot;
+        if self.code_expansion > 1 {
+            self.code_rot = (self.code_rot + 1) % self.code_expansion;
+        }
+        self.trace.block(bb * 256 + rot, uops);
+    }
+
+    /// A worksharing loop over `0..n` using the region's schedule. Emits
+    /// the loop's block fetch and back-branch per iteration, then calls
+    /// `body(self, i)` for each iteration owned by this thread.
+    pub fn for_static(
+        &mut self,
+        site: u32,
+        uops_per_iter: u16,
+        n: usize,
+        mut body: impl FnMut(&mut Self, usize),
+    ) {
+        let sched = self.schedule;
+        self.for_sched(site, uops_per_iter, sched, n, &mut body);
+    }
+
+    /// A worksharing loop with an explicit schedule.
+    pub fn for_sched(
+        &mut self,
+        site: u32,
+        uops_per_iter: u16,
+        sched: Schedule,
+        n: usize,
+        body: &mut impl FnMut(&mut Self, usize),
+    ) {
+        let ranges = sched.ranges(self.tid, self.nthreads, n);
+        let last_range = ranges.len().saturating_sub(1);
+        for (ri, r) in ranges.into_iter().enumerate() {
+            let end = r.end;
+            for i in r {
+                self.block(site, uops_per_iter);
+                body(self, i);
+                let more = i + 1 < end || ri < last_range;
+                self.branch(site, more);
+            }
+        }
+    }
+
+    /// A thread-local (sequential) counted loop: fetch + body + back-branch
+    /// per iteration.
+    pub fn lp(
+        &mut self,
+        site: u32,
+        uops_per_iter: u16,
+        count: usize,
+        mut body: impl FnMut(&mut Self, usize),
+    ) {
+        for k in 0..count {
+            self.block(site, uops_per_iter);
+            body(self, k);
+            self.branch(site, k + 1 < count);
+        }
+    }
+
+    /// A collapsed 2-D worksharing loop (`collapse(2)`): the `n × m`
+    /// iteration space is flattened and divided by the region's schedule;
+    /// `body` receives `(i, j)` with `i` the slow dimension.
+    pub fn for_collapse2(
+        &mut self,
+        site: u32,
+        uops_per_iter: u16,
+        n: usize,
+        m: usize,
+        mut body: impl FnMut(&mut Self, usize, usize),
+    ) {
+        assert!(m > 0 || n == 0, "empty inner dimension with outer work");
+        self.for_static(site, uops_per_iter, n * m, |p, idx| {
+            body(p, idx / m, idx % m);
+        });
+    }
+
+    /// Model an atomic update under lock word `lock_id`: acquire (dependent
+    /// load), a couple of ALU uops, release (store). Lock contention is a
+    /// timing approximation — traces are fixed at generation time — but the
+    /// coherence-miss traffic on the lock line is real.
+    pub fn atomic(&mut self, lock_id: u32) {
+        let addr = LOCK_BASE + lock_id as u64 * 64;
+        self.trace.load_dep(addr);
+        self.trace.flops(2);
+        self.trace.store(addr);
+    }
+}
+
+/// A fork/join team building a traced program.
+pub struct Team {
+    name: String,
+    nthreads: usize,
+    regions: Vec<RegionTrace>,
+    schedule: Schedule,
+    code_expansion: u32,
+    redux_count: u32,
+}
+
+impl Team {
+    /// Create a team of `nthreads` OpenMP threads building program `name`.
+    pub fn new(name: impl Into<String>, nthreads: usize) -> Self {
+        assert!(nthreads >= 1);
+        Self {
+            name: name.into(),
+            nthreads,
+            regions: Vec::new(),
+            schedule: Schedule::Static,
+            code_expansion: 1,
+            redux_count: 0,
+        }
+    }
+
+    /// Set the default worksharing schedule for subsequent regions.
+    pub fn set_schedule(&mut self, s: Schedule) {
+        self.schedule = s;
+    }
+
+    /// Set the static code-footprint expansion for subsequent regions:
+    /// each [`Par::block`] site rotates over `e` distinct block ids,
+    /// multiplying the program's decoded-code footprint. Benchmarks pick
+    /// `e` so their footprint relative to the 12 Kuop trace cache matches
+    /// the real code's (NAS Fortran bodies are far larger than our traced
+    /// loop skeletons).
+    pub fn set_code_expansion(&mut self, e: u32) {
+        assert!(
+            (1..=256).contains(&e),
+            "expansion must stay within a site's id window"
+        );
+        self.code_expansion = e;
+    }
+
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Execute a parallel region: `f` runs once per thread (sequentially,
+    /// in thread order) with that thread's tracing context; an implicit
+    /// barrier ends the region.
+    pub fn parallel(&mut self, label: &str, mut f: impl FnMut(&mut Par)) {
+        let mut bufs = Vec::with_capacity(self.nthreads);
+        for tid in 0..self.nthreads {
+            let mut buf = TraceBuf::new();
+            let mut par = Par {
+                tid,
+                nthreads: self.nthreads,
+                schedule: self.schedule,
+                code_expansion: self.code_expansion,
+                code_rot: 0,
+                trace: &mut buf,
+            };
+            f(&mut par);
+            bufs.push(buf);
+        }
+        self.regions.push(RegionTrace::labeled(bufs, label));
+    }
+
+    /// Execute a serial (master-only) section: `f` runs once as thread 0;
+    /// the other threads idle at the closing barrier.
+    pub fn serial(&mut self, label: &str, f: impl FnOnce(&mut Par)) {
+        let mut bufs: Vec<TraceBuf> = (0..self.nthreads).map(|_| TraceBuf::new()).collect();
+        let mut par = Par {
+            tid: 0,
+            nthreads: self.nthreads,
+            schedule: self.schedule,
+            code_expansion: self.code_expansion,
+            code_rot: 0,
+            trace: &mut bufs[0],
+        };
+        f(&mut par);
+        self.regions.push(RegionTrace::labeled(bufs, label));
+    }
+
+    /// A parallel region with an OpenMP `reduction` clause: each thread's
+    /// body returns its partial, partials are combined with `combine`, and
+    /// the trace reflects the runtime's padded-partials + master-combine
+    /// protocol.
+    pub fn parallel_reduce<R: Copy>(
+        &mut self,
+        label: &str,
+        init: R,
+        combine: impl Fn(R, R) -> R,
+        mut f: impl FnMut(&mut Par) -> R,
+    ) -> R {
+        let redux = self.redux_count;
+        self.redux_count += 1;
+        let slot = |tid: usize| REDUX_BASE + (redux as u64) * 4096 + (tid as u64) * 64;
+
+        let mut acc = init;
+        let mut bufs = Vec::with_capacity(self.nthreads);
+        for tid in 0..self.nthreads {
+            let mut buf = TraceBuf::new();
+            let mut par = Par {
+                tid,
+                nthreads: self.nthreads,
+                schedule: self.schedule,
+                code_expansion: self.code_expansion,
+                code_rot: 0,
+                trace: &mut buf,
+            };
+            let partial = f(&mut par);
+            acc = combine(acc, partial);
+            // Publish the partial to the padded reduction array.
+            buf.store(slot(tid));
+            bufs.push(buf);
+        }
+        // Master combines the partials after the barrier.
+        if self.nthreads > 1 {
+            for tid in 0..self.nthreads {
+                bufs[0].load_dep(slot(tid));
+                bufs[0].flops(1);
+            }
+        }
+        self.regions.push(RegionTrace::labeled(bufs, label));
+        acc
+    }
+
+    /// OpenMP `sections`: each closure in `sections` runs exactly once,
+    /// dealt round-robin over the threads (the reference distribution for
+    /// static sections). Threads with no section idle at the barrier.
+    pub fn parallel_sections(&mut self, label: &str, sections: Vec<SectionBody<'_>>) {
+        let nthreads = self.nthreads;
+        let mut sections = sections;
+        let mut bufs: Vec<TraceBuf> = (0..nthreads).map(|_| TraceBuf::new()).collect();
+        for (si, sec) in sections.iter_mut().enumerate() {
+            let tid = si % nthreads;
+            let mut par = Par {
+                tid,
+                nthreads,
+                schedule: self.schedule,
+                code_expansion: self.code_expansion,
+                code_rot: 0,
+                trace: &mut bufs[tid],
+            };
+            sec(&mut par);
+        }
+        self.regions.push(RegionTrace::labeled(bufs, label));
+    }
+
+    /// Number of regions recorded so far.
+    pub fn regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Finalize into a replayable program trace.
+    pub fn finish(self) -> ProgramTrace {
+        let mut p = ProgramTrace::new(self.name, self.nthreads);
+        for r in self.regions {
+            p.push_region(r);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Arena;
+
+    #[test]
+    fn parallel_region_traces_every_thread() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_with::<f64>("a", 64, 2.0);
+        let mut team = Team::new("t", 4);
+        team.parallel("sum", |p| {
+            let mut s = 0.0;
+            p.for_static(1, 2, 64, |p, i| {
+                s += p.ld(&a, i);
+            });
+            assert_eq!(s, 2.0 * 16.0); // 64 iterations / 4 threads
+        });
+        let prog = team.finish();
+        assert_eq!(prog.regions.len(), 1);
+        for t in &prog.regions[0].threads {
+            assert!(t.len() > 0, "every thread traced");
+            assert_eq!(t.memory_ops(), 16);
+        }
+    }
+
+    #[test]
+    fn sequential_semantics_match_native_loop() {
+        // The traced computation must produce the same values as plain Rust.
+        let mut arena = Arena::new();
+        let mut x = arena.alloc::<f64>("x", 100);
+        let mut team = Team::new("t", 3);
+        team.parallel("fill", |p| {
+            p.for_static(1, 2, 100, |p, i| {
+                p.st(&mut x, i, (i * i) as f64);
+            });
+        });
+        for i in 0..100 {
+            assert_eq!(x.get(i), (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn serial_region_only_master_traced() {
+        let mut team = Team::new("t", 4);
+        team.serial("setup", |p| {
+            p.flops(100);
+        });
+        let prog = team.finish();
+        let r = &prog.regions[0];
+        assert_eq!(r.threads[0].instructions(), 100);
+        for t in &r.threads[1..] {
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn reduction_combines_and_traces_protocol() {
+        let mut team = Team::new("t", 4);
+        let total = team.parallel_reduce("red", 0i64, |a, b| a + b, |p| (p.tid as i64 + 1) * 10);
+        assert_eq!(total, 10 + 20 + 30 + 40);
+        let prog = team.finish();
+        let r = &prog.regions[0];
+        // Each thread stores a partial; master also loads all four.
+        assert_eq!(r.threads[3].memory_ops(), 1);
+        assert_eq!(r.threads[0].memory_ops(), 1 + 4);
+    }
+
+    #[test]
+    fn reduction_slots_are_padded() {
+        // Two reductions and two threads: all four slots on distinct lines.
+        let mut team = Team::new("t", 2);
+        team.parallel_reduce("r1", 0.0, |a: f64, b| a + b, |_| 1.0);
+        team.parallel_reduce("r2", 0.0, |a: f64, b| a + b, |_| 1.0);
+        let prog = team.finish();
+        let mut lines = std::collections::HashSet::new();
+        for r in &prog.regions {
+            for t in &r.threads {
+                for op in t.ops() {
+                    if let paxsim_machine::op::Op::Store { addr } = op {
+                        assert!(lines.insert(addr / 64), "slot line reused");
+                    }
+                }
+            }
+        }
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn worksharing_respects_schedule() {
+        let mut team = Team::new("t", 2);
+        team.set_schedule(Schedule::StaticChunk(1));
+        let mut seen = vec![Vec::new(), Vec::new()];
+        team.parallel("ws", |p| {
+            let tid = p.tid;
+            p.for_static(1, 1, 6, |_, i| seen[tid].push(i));
+        });
+        // Round-robin chunks of 1 — but the closure runs once per thread,
+        // so each thread appended its own iterations.
+        assert_eq!(seen[0], vec![0, 2, 4]);
+        assert_eq!(seen[1], vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn loop_branch_pattern_taken_until_last() {
+        let mut team = Team::new("t", 1);
+        team.parallel("l", |p| {
+            p.lp(7, 1, 3, |_, _| {});
+        });
+        let prog = team.finish();
+        let ops = prog.regions[0].threads[0].ops().to_vec();
+        use paxsim_machine::op::Op;
+        let outcomes: Vec<bool> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Branch { taken, .. } => Some(*taken),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes, vec![true, true, false]);
+    }
+
+    #[test]
+    fn atomic_emits_lock_protocol() {
+        let mut team = Team::new("t", 1);
+        team.parallel("a", |p| p.atomic(3));
+        let prog = team.finish();
+        let t = &prog.regions[0].threads[0];
+        assert_eq!(t.memory_ops(), 2);
+        assert_eq!(t.instructions(), 4);
+    }
+
+    #[test]
+    fn rmw_traces_load_and_store() {
+        let mut arena = Arena::new();
+        let mut a = arena.alloc_with::<i32>("a", 4, 5);
+        let mut team = Team::new("t", 1);
+        team.parallel("rmw", |p| {
+            p.rmw(&mut a, 2, |v| v * 3);
+        });
+        assert_eq!(a.get(2), 15);
+        let prog = team.finish();
+        assert_eq!(prog.regions[0].threads[0].memory_ops(), 2);
+    }
+
+    #[test]
+    fn collapse2_partitions_full_product() {
+        let mut team = Team::new("t", 3);
+        let mut seen = std::collections::HashSet::new();
+        team.parallel("c2", |p| {
+            p.for_collapse2(1, 2, 4, 5, |_, i, j| {
+                assert!(seen.insert((i, j)), "duplicate ({i},{j})");
+            });
+        });
+        assert_eq!(seen.len(), 20);
+        for i in 0..4 {
+            for j in 0..5 {
+                assert!(seen.contains(&(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn sections_deal_round_robin() {
+        let mut team = Team::new("t", 2);
+        let ran = std::cell::RefCell::new(Vec::new());
+        team.parallel_sections(
+            "secs",
+            vec![
+                Box::new(|p: &mut Par| {
+                    ran.borrow_mut().push((0, p.tid));
+                    p.flops(10);
+                }),
+                Box::new(|p: &mut Par| {
+                    ran.borrow_mut().push((1, p.tid));
+                    p.flops(20);
+                }),
+                Box::new(|p: &mut Par| {
+                    ran.borrow_mut().push((2, p.tid));
+                    p.flops(30);
+                }),
+            ],
+        );
+        assert_eq!(&*ran.borrow(), &[(0, 0), (1, 1), (2, 0)]);
+        let prog = team.finish();
+        // Thread 0 ran sections 0 and 2 (10 + 30 uops), thread 1 ran 20.
+        assert_eq!(prog.regions[0].threads[0].instructions(), 40);
+        assert_eq!(prog.regions[0].threads[1].instructions(), 20);
+    }
+
+    #[test]
+    fn sections_fewer_than_threads_leave_idle_threads() {
+        let mut team = Team::new("t", 4);
+        team.parallel_sections("secs", vec![Box::new(|p: &mut Par| p.flops(5))]);
+        let prog = team.finish();
+        assert_eq!(prog.regions[0].threads[0].instructions(), 5);
+        for t in &prog.regions[0].threads[1..] {
+            assert!(t.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_thread_reduce_skips_combine_loop() {
+        let mut team = Team::new("t", 1);
+        let v = team.parallel_reduce("r", 0.0, |a: f64, b| a + b, |_| 2.5);
+        assert_eq!(v, 2.5);
+        let prog = team.finish();
+        // Just the publish store, no gather loop.
+        assert_eq!(prog.regions[0].threads[0].memory_ops(), 1);
+    }
+}

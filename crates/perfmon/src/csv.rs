@@ -1,0 +1,97 @@
+//! CSV export for downstream analysis (spreadsheets, plotting scripts).
+
+/// Escape one CSV field (RFC 4180: quote when needed, double the quotes).
+pub fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// A growable CSV document with a fixed header arity.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    columns: usize,
+    out: String,
+}
+
+impl Csv {
+    pub fn new<S: AsRef<str>>(header: &[S]) -> Self {
+        assert!(!header.is_empty());
+        let mut c = Csv {
+            columns: header.len(),
+            out: String::new(),
+        };
+        c.push_raw(header.iter().map(|s| s.as_ref().to_string()).collect());
+        c
+    }
+
+    fn push_raw(&mut self, fields: Vec<String>) {
+        assert_eq!(fields.len(), self.columns, "CSV row arity mismatch");
+        let line: Vec<String> = fields.iter().map(|f| escape(f)).collect();
+        self.out.push_str(&line.join(","));
+        self.out.push('\n');
+    }
+
+    /// Append a row of stringifiable fields.
+    pub fn row<S: ToString>(&mut self, fields: &[S]) -> &mut Self {
+        self.push_raw(fields.iter().map(|f| f.to_string()).collect());
+        self
+    }
+
+    pub fn rows(&self) -> usize {
+        self.out.lines().count() - 1
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Write the document to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn document_assembly() {
+        let mut c = Csv::new(&["bench", "config", "cycles"]);
+        c.row(&["cg", "CMT", "123"]);
+        c.row(&["lu", "HT on -8-2", "456"]);
+        assert_eq!(c.rows(), 2);
+        let lines: Vec<&str> = c.as_str().lines().collect();
+        assert_eq!(lines[0], "bench,config,cycles");
+        assert_eq!(lines[2], "lu,HT on -8-2,456");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_enforced() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["only"]);
+    }
+
+    #[test]
+    fn roundtrip_to_disk() {
+        let mut c = Csv::new(&["k", "v"]);
+        c.row(&["x", "1"]);
+        let dir = std::env::temp_dir().join("paxsim_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        c.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), c.as_str());
+    }
+}

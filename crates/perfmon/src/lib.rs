@@ -1,0 +1,16 @@
+//! # paxsim-perfmon
+//!
+//! VTune-style performance-data handling for the study: multi-trial
+//! statistics (the paper runs ten independent trials per point and reports
+//! box-and-whisker summaries for the cross-product experiment), derived
+//! metric tables in the layout of the paper's Figure 2 / Figure 4 panels,
+//! and plain-text rendering of tables, bar panels and box plots.
+
+pub mod csv;
+pub mod render;
+pub mod stats;
+pub mod table;
+
+pub use csv::Csv;
+pub use stats::{BoxWhisker, Summary};
+pub use table::Table;

@@ -1,0 +1,169 @@
+//! Text rendering of the paper's figure shapes: grouped bar panels
+//! (Figures 2–4) and box-and-whisker plots (Figure 5).
+
+use crate::stats::BoxWhisker;
+
+/// Render a horizontal bar panel: one labeled bar per (group, series)
+/// pair, scaled to `width` characters at the maximum value.
+///
+/// This is the text analogue of one Figure 2 panel: `groups` are the
+/// benchmarks, `series` are the hardware configurations.
+pub fn bar_panel(
+    title: &str,
+    groups: &[String],
+    series: &[String],
+    // values[g][s]
+    values: &[Vec<f64>],
+    width: usize,
+) -> String {
+    assert_eq!(values.len(), groups.len(), "one value row per group");
+    let label_w = series.iter().map(|s| s.chars().count()).max().unwrap_or(0);
+    let vmax = values
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"=".repeat(title.chars().count()));
+    out.push('\n');
+    for (g, group) in groups.iter().enumerate() {
+        assert_eq!(values[g].len(), series.len(), "one value per series");
+        out.push_str(group);
+        out.push('\n');
+        for (s, series_name) in series.iter().enumerate() {
+            let v = values[g][s];
+            let n = ((v / vmax) * width as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "  {series_name:<label_w$} |{} {v:.4}\n",
+                "#".repeat(n.min(width)),
+            ));
+        }
+    }
+    out
+}
+
+/// Render box-and-whisker rows on a shared horizontal axis:
+/// `min |--[ q1 | median | q3 ]--| max` per labeled entry.
+pub fn box_plot(title: &str, entries: &[(String, BoxWhisker)], width: usize) -> String {
+    assert!(width >= 20, "box plot needs at least 20 columns");
+    let lo = entries
+        .iter()
+        .map(|(_, b)| b.min)
+        .fold(f64::INFINITY, f64::min);
+    let hi = entries
+        .iter()
+        .map(|(_, b)| b.max)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let col = |v: f64| -> usize { (((v - lo) / span) * (width - 1) as f64).round() as usize };
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"=".repeat(title.chars().count()));
+    out.push('\n');
+    for (label, b) in entries {
+        let mut lane = vec![' '; width];
+        let (cmin, cq1, cmed, cq3, cmax) =
+            (col(b.min), col(b.q1), col(b.median), col(b.q3), col(b.max));
+        for c in lane.iter_mut().take(cq1).skip(cmin) {
+            *c = '-';
+        }
+        for c in lane.iter_mut().take(cmax).skip(cq3) {
+            *c = '-';
+        }
+        for c in lane.iter_mut().take(cq3 + 1).skip(cq1) {
+            *c = '=';
+        }
+        lane[cmin] = '+';
+        lane[cmax] = '+';
+        lane[cq1] = '[';
+        lane[cq3.max(cq1)] = ']';
+        lane[cmed] = '|';
+        out.push_str(&format!(
+            "{label:<label_w$} {}  (med {:.2}, IQR {:.2}–{:.2}, range {:.2}–{:.2})\n",
+            lane.iter().collect::<String>(),
+            b.median,
+            b.q1,
+            b.q3,
+            b.min,
+            b.max
+        ));
+    }
+    out.push_str(&format!(
+        "{:label_w$} {:<w$.2}{:>.2}\n",
+        "",
+        lo,
+        hi,
+        w = width.saturating_sub(4)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_panel_scales_to_max() {
+        let out = bar_panel(
+            "CPI",
+            &["cg".into()],
+            &["serial".into(), "smt".into()],
+            &[vec![1.0, 2.0]],
+            10,
+        );
+        let long = out.lines().find(|l| l.contains("smt")).unwrap();
+        let short = out.lines().find(|l| l.contains("serial")).unwrap();
+        assert!(long.matches('#').count() == 10);
+        assert!(short.matches('#').count() == 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn bar_panel_checks_arity() {
+        let _ = bar_panel(
+            "x",
+            &["g".into()],
+            &["a".into(), "b".into()],
+            &[vec![1.0]],
+            10,
+        );
+    }
+
+    #[test]
+    fn box_plot_contains_markers() {
+        let b = BoxWhisker::of(&[1.0, 2.0, 3.0, 4.0, 10.0]);
+        let out = box_plot("Speedup", &[("cfg".into(), b)], 40);
+        assert!(out.contains('['));
+        assert!(out.contains(']'));
+        assert!(out.contains('|'));
+        assert!(out.contains("med 3.00"));
+    }
+
+    #[test]
+    fn box_plot_degenerate_distribution() {
+        // All samples equal: must not panic, all markers collapse.
+        let b = BoxWhisker::of(&[2.0, 2.0, 2.0]);
+        let out = box_plot("d", &[("x".into(), b)], 30);
+        assert!(out.contains("med 2.00"));
+    }
+
+    #[test]
+    fn box_plot_multiple_rows_share_axis() {
+        let a = BoxWhisker::of(&[1.0, 2.0, 3.0]);
+        let b = BoxWhisker::of(&[4.0, 5.0, 6.0]);
+        let out = box_plot("s", &[("a".into(), a), ("b".into(), b)], 30);
+        let la = out.lines().find(|l| l.starts_with("a ")).unwrap();
+        let lb = out.lines().find(|l| l.starts_with("b ")).unwrap();
+        // 'a' occupies the left half, 'b' the right half.
+        assert!(la.find('[').unwrap() < lb.find('[').unwrap());
+    }
+}

@@ -1,0 +1,168 @@
+//! Plain-text tables for paper-style reporting.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Set the header row.
+    pub fn header<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a data row (must match the header arity if one is set).
+    pub fn row<S: Into<String>>(&mut self, cols: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cols.into_iter().map(Into::into).collect();
+        if !self.header.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.header.len(),
+                "row arity {} != header arity {}",
+                row.len(),
+                self.header.len()
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with padded columns: first column left-aligned, the rest
+    /// right-aligned (numeric convention).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut out = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let pad = width.saturating_sub(cell.chars().count());
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.trim_end().to_string()
+        };
+
+        let mut s = String::new();
+        if !self.title.is_empty() {
+            s.push_str(&self.title);
+            s.push('\n');
+            s.push_str(&"=".repeat(self.title.chars().count()));
+            s.push('\n');
+        }
+        if !self.header.is_empty() {
+            let h = fmt_row(&self.header);
+            let w = h.chars().count();
+            s.push_str(&h);
+            s.push('\n');
+            s.push_str(&"-".repeat(w));
+            s.push('\n');
+        }
+        for row in &self.rows {
+            s.push_str(&fmt_row(row));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format a ratio with two decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo").header(["name", "value"]);
+        t.row(["alpha", "1.00"]);
+        t.row(["b", "22.50"]);
+        let out = t.render();
+        assert!(out.contains("Demo\n====\n"));
+        let lines: Vec<&str> = out.lines().collect();
+        // Right-aligned numeric column: both values end at same offset.
+        let a = lines.iter().find(|l| l.contains("alpha")).unwrap();
+        let b = lines.iter().find(|l| l.starts_with("b")).unwrap();
+        assert_eq!(a.chars().count(), b.chars().count());
+        assert!(a.ends_with("1.00"));
+        assert!(b.ends_with("22.50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x").header(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn headerless_table() {
+        let mut t = Table::new("");
+        t.row(["x", "y"]);
+        assert_eq!(t.render(), "x  y\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(ratio(2.71828), "2.72");
+    }
+
+    #[test]
+    fn counts() {
+        let mut t = Table::new("t").header(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        t.row(["2"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Large-page study: the follow-up question the paper's line of work went
+//! on to ask ("Improving Scalability of OpenMP Applications on Multi-core
+//! Systems Using Large Page Support") — answered on the simulator by
+//! booting the machine model with 2 MB pages instead of 4 KB.
+//!
+//! The strided line solves of SP/BT walk one page per plane, so their DTLB
+//! behaviour is the sensitive target.
+//!
+//! ```sh
+//! cargo run --release --example large_pages
+//! ```
+
+use paxsim_core::prelude::*;
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_nas::{Class, KernelId};
+use paxsim_omp::schedule::Schedule;
+use paxsim_perfmon::table::Table;
+
+fn main() {
+    let store = TraceStore::new();
+    let small = paxsim_machine::config::MachineConfig::paxville_smp();
+    let mut large = small.clone();
+    large.page = 2 * 1024 * 1024;
+
+    let mut t = Table::new("4 KB vs 2 MB pages (class T)").header([
+        "Benchmark",
+        "Config",
+        "DTLB misses (4K)",
+        "DTLB misses (2M)",
+        "Cycles (4K)",
+        "Cycles (2M)",
+        "Speedup from large pages",
+    ]);
+    for bench in [KernelId::Sp, KernelId::Bt, KernelId::Cg] {
+        for cfg_name in ["CMT", "CMT-based SMP"] {
+            let cfg = config_by_name(cfg_name).unwrap();
+            let trace = store.get(TraceKey {
+                kernel: bench,
+                class: Class::T,
+                nthreads: cfg.threads,
+                schedule: Schedule::Static,
+            });
+            let a = simulate(
+                &small,
+                vec![JobSpec::pinned(trace.clone(), cfg.contexts.clone())],
+            );
+            let b = simulate(&large, vec![JobSpec::pinned(trace, cfg.contexts.clone())]);
+            t.row([
+                bench.to_string(),
+                cfg.name.clone(),
+                a.jobs[0].counters.dtlb_miss().to_string(),
+                b.jobs[0].counters.dtlb_miss().to_string(),
+                a.jobs[0].cycles.to_string(),
+                b.jobs[0].cycles.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * (a.jobs[0].cycles as f64 / b.jobs[0].cycles as f64 - 1.0)
+                ),
+            ]);
+        }
+    }
+    println!("{t}");
+}

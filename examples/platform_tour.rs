@@ -1,0 +1,86 @@
+//! Platform tour: reproduce the paper's Section 3 characterization and
+//! poke at the machine model directly — latency curve, bandwidth scaling,
+//! and what turning hardware features off does to a workload.
+//!
+//! ```sh
+//! cargo run --release --example platform_tour
+//! ```
+
+use paxsim_core::prelude::*;
+use paxsim_lmbench::{latency_sweep, read_bw_gbs, write_bw_gbs};
+use paxsim_machine::config::MachineConfig;
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_machine::topology::Lcpu;
+use paxsim_nas::{Class, KernelId};
+use paxsim_omp::schedule::Schedule;
+use paxsim_perfmon::table::Table;
+
+fn main() {
+    let cfg = MachineConfig::paxville_smp();
+
+    // lat_mem_rd-style latency curve.
+    println!("lat_mem_rd (pointer chase):");
+    let sizes = [
+        4 * 1024,
+        8 * 1024,
+        16 * 1024, // L1 region (16 KB)
+        64 * 1024,
+        512 * 1024,
+        2 * 1024 * 1024, // L2 region (2 MB)
+        8 * 1024 * 1024,
+        16 * 1024 * 1024, // DRAM
+    ];
+    for (bytes, ns) in latency_sweep(&cfg, &sizes) {
+        println!("  {:>9} B : {ns:6.2} ns", bytes);
+    }
+
+    // Section 3 calibration table.
+    println!();
+    println!("{}", platform_text(&calibrate(&cfg)));
+
+    // Bandwidth scaling with stream count.
+    let mut t =
+        Table::new("Stream bandwidth vs placement").header(["Streams", "Read GB/s", "Write GB/s"]);
+    for (name, ctxs) in [
+        ("1 (one core)", vec![Lcpu::B0]),
+        ("2 (one chip)", vec![Lcpu::B0, Lcpu::B1]),
+        ("2 (two chips)", vec![Lcpu::B0, Lcpu::B2]),
+        (
+            "4 (two chips)",
+            vec![Lcpu::B0, Lcpu::B1, Lcpu::B2, Lcpu::B3],
+        ),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{:.2}", read_bw_gbs(&cfg, &ctxs)),
+            format!("{:.2}", write_bw_gbs(&cfg, &ctxs)),
+        ]);
+    }
+    println!("{t}");
+
+    // What-if: run MG with the hardware prefetcher disabled.
+    let store = TraceStore::new();
+    let trace = store.get(TraceKey {
+        kernel: KernelId::Mg,
+        class: Class::T,
+        nthreads: 4,
+        schedule: Schedule::Static,
+    });
+    let cmp_smp = config_by_name("CMP-based SMP").unwrap();
+    let on = simulate(
+        &cfg,
+        vec![JobSpec::pinned(trace.clone(), cmp_smp.contexts.clone())],
+    );
+    let mut no_pf = cfg.clone();
+    no_pf.prefetch = false;
+    let off = simulate(
+        &no_pf,
+        vec![JobSpec::pinned(trace, cmp_smp.contexts.clone())],
+    );
+    println!(
+        "MG on CMP-based SMP: prefetcher on = {} cycles, off = {} cycles ({:.1}% slower without it)",
+        on.jobs[0].cycles,
+        off.jobs[0].cycles,
+        100.0 * (off.jobs[0].cycles as f64 / on.jobs[0].cycles as f64 - 1.0)
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: run one NAS benchmark on two hardware configurations and
+//! compare what the paper's measurement methodology sees.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use paxsim_core::prelude::*;
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_nas::{Class, KernelId};
+use paxsim_omp::schedule::Schedule;
+
+fn main() {
+    // 1. Build (and verify) the benchmark once per thread count. The trace
+    //    captures the program's architectural behaviour and replays on any
+    //    hardware configuration.
+    let store = TraceStore::new();
+    let serial_trace = store.get(TraceKey {
+        kernel: KernelId::Cg,
+        class: Class::T,
+        nthreads: 1,
+        schedule: Schedule::Static,
+    });
+    let par_trace = store.get(TraceKey {
+        kernel: KernelId::Cg,
+        class: Class::T,
+        nthreads: 4,
+        schedule: Schedule::Static,
+    });
+    println!(
+        "built cg: {} regions, {} ops, {} instructions",
+        par_trace.regions.len(),
+        par_trace.total_ops(),
+        par_trace.instructions()
+    );
+
+    // 2. Simulate on the paper's machine: serial baseline, then the CMT
+    //    configuration (one dual-core chip with Hyper-Threading).
+    let machine = paxsim_machine::config::MachineConfig::paxville_smp();
+    let serial_cfg = serial();
+    let cmt = config_by_name("CMT").expect("Table 1 architecture");
+
+    let base = simulate(
+        &machine,
+        vec![JobSpec::pinned(serial_trace, serial_cfg.contexts.clone())],
+    );
+    let run = simulate(
+        &machine,
+        vec![JobSpec::pinned(par_trace, cmt.contexts.clone())],
+    );
+
+    // 3. Report what VTune would have shown.
+    let speedup = base.jobs[0].cycles as f64 / run.jobs[0].cycles as f64;
+    println!(
+        "serial: {} cycles   {} ({} = {}): {} cycles   speedup {speedup:.2}",
+        base.jobs[0].cycles,
+        cmt.name,
+        cmt.arch,
+        cmt.context_labels().join(","),
+        run.jobs[0].cycles,
+    );
+    let m = run.jobs[0].counters.metrics();
+    println!(
+        "CMT counters: CPI {:.2}  L1 miss {:.1}%  L2 miss {:.1}%  TC miss {:.2}%  \
+         branch pred {:.1}%  stalled {:.1}%  prefetch-bus {:.1}%",
+        m.cpi,
+        100.0 * m.l1_miss_rate,
+        100.0 * m.l2_miss_rate,
+        100.0 * m.tc_miss_rate,
+        100.0 * m.branch_prediction_rate,
+        100.0 * m.pct_stalled,
+        100.0 * m.pct_prefetch_bus,
+    );
+    assert!(speedup > 1.0, "CMT should beat serial on CG");
+}

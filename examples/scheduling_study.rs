@@ -1,0 +1,109 @@
+//! Scheduling study: the paper's future-work direction — "we are currently
+//! experimenting with other schedulers" — explored on the simulator.
+//!
+//! Compares OpenMP worksharing schedules (static, chunked, dynamic, guided)
+//! for an imbalanced workload (CG's rows have random lengths) across the
+//! fully loaded configurations, and compares thread-placement policies for
+//! a multi-program workload.
+//!
+//! ```sh
+//! cargo run --release --example scheduling_study
+//! ```
+
+use paxsim_core::prelude::*;
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_nas::{Class, KernelId};
+use paxsim_omp::os::{split_jobs, PlacementPolicy};
+use paxsim_omp::schedule::Schedule;
+use paxsim_perfmon::table::Table;
+
+fn main() {
+    let machine = paxsim_machine::config::MachineConfig::paxville_smp();
+    let store = TraceStore::new();
+
+    // Serial baseline for speedups.
+    let serial_trace = store.get(TraceKey {
+        kernel: KernelId::Cg,
+        class: Class::T,
+        nthreads: 1,
+        schedule: Schedule::Static,
+    });
+    let base = simulate(
+        &machine,
+        vec![JobSpec::pinned(serial_trace, serial().contexts)],
+    )
+    .jobs[0]
+        .cycles as f64;
+
+    // Part 1: loop schedules on the two fully loaded configurations.
+    let schedules = [
+        ("static", Schedule::Static),
+        ("static,8", Schedule::StaticChunk(8)),
+        ("dynamic,8", Schedule::Dynamic(8)),
+        ("guided,4", Schedule::Guided(4)),
+    ];
+    let mut t = Table::new("CG speedup by OpenMP schedule").header([
+        "Schedule",
+        "HT off -4-2",
+        "HT on -8-2",
+    ]);
+    for (name, sched) in schedules {
+        let mut row = vec![name.to_string()];
+        for cfg_name in ["HT off -4-2", "HT on -8-2"] {
+            let cfg = config_by_name(cfg_name).unwrap();
+            let trace = store.get(TraceKey {
+                kernel: KernelId::Cg,
+                class: Class::T,
+                nthreads: cfg.threads,
+                schedule: sched,
+            });
+            let out = simulate(&machine, vec![JobSpec::pinned(trace, cfg.contexts.clone())]);
+            row.push(format!("{:.2}", base / out.jobs[0].cycles as f64));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+
+    // Part 2: placement policy for a CG+FT pair on the CMP-based SMP —
+    // does packing a program per chip beat spreading it across chips?
+    let cfg = config_by_name("CMP-based SMP").unwrap();
+    let per = cfg.threads / 2;
+    let cg = store.get(TraceKey {
+        kernel: KernelId::Cg,
+        class: Class::T,
+        nthreads: per,
+        schedule: Schedule::Static,
+    });
+    let ft = store.get(TraceKey {
+        kernel: KernelId::Ft,
+        class: Class::T,
+        nthreads: per,
+        schedule: Schedule::Static,
+    });
+    let mut t = Table::new("CG/FT pair on CMP-based SMP by placement policy").header([
+        "Policy",
+        "CG cycles",
+        "FT cycles",
+        "wall",
+    ]);
+    for (name, policy) in [
+        ("spread (one core per chip each)", PlacementPolicy::Spread),
+        ("packed (one chip per program)", PlacementPolicy::Packed),
+    ] {
+        let placements = split_jobs(&cfg.contexts, 2, policy);
+        let out = simulate(
+            &machine,
+            vec![
+                JobSpec::pinned(cg.clone(), placements[0].clone()),
+                JobSpec::pinned(ft.clone(), placements[1].clone()),
+            ],
+        );
+        t.row([
+            name.to_string(),
+            out.jobs[0].cycles.to_string(),
+            out.jobs[1].cycles.to_string(),
+            out.wall_cycles.to_string(),
+        ]);
+    }
+    println!("{t}");
+}

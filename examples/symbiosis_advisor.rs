@@ -1,0 +1,57 @@
+//! Symbiosis advisor: the paper's future work ("devising optimal
+//! schedulers") prototyped — compute the benchmark symbiosis matrix on the
+//! fully loaded machine and ask the placement advisor how to co-locate a
+//! compute/memory pair.
+//!
+//! ```sh
+//! cargo run --release --example symbiosis_advisor
+//! ```
+
+use paxsim_core::advisor::{advise_placement, symbiosis_matrix, symbiosis_text};
+use paxsim_core::prelude::*;
+use paxsim_nas::KernelId;
+
+fn main() {
+    let opts = StudyOptions::quick();
+    let store = TraceStore::new();
+
+    // Symbiosis of a representative benchmark set on the CMT-based SMP.
+    let cfg = config_by_name("CMT-based SMP").unwrap();
+    let benches = [
+        KernelId::Ep,
+        KernelId::Is,
+        KernelId::Cg,
+        KernelId::Ft,
+        KernelId::Lu,
+    ];
+    let matrix = symbiosis_matrix(&opts, &store, &benches, &cfg);
+    println!("{}", symbiosis_text(&matrix, &cfg));
+
+    let best = matrix
+        .iter()
+        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+        .unwrap();
+    let worst = matrix
+        .iter()
+        .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+        .unwrap();
+    println!(
+        "schedule together: {}/{} (score {:.2}); keep apart: {}/{} (score {:.2})\n",
+        best.pair.0, best.pair.1, best.score, worst.pair.0, worst.pair.1, worst.score
+    );
+
+    // Placement advice for the paper's CG/FT pair on the CMP-based SMP.
+    let cmp_smp = config_by_name("CMP-based SMP").unwrap();
+    let choices = advise_placement(&opts, &store, KernelId::Cg, KernelId::Ft, &cmp_smp);
+    println!("placement advice for cg/ft on {}:", cmp_smp.name);
+    for (rank, c) in choices.iter().enumerate() {
+        println!(
+            "  {}. {:?}: wall {} cycles (cg {}, ft {})",
+            rank + 1,
+            c.policy,
+            c.wall_cycles,
+            c.job_cycles[0],
+            c.job_cycles[1]
+        );
+    }
+}

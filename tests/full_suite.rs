@@ -1,0 +1,124 @@
+//! Integration: every NAS benchmark runs, verifies its numerics, and
+//! produces sane counters on every Table 1 configuration.
+
+use paxsim_core::prelude::*;
+use paxsim_machine::sim::{simulate, JobSpec};
+use paxsim_nas::{all_kernels, Class};
+use paxsim_omp::schedule::Schedule;
+
+#[test]
+fn every_benchmark_verifies_at_every_thread_count() {
+    for k in all_kernels() {
+        for threads in [1, 2, 4, 8] {
+            let built = k.build(Class::T, threads, Schedule::Static);
+            assert!(
+                built.verify.passed,
+                "{k} x{threads}: {}",
+                built.verify.details
+            );
+            assert_eq!(built.trace.nthreads, threads);
+            assert!(built.trace.instructions() > 0);
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_runs_on_every_configuration() {
+    let machine = paxsim_machine::config::MachineConfig::paxville_smp();
+    let store = TraceStore::new();
+    for k in all_kernels() {
+        for cfg in all_configs() {
+            let trace = store.get(TraceKey {
+                kernel: k,
+                class: Class::T,
+                nthreads: cfg.threads,
+                schedule: Schedule::Static,
+            });
+            let out = simulate(&machine, vec![JobSpec::pinned(trace, cfg.contexts.clone())]);
+            let c = &out.jobs[0].counters;
+            let m = c.metrics();
+            assert!(out.jobs[0].cycles > 0, "{k}/{}", cfg.name);
+            assert!(c.instructions > 0);
+            // All rates are well-formed.
+            for (name, v) in [
+                ("l1", m.l1_miss_rate),
+                ("l2", m.l2_miss_rate),
+                ("tc", m.tc_miss_rate),
+                ("itlb", m.itlb_miss_rate),
+                ("stall", m.pct_stalled),
+                ("bp", m.branch_prediction_rate),
+                ("pf", m.pct_prefetch_bus),
+            ] {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{k}/{}: {name} rate {v} out of range",
+                    cfg.name
+                );
+            }
+            assert!(
+                m.cpi > 0.0 && m.cpi < 100.0,
+                "{k}/{}: CPI {}",
+                cfg.name,
+                m.cpi
+            );
+            // Work is conserved: instruction counts do not depend on the
+            // hardware configuration for a given thread count.
+        }
+    }
+}
+
+#[test]
+fn instructions_independent_of_configuration() {
+    // Same trace, different hardware: identical retired instructions.
+    let machine = paxsim_machine::config::MachineConfig::paxville_smp();
+    let store = TraceStore::new();
+    let trace = store.get(TraceKey {
+        kernel: paxsim_nas::KernelId::Mg,
+        class: Class::T,
+        nthreads: 4,
+        schedule: Schedule::Static,
+    });
+    let mut counts = std::collections::HashSet::new();
+    for name in ["CMT", "SMT-based SMP", "CMP-based SMP"] {
+        let cfg = config_by_name(name).unwrap();
+        let out = simulate(
+            &machine,
+            vec![JobSpec::pinned(trace.clone(), cfg.contexts.clone())],
+        );
+        counts.insert(out.jobs[0].counters.instructions);
+    }
+    assert_eq!(
+        counts.len(),
+        1,
+        "retired work must be configuration-invariant"
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let run = || {
+        let opts = StudyOptions::quick().with_benchmarks(vec![paxsim_nas::KernelId::Is]);
+        let store = TraceStore::new();
+        let s = run_single_program(&opts, &store);
+        s.cells[0]
+            .iter()
+            .map(|c| (c.cycles.mean as u64, c.counters.l2_miss))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn more_contexts_never_increase_retired_work_per_benchmark() {
+    // Sanity on trace generation: total instructions grow only mildly with
+    // thread count (runtime overhead), never shrink below the serial work.
+    for k in all_kernels() {
+        let serial = k.build(Class::T, 1, Schedule::Static).trace.instructions();
+        let eight = k.build(Class::T, 8, Schedule::Static).trace.instructions();
+        assert!(eight as f64 >= serial as f64 * 0.98, "{k}: lost work");
+        assert!(
+            (eight as f64) < serial as f64 * 1.25,
+            "{k}: runtime overhead exploded: {serial} → {eight}"
+        );
+    }
+}

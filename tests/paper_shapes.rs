@@ -1,0 +1,224 @@
+//! Integration: the paper's qualitative claims (DESIGN.md §4 fidelity
+//! targets), asserted as *shapes* at tiny class. Absolute values are
+//! recorded against the paper in EXPERIMENTS.md; these tests pin down the
+//! orderings and directions that must not regress.
+
+use paxsim_core::multi::{paper_workloads, run_multi_program};
+use paxsim_core::prelude::*;
+use paxsim_nas::{paper_apps, KernelId};
+
+fn study() -> SingleStudy {
+    let opts = StudyOptions::quick();
+    run_single_program(&opts, &TraceStore::new())
+}
+
+#[test]
+fn platform_calibrates_to_paper_section3() {
+    let report = calibrate(&paxsim_machine::config::MachineConfig::paxville_smp());
+    assert!(
+        report.within(0.15),
+        "platform off by {:.1}% on {}",
+        report.worst().rel_err() * 100.0,
+        report.worst().name
+    );
+}
+
+#[test]
+fn fully_loaded_configurations_have_highest_average_speedup() {
+    // Paper: "the CMP-based SMP and CMT-based SMP configurations have the
+    // highest average speedup across all of the applications."
+    let s = study();
+    let mut avgs = s.average_speedups();
+    avgs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top2: Vec<&str> = avgs[..2].iter().map(|(a, _)| a.as_str()).collect();
+    assert!(top2.contains(&"CMP-based SMP"), "top2 = {top2:?}");
+    assert!(top2.contains(&"CMT-based SMP"), "top2 = {top2:?}");
+}
+
+#[test]
+fn ht_configurations_stall_more_than_their_ht_off_peers() {
+    // Paper §4.1.3: within groups 2–4, the HT-on member shows more stalled
+    // cycles than the HT-off member (thread contention for shared core
+    // resources). Assert it per group as a strong majority across apps.
+    let s = study();
+    let mut more = 0;
+    let mut total = 0;
+    for (off, on) in [
+        ("CMP", "CMT"),
+        ("SMP", "SMT-based SMP"),
+        ("CMP-based SMP", "CMT-based SMP"),
+    ] {
+        for &b in &s.benchmarks {
+            let v_off = s.cell(b, off).unwrap().metrics().pct_stalled;
+            let v_on = s.cell(b, on).unwrap().metrics().pct_stalled;
+            total += 1;
+            if v_on > v_off {
+                more += 1;
+            }
+        }
+    }
+    assert!(
+        more * 4 >= total * 3,
+        "HT-on should stall more in ≥75% of group comparisons: {more}/{total}"
+    );
+}
+
+#[test]
+fn ht_configurations_have_higher_cpi_within_groups() {
+    // Paper §4.1.6: HT-on configurations show higher CPI than the HT-off
+    // member of their group (per-thread efficiency drops under sharing).
+    let s = study();
+    for (off, on) in [
+        ("CMP", "CMT"),
+        ("SMP", "SMT-based SMP"),
+        ("CMP-based SMP", "CMT-based SMP"),
+    ] {
+        let mut worse = 0;
+        for &b in &s.benchmarks {
+            let c_off = s.cell(b, off).unwrap().metrics().cpi;
+            let c_on = s.cell(b, on).unwrap().metrics().cpi;
+            if c_on > c_off {
+                worse += 1;
+            }
+        }
+        assert!(
+            worse >= s.benchmarks.len() - 1,
+            "{on} should have higher CPI than {off} for nearly all apps ({worse}/{})",
+            s.benchmarks.len()
+        );
+    }
+}
+
+#[test]
+fn l1_miss_rates_are_flat_across_configurations() {
+    // Paper §4.1.1: "The L1 cache miss rates are flat across the different
+    // configurations."
+    let s = study();
+    for (bi, &b) in s.benchmarks.iter().enumerate() {
+        let rates: Vec<f64> = s.cells[bi]
+            .iter()
+            .map(|c| c.metrics().l1_miss_rate)
+            .collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max - min < 0.12,
+            "{b}: L1 miss rate spread too large: {rates:?}"
+        );
+    }
+}
+
+#[test]
+fn lu_has_the_worst_trace_cache_behaviour() {
+    // Paper §4.1.7 discusses a benchmark with extreme trace-cache miss
+    // rates (up to 87.3%); in our suite LU is that benchmark by design.
+    let s = study();
+    let tc = |b: KernelId| s.cell(b, "CMP-based SMP").unwrap().metrics().tc_miss_rate;
+    for other in paper_apps() {
+        if other != KernelId::Lu {
+            assert!(
+                tc(KernelId::Lu) >= tc(other),
+                "LU TC {:.3} should top {other} {:.3}",
+                tc(KernelId::Lu),
+                tc(other)
+            );
+        }
+    }
+    assert!(
+        tc(KernelId::Lu) > 0.2,
+        "LU must be TC-bound: {}",
+        tc(KernelId::Lu)
+    );
+}
+
+#[test]
+fn group2_has_prefetch_headroom() {
+    // Paper §4.1.5: group 2 (one chip, two threads) "is the only group
+    // that has the memory bandwidth capacity left over" for prefetching.
+    // Shape: the CMP configuration shows at least as much prefetch share
+    // as the fully loaded CMT-based SMP for the bandwidth-hungry apps.
+    let s = study();
+    let mut wins = 0;
+    let mut total = 0;
+    for &b in &s.benchmarks {
+        let g2 = s.cell(b, "CMP").unwrap().metrics().pct_prefetch_bus;
+        let g4 = s
+            .cell(b, "CMT-based SMP")
+            .unwrap()
+            .metrics()
+            .pct_prefetch_bus;
+        total += 1;
+        if g2 >= g4 * 0.9 {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 2 >= total,
+        "group 2 should keep prefetch headroom ({wins}/{total})"
+    );
+}
+
+#[test]
+fn complementary_pairs_beat_homogeneous_pairs() {
+    // Paper §4.2.7: running the compute-bound and memory-bound programs
+    // together beats running two copies of the memory-bound one.
+    let opts = StudyOptions::quick();
+    let store = TraceStore::new();
+    let m = run_multi_program(&opts, &store, &paper_workloads());
+    let cfg = "CMP-based SMP";
+    let cg_with_ft = m.cell((KernelId::Cg, KernelId::Ft), cfg).unwrap().sides[0]
+        .cell
+        .speedup
+        .mean;
+    let cg_with_cg = m.cell((KernelId::Cg, KernelId::Cg), cfg).unwrap().sides[0]
+        .cell
+        .speedup
+        .mean;
+    assert!(
+        cg_with_ft > cg_with_cg,
+        "cg should prefer an FT co-runner: {cg_with_ft:.2} vs {cg_with_cg:.2}"
+    );
+}
+
+#[test]
+fn ht_on_architectures_show_widest_pair_spread() {
+    // Paper §4.3: "the large whiskers on the results for the HT on
+    // architectures."
+    let opts = StudyOptions::quick().with_benchmarks(vec![
+        KernelId::Ep,
+        KernelId::Cg,
+        KernelId::Ft,
+        KernelId::Lu,
+    ]);
+    let store = TraceStore::new();
+    let cross = run_cross_product(&opts, &store);
+    let range = |name: &str| {
+        cross
+            .boxes()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.range())
+            .unwrap()
+    };
+    let widest_on = range("HT on -8-2").max(range("HT on -4-1"));
+    let widest_off = range("HT off -4-2").max(range("HT off -2-1"));
+    assert!(
+        widest_on > widest_off,
+        "HT on spread {widest_on:.2} should exceed HT off {widest_off:.2}"
+    );
+}
+
+#[test]
+fn serial_region_time_shows_up_as_sync_not_stall() {
+    // Methodology check: barrier/serial waiting is reported separately
+    // from hardware stalls (the paper's stall counters are hardware
+    // events).
+    let s = study();
+    for (bi, _) in s.benchmarks.iter().enumerate() {
+        let serial_cell = &s.cells[bi][0];
+        assert_eq!(
+            serial_cell.counters.ticks_sync, 0,
+            "serial run cannot wait on itself"
+        );
+    }
+}
