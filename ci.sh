@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, lints, and a quick engine-throughput
+# run whose built-in differential check fails the script on any counter
+# drift between the optimized and reference engines.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== engine throughput (quick, zero-drift check) =="
+PAXSIM_BENCH_QUICK=1 cargo bench -p paxsim-bench --bench engine_throughput
+
+echo "ci.sh: all gates passed"

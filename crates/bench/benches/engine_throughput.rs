@@ -1,0 +1,208 @@
+//! Engine throughput: simulated uops per second of host wall-clock, fast
+//! path vs. the seed-shaped reference engine, with a zero-drift check.
+//!
+//! Beyond the usual criterion timings this target starts the repo's perf
+//! trajectory: it measures representative single-program workloads and a
+//! fig5-shaped sweep, then writes `BENCH_engine.json` at the workspace
+//! root so successive PRs can compare like for like. Any counter drift
+//! between the two engines aborts the run — the determinism contract is
+//! the whole reason the fast path is trustworthy.
+//!
+//! Quick mode for CI (`PAXSIM_BENCH_QUICK=1`) drops the sample count and
+//! the sweep but keeps the drift check.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paxsim_bench::helpers::{trace, warmed_store};
+use paxsim_core::prelude::*;
+use paxsim_machine::config::MachineConfig;
+use paxsim_machine::sim::{simulate, simulate_reference, JobSpec, SimOutcome};
+use paxsim_nas::{Class, KernelId};
+use serde_json::Value;
+
+fn quick_mode() -> bool {
+    std::env::var_os("PAXSIM_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Median wall time of `f` over `samples` runs (first run discarded as
+/// warmup), plus the outcome of the last run.
+fn time_median<F: FnMut() -> SimOutcome>(samples: usize, mut f: F) -> (Duration, SimOutcome) {
+    f(); // warmup
+    let mut times = Vec::with_capacity(samples);
+    let mut out = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        out = Some(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    (times[times.len() / 2], out.unwrap())
+}
+
+/// Bit-identical outcome check: the optimized engine must reproduce the
+/// reference exactly, or the throughput numbers are meaningless.
+fn assert_no_drift(fast: &SimOutcome, slow: &SimOutcome, what: &str) {
+    assert_eq!(fast.wall_cycles, slow.wall_cycles, "{what}: wall cycles drifted");
+    assert_eq!(fast.total, slow.total, "{what}: counters drifted");
+    for (f, s) in fast.jobs.iter().zip(slow.jobs.iter()) {
+        assert_eq!(f.cycles, s.cycles, "{what}/{}: job cycles drifted", f.name);
+        assert_eq!(f.counters, s.counters, "{what}/{}: job counters drifted", f.name);
+    }
+}
+
+struct Row {
+    label: String,
+    fast_ms: f64,
+    reference_ms: f64,
+    speedup: f64,
+    sim_uops: u64,
+    fast_uops_per_sec: f64,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn write_report(rows: &[Row], sweep_ms: Option<f64>) {
+    let geomean =
+        (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let workloads = Value::Array(
+        rows.iter()
+            .map(|r| {
+                obj(vec![
+                    ("workload", Value::String(r.label.clone())),
+                    ("fast_ms", Value::Float(r.fast_ms)),
+                    ("reference_ms", Value::Float(r.reference_ms)),
+                    ("speedup", Value::Float(r.speedup)),
+                    ("sim_uops", Value::UInt(r.sim_uops)),
+                    ("fast_uops_per_sec", Value::Float(r.fast_uops_per_sec)),
+                ])
+            })
+            .collect(),
+    );
+    let mut fields = vec![
+        ("bench", Value::String("engine_throughput".into())),
+        ("class", Value::String("T".into())),
+        (
+            "notes",
+            Value::String(
+                "speedup = fast engine vs the in-binary reference engine (seed-shaped \
+                 scheduler + full per-reference lookups). Structure-level optimizations \
+                 (MRU way prediction, TLB page filter, trace-cache key filter) are shared \
+                 by both engines; compare BENCH_engine.json across PRs for the end-to-end \
+                 trajectory."
+                    .into(),
+            ),
+        ),
+        ("geomean_speedup", Value::Float(geomean)),
+        ("workloads", workloads),
+    ];
+    if let Some(ms) = sweep_ms {
+        fields.push(("fig5_sweep_ms", Value::Float(ms)));
+    }
+    let report = obj(fields);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_engine.json");
+    println!("wrote {}", path.display());
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = quick_mode();
+    let samples = if quick { 2 } else { 7 };
+    let class = Class::T;
+    let machine = MachineConfig::paxville_smp();
+    // Opposite characters: EP exercises the batched-Flops replay, CG the
+    // cache/TLB fast paths and the coherence-aware last-line filter.
+    let store = warmed_store(&[KernelId::Ep, KernelId::Cg], class);
+
+    let mut rows = Vec::new();
+    for (kernel, cfg_name) in [
+        (KernelId::Cg, "Serial"),
+        (KernelId::Ep, "HT off -4-2"),
+        (KernelId::Cg, "HT off -4-2"),
+        (KernelId::Cg, "HT on -8-2"),
+    ] {
+        let cfg = config_by_name(cfg_name).unwrap();
+        let t = trace(&store, kernel, class, cfg.threads);
+        let spec = || vec![JobSpec::pinned(t.clone(), cfg.contexts.clone()).with_jitter(250, 7)];
+
+        let (fast_t, fast_out) = time_median(samples, || simulate(&machine, spec()));
+        let (ref_t, ref_out) = time_median(samples, || simulate_reference(&machine, spec()));
+        assert_no_drift(&fast_out, &ref_out, &format!("{kernel}/{cfg_name}"));
+
+        let sim_uops = fast_out.total.instructions;
+        let row = Row {
+            label: format!("{kernel}/{cfg_name}"),
+            fast_ms: fast_t.as_secs_f64() * 1e3,
+            reference_ms: ref_t.as_secs_f64() * 1e3,
+            speedup: ref_t.as_secs_f64() / fast_t.as_secs_f64(),
+            sim_uops,
+            fast_uops_per_sec: sim_uops as f64 / fast_t.as_secs_f64(),
+        };
+        println!(
+            "{}: fast {:.2} ms, reference {:.2} ms, speedup {:.2}x, {:.1} Muops/s",
+            row.label,
+            row.fast_ms,
+            row.reference_ms,
+            row.speedup,
+            row.fast_uops_per_sec / 1e6
+        );
+        rows.push(row);
+    }
+
+    // A fig5-shaped sweep through the bounded pool (fast path only — the
+    // sweep drivers have no reference variant; drift is already excluded
+    // above and by the differential tests).
+    let sweep_ms = if quick {
+        None
+    } else {
+        let opts = StudyOptions::quick().with_benchmarks(vec![
+            KernelId::Ep,
+            KernelId::Is,
+            KernelId::Cg,
+            KernelId::Bt,
+        ]);
+        let sweep_store = TraceStore::new();
+        run_cross_product(&opts, &sweep_store); // warm traces
+        let t0 = Instant::now();
+        run_cross_product(&opts, &sweep_store);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("fig5-shaped sweep (10 pairs x 7 configs): {ms:.1} ms");
+        Some(ms)
+    };
+
+    // Quick mode keeps the drift check but must not clobber the recorded
+    // trajectory with low-sample medians.
+    if quick {
+        println!("quick mode: BENCH_engine.json left untouched");
+    } else {
+        write_report(&rows, sweep_ms);
+    }
+
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(if quick { 2 } else { 10 });
+    let cfg = config_by_name("HT off -4-2").unwrap();
+    let cg = trace(&store, KernelId::Cg, class, cfg.threads);
+    g.bench_function("fast/CG", |b| {
+        b.iter(|| {
+            simulate(
+                &machine,
+                vec![JobSpec::pinned(cg.clone(), cfg.contexts.clone()).with_jitter(250, 7)],
+            )
+        })
+    });
+    g.bench_function("reference/CG", |b| {
+        b.iter(|| {
+            simulate_reference(
+                &machine,
+                vec![JobSpec::pinned(cg.clone(), cfg.contexts.clone()).with_jitter(250, 7)],
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -92,7 +92,7 @@ fn main() {
         }
         Some(pair) => {
             assert!(
-                args.config.threads % 2 == 0,
+                args.config.threads.is_multiple_of(2),
                 "{} cannot host two programs",
                 args.config.name
             );

@@ -10,6 +10,7 @@ use paxsim_perfmon::stats::BoxWhisker;
 
 use crate::configs::{parallel_configs, HwConfig};
 use crate::multi::run_workload;
+use crate::pool;
 use crate::store::{TraceKey, TraceStore};
 use crate::study::StudyOptions;
 
@@ -76,11 +77,12 @@ pub fn run_cross_product(opts: &StudyOptions, store: &TraceStore) -> CrossStudy 
         .collect();
     let pairs = all_pairs(&opts.benchmarks);
 
-    // Serial baselines.
+    // Serial baselines, in parallel on the pool.
     let bases: std::collections::HashMap<KernelId, f64> = opts
         .benchmarks
         .iter()
-        .map(|&b| {
+        .copied()
+        .zip(pool::map(&opts.benchmarks, |&b| {
             let trace = store.get(TraceKey {
                 kernel: b,
                 class: opts.class,
@@ -89,58 +91,43 @@ pub fn run_cross_product(opts: &StudyOptions, store: &TraceStore) -> CrossStudy 
             });
             let spec =
                 paxsim_machine::sim::JobSpec::pinned(trace, crate::configs::serial().contexts);
-            (
-                b,
-                paxsim_machine::sim::simulate(&opts.machine, vec![spec]).jobs[0].cycles as f64,
-            )
-        })
+            paxsim_machine::sim::simulate(&opts.machine, vec![spec]).jobs[0].cycles as f64
+        }))
         .collect();
 
-    // Pre-build every needed trace serially (the store is shared below).
-    for c in &configs {
-        for &b in &opts.benchmarks {
-            store.get(TraceKey {
+    // Pre-warm every needed trace in parallel; the single-flight store
+    // makes racing builds of the same key collapse into one.
+    let warm_keys: Vec<TraceKey> = configs
+        .iter()
+        .flat_map(|c| {
+            opts.benchmarks.iter().map(|&b| TraceKey {
                 kernel: b,
                 class: opts.class,
                 nthreads: c.threads / 2,
                 schedule: opts.schedule,
-            });
-        }
-    }
-
-    let mut points = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .iter()
-            .map(|config| {
-                let pairs = &pairs;
-                let bases = &bases;
-                scope.spawn(move || {
-                    pairs
-                        .iter()
-                        .map(|&pair| {
-                            let cell = run_workload(
-                                opts,
-                                store,
-                                pair,
-                                config,
-                                (bases[&pair.0], bases[&pair.1]),
-                            );
-                            PairPoint {
-                                pair,
-                                config: config.name.clone(),
-                                speedups: [
-                                    cell.sides[0].cell.speedup.mean,
-                                    cell.sides[1].cell.speedup.mean,
-                                ],
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
             })
-            .collect();
-        for h in handles {
-            points.extend(h.join().expect("config worker panicked"));
+        })
+        .collect::<std::collections::HashSet<_>>()
+        .into_iter()
+        .collect();
+    pool::map(&warm_keys, |&key| {
+        store.get(key);
+    });
+
+    // Every (config, pair) point is one pool item, so a fig5-shaped sweep
+    // (dozens of pairs × 7 configs) saturates the host at bounded width.
+    let points = pool::map_indexed(configs.len() * pairs.len(), |i| {
+        let (ci, pi) = (i / pairs.len(), i % pairs.len());
+        let config = &configs[ci];
+        let pair = pairs[pi];
+        let cell = run_workload(opts, store, pair, config, (bases[&pair.0], bases[&pair.1]));
+        PairPoint {
+            pair,
+            config: config.name.clone(),
+            speedups: [
+                cell.sides[0].cell.speedup.mean,
+                cell.sides[1].cell.speedup.mean,
+            ],
         }
     });
 

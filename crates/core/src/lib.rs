@@ -30,6 +30,7 @@ pub mod cross;
 pub mod efficiency;
 pub mod multi;
 pub mod phases;
+pub mod pool;
 pub mod report;
 pub mod single;
 pub mod store;

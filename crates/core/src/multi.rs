@@ -11,6 +11,7 @@ use paxsim_nas::KernelId;
 use paxsim_perfmon::stats::Summary;
 
 use crate::configs::{parallel_configs, serial, HwConfig};
+use crate::pool;
 use crate::store::{TraceKey, TraceStore};
 use crate::study::{Cell, StudyOptions};
 use paxsim_omp::os::{split_jobs, PlacementPolicy};
@@ -148,34 +149,28 @@ pub fn run_multi_program(
         .filter(|c| c.threads >= 2)
         .collect();
 
-    // Serial baselines for every benchmark that appears.
+    // Serial baselines for every benchmark that appears, in parallel.
     let mut benches: Vec<KernelId> = workloads.iter().flat_map(|&(a, b)| [a, b]).collect();
     benches.sort();
     benches.dedup();
     let bases: std::collections::HashMap<KernelId, f64> = benches
         .iter()
-        .map(|&b| (b, serial_cycles(opts, store, b)))
+        .copied()
+        .zip(pool::map(&benches, |&b| serial_cycles(opts, store, b)))
         .collect();
 
-    let mut cells = Vec::with_capacity(workloads.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|&w| {
-                let configs = &configs;
-                let bases = &bases;
-                scope.spawn(move || {
-                    configs
-                        .iter()
-                        .map(|c| run_workload(opts, store, w, c, (bases[&w.0], bases[&w.1])))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            cells.push(h.join().expect("workload worker panicked"));
-        }
+    // Every (workload, config) point is one pool item; the single-flight
+    // store deduplicates the trace builds the items race on.
+    let flat = pool::map_indexed(workloads.len() * configs.len(), |i| {
+        let (wi, ci) = (i / configs.len(), i % configs.len());
+        let w = workloads[wi];
+        run_workload(opts, store, w, &configs[ci], (bases[&w.0], bases[&w.1]))
     });
+    let mut flat = flat.into_iter();
+    let cells: Vec<Vec<MultiCell>> = workloads
+        .iter()
+        .map(|_| flat.by_ref().take(configs.len()).collect())
+        .collect();
 
     MultiStudy {
         workloads: workloads.to_vec(),

@@ -1,0 +1,132 @@
+//! A bounded worker pool for sweep executors.
+//!
+//! The study drivers (`single`, `multi`, `cross`) fan a sweep's work items
+//! out to host threads. Spawning one thread per item oversubscribes the
+//! host as soon as a sweep has more cells than cores (the §4.3
+//! cross-product has dozens); this pool instead runs every sweep on at most
+//! [`available_parallelism`](std::thread::available_parallelism) workers
+//! pulling items off a shared index, which also lets callers decompose
+//! sweeps into fine-grained items (per cell rather than per row) without
+//! worrying about thread explosion.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers a sweep of `tasks` items gets.
+fn workers_for(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(tasks)
+        .max(1)
+}
+
+/// Run `f(0), f(1), …, f(n - 1)` on the bounded pool and return the results
+/// in index order. Blocks until all items complete.
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panics (the whole sweep is abandoned —
+/// a failed cell invalidates the study).
+pub fn map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![f(0)];
+    }
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(n));
+    let workers = workers_for(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let done = &done;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let v = f(i);
+                    done.lock().unwrap().push((i, v));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    });
+    let mut done = done.into_inner().unwrap();
+    done.sort_by_key(|&(i, _)| i);
+    assert_eq!(done.len(), n, "pool lost work items");
+    done.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Map `f` over `items` on the bounded pool, preserving order.
+pub fn map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_in_index_order() {
+        let out = map_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(map_indexed(0, |_| 0u32), Vec::<u32>::new());
+        assert_eq!(map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        map_indexed(64, |i| {
+            assert!(seen.lock().unwrap().insert(i), "item {i} ran twice");
+        });
+        assert_eq!(seen.lock().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn concurrency_is_bounded() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        map_indexed(200, |_| {
+            let l = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(l, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        let cap = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert!(
+            peak.load(Ordering::SeqCst) <= cap,
+            "peak {} workers exceeds host parallelism {}",
+            peak.load(Ordering::SeqCst),
+            cap
+        );
+    }
+
+    #[test]
+    fn map_over_slice() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+}

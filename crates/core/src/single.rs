@@ -14,6 +14,7 @@ use paxsim_nas::KernelId;
 use paxsim_perfmon::stats::Summary;
 
 use crate::configs::{parallel_configs, serial, HwConfig};
+use crate::pool;
 use crate::store::{TraceKey, TraceStore};
 use crate::study::{Cell, StudyOptions};
 
@@ -97,55 +98,56 @@ pub fn run_single_program(opts: &StudyOptions, store: &TraceStore) -> SingleStud
         v
     };
 
-    // One worker per benchmark; each handles all configurations so the
-    // serial baseline is available to compute its speedups.
-    let mut cells: Vec<Vec<Cell>> = Vec::with_capacity(opts.benchmarks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = opts
-            .benchmarks
-            .iter()
-            .map(|&bench| {
-                let configs = &configs;
-                scope.spawn(move || {
-                    let mut row = Vec::with_capacity(configs.len());
-                    let serial_trace = store.get(TraceKey {
-                        kernel: bench,
-                        class: opts.class,
-                        nthreads: 1,
-                        schedule: opts.schedule,
-                    });
-                    let (serial_cycles, serial_counters) =
-                        run_trials(opts, &serial_trace, &configs[0]);
-                    row.push(Cell {
-                        speedup: Summary::of(&vec![1.0; opts.trials]),
-                        cycles: Summary::of(&serial_cycles),
-                        counters: serial_counters,
-                    });
-                    for config in configs.iter().skip(1) {
-                        let trace = store.get(TraceKey {
-                            kernel: bench,
-                            class: opts.class,
-                            nthreads: config.threads,
-                            schedule: opts.schedule,
-                        });
-                        let (cycles, counters) = run_trials(opts, &trace, config);
-                        // Per-trial speedups against the mean baseline.
-                        let base = row[0].cycles.mean;
-                        let speedups: Vec<f64> = cycles.iter().map(|&c| base / c).collect();
-                        row.push(Cell {
-                            cycles: Summary::of(&cycles),
-                            speedup: Summary::of(&speedups),
-                            counters,
-                        });
-                    }
-                    row
-                })
-            })
-            .collect();
-        for h in handles {
-            cells.push(h.join().expect("benchmark worker panicked"));
+    // Phase 1: serial baselines, one pool item per benchmark (the parallel
+    // cells' speedups divide by these).
+    let serial_cells: Vec<Cell> = pool::map(&opts.benchmarks, |&bench| {
+        let trace = store.get(TraceKey {
+            kernel: bench,
+            class: opts.class,
+            nthreads: 1,
+            schedule: opts.schedule,
+        });
+        let (cycles, counters) = run_trials(opts, &trace, &configs[0]);
+        Cell {
+            speedup: Summary::of(&vec![1.0; opts.trials]),
+            cycles: Summary::of(&cycles),
+            counters,
         }
     });
+
+    // Phase 2: every (benchmark, parallel config) cell is one pool item —
+    // the sweep saturates the host without spawning a thread per cell.
+    let par = &configs[1..];
+    let flat: Vec<Cell> = pool::map_indexed(opts.benchmarks.len() * par.len(), |i| {
+        let (bi, ci) = (i / par.len(), i % par.len());
+        let bench = opts.benchmarks[bi];
+        let config = &par[ci];
+        let trace = store.get(TraceKey {
+            kernel: bench,
+            class: opts.class,
+            nthreads: config.threads,
+            schedule: opts.schedule,
+        });
+        let (cycles, counters) = run_trials(opts, &trace, config);
+        // Per-trial speedups against the mean baseline.
+        let base = serial_cells[bi].cycles.mean;
+        let speedups: Vec<f64> = cycles.iter().map(|&c| base / c).collect();
+        Cell {
+            cycles: Summary::of(&cycles),
+            speedup: Summary::of(&speedups),
+            counters,
+        }
+    });
+    let mut flat = flat.into_iter();
+    let cells: Vec<Vec<Cell>> = serial_cells
+        .into_iter()
+        .map(|serial_cell| {
+            let mut row = Vec::with_capacity(configs.len());
+            row.push(serial_cell);
+            row.extend(flat.by_ref().take(par.len()));
+            row
+        })
+        .collect();
 
     SingleStudy {
         options_class: opts.class.to_string(),

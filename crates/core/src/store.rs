@@ -5,7 +5,8 @@
 //! multi-program pair.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use paxsim_machine::trace::ProgramTrace;
 use paxsim_nas::{Class, KernelId};
@@ -20,10 +21,38 @@ pub struct TraceKey {
     pub schedule: Schedule,
 }
 
+/// In-progress build that later callers wait on instead of re-building.
+#[derive(Default)]
+struct Pending {
+    state: Mutex<BuildState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+enum BuildState {
+    #[default]
+    InProgress,
+    Ready(Arc<ProgramTrace>),
+    /// The building thread panicked; waiters must not hang on it.
+    Failed,
+}
+
+enum Entry {
+    Ready(Arc<ProgramTrace>),
+    Building(Arc<Pending>),
+}
+
 /// A thread-safe memoizing store of built (and verified) traces.
+///
+/// Builds are *single-flight*: when several workers ask for the same
+/// not-yet-built key concurrently (the pool-based sweep executors do this
+/// routinely), exactly one performs the expensive build while the rest
+/// block on it — the duplicate-work race of checking the map and then
+/// building outside the lock is gone.
 #[derive(Default)]
 pub struct TraceStore {
-    map: Mutex<HashMap<TraceKey, Arc<ProgramTrace>>>,
+    map: Mutex<HashMap<TraceKey, Entry>>,
+    builds: AtomicU64,
 }
 
 impl TraceStore {
@@ -32,29 +61,101 @@ impl TraceStore {
     }
 
     /// Get the trace for `key`, building (and verifying) it on first use.
+    /// Concurrent calls for the same key perform exactly one build.
     ///
     /// # Panics
     ///
     /// Panics if the benchmark's built-in verification fails — a failed
     /// verification invalidates every experiment, so it is never silent.
+    /// Callers waiting on a build whose builder panicked panic as well.
     pub fn get(&self, key: TraceKey) -> Arc<ProgramTrace> {
-        if let Some(t) = self.map.lock().unwrap().get(&key) {
-            return t.clone();
+        let pending = {
+            let mut map = self.map.lock().unwrap();
+            match map.get(&key) {
+                Some(Entry::Ready(t)) => return t.clone(),
+                Some(Entry::Building(p)) => p.clone(),
+                None => {
+                    let p = Arc::new(Pending::default());
+                    map.insert(key, Entry::Building(p.clone()));
+                    drop(map);
+                    return self.build(key, &p);
+                }
+            }
+        };
+        // Another thread owns the build: wait for it.
+        let mut state = pending.state.lock().unwrap();
+        loop {
+            match &*state {
+                BuildState::Ready(t) => return t.clone(),
+                BuildState::Failed => panic!(
+                    "concurrent build of {} class {} with {} threads failed",
+                    key.kernel, key.class, key.nthreads
+                ),
+                BuildState::InProgress => state = pending.cv.wait(state).unwrap(),
+            }
         }
-        // Build outside the lock: builds are slow and independent.
+    }
+
+    /// Perform the build this thread won the race for, publishing the
+    /// result (or the failure) to any waiters.
+    fn build(&self, key: TraceKey, pending: &Arc<Pending>) -> Arc<ProgramTrace> {
+        // If the build panics (verification failure), wake waiters with the
+        // failure instead of leaving them blocked forever.
+        struct Guard<'a> {
+            store: &'a TraceStore,
+            key: TraceKey,
+            pending: &'a Arc<Pending>,
+            armed: bool,
+        }
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.store.map.lock().unwrap().remove(&self.key);
+                    *self.pending.state.lock().unwrap() = BuildState::Failed;
+                    self.pending.cv.notify_all();
+                }
+            }
+        }
+        let mut guard = Guard {
+            store: self,
+            key,
+            pending,
+            armed: true,
+        };
+
+        self.builds.fetch_add(1, Ordering::Relaxed);
         let built = key.kernel.build(key.class, key.nthreads, key.schedule);
         assert!(
             built.verify.passed,
             "{} class {} with {} threads failed verification: {}",
             key.kernel, key.class, key.nthreads, built.verify.details
         );
-        let mut map = self.map.lock().unwrap();
-        map.entry(key).or_insert(built.trace).clone()
+        let trace = built.trace;
+
+        guard.armed = false;
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key, Entry::Ready(trace.clone()));
+        *pending.state.lock().unwrap() = BuildState::Ready(trace.clone());
+        pending.cv.notify_all();
+        trace
     }
 
-    /// Number of distinct traces built so far.
+    /// Number of times a build actually ran (single-flight: at most one per
+    /// distinct key, no matter how many threads raced on it).
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct traces available (completed builds).
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| matches!(e, Entry::Ready(_)))
+            .count()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -78,6 +179,28 @@ mod tests {
         let a = store.get(key);
         let b = store.get(key);
         assert!(Arc::ptr_eq(&a, &b), "same key must return the same trace");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_gets_build_once() {
+        let store = TraceStore::new();
+        let key = TraceKey {
+            kernel: KernelId::Ep,
+            class: Class::T,
+            nthreads: 2,
+            schedule: Schedule::Static,
+        };
+        let traces: Vec<Arc<ProgramTrace>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| store.get(key))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            store.builds(),
+            1,
+            "single-flight: 8 racing gets must build exactly once"
+        );
+        assert!(traces.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
         assert_eq!(store.len(), 1);
     }
 

@@ -1,0 +1,88 @@
+//! The determinism dividend: because the simulator is bit-deterministic,
+//! the seed-shaped reference engine is a free oracle for the optimized
+//! one. These tests drive real NAS kernel traces through every Table 1
+//! configuration on both engines and require *bit-identical* outcomes —
+//! every counter, every region boundary, every cycle count. Any drift in
+//! the fast-path caches, the min-heap scheduler, or the batched replay
+//! fails here before it can skew a single figure.
+
+use paxsim_core::configs::all_configs;
+use paxsim_core::store::{TraceKey, TraceStore};
+use paxsim_machine::prelude::*;
+use paxsim_nas::{Class, KernelId};
+use paxsim_omp::schedule::Schedule;
+
+fn assert_outcomes_identical(fast: &SimOutcome, slow: &SimOutcome, what: &str) {
+    assert_eq!(fast.wall_cycles, slow.wall_cycles, "{what}: wall cycles");
+    assert_eq!(fast.total, slow.total, "{what}: machine-wide counters");
+    assert_eq!(fast.jobs.len(), slow.jobs.len());
+    for (f, s) in fast.jobs.iter().zip(slow.jobs.iter()) {
+        assert_eq!(f.cycles, s.cycles, "{what}/{}: job cycles", f.name);
+        assert_eq!(f.counters, s.counters, "{what}/{}: job counters", f.name);
+        assert_eq!(f.regions.len(), s.regions.len());
+        for (fr, sr) in f.regions.iter().zip(s.regions.iter()) {
+            assert_eq!(fr.end, sr.end, "{what}/{}: region end", fr.label);
+            assert_eq!(fr.cycles, sr.cycles, "{what}/{}: region cycles", fr.label);
+        }
+    }
+}
+
+/// Every Table 1 configuration × two kernels with opposite characters
+/// (EP compute-bound, CG memory-bound), tiny class: the optimized engine
+/// reproduces the reference bit for bit.
+#[test]
+fn fast_engine_matches_reference_on_all_table1_configs() {
+    let machine = MachineConfig::paxville_smp();
+    let store = TraceStore::new();
+    for bench in [KernelId::Ep, KernelId::Cg] {
+        for config in all_configs() {
+            let trace = store.get(TraceKey {
+                kernel: bench,
+                class: Class::T,
+                nthreads: config.threads,
+                schedule: Schedule::Static,
+            });
+            let spec = || {
+                vec![JobSpec::pinned(trace.clone(), config.contexts.clone())
+                    .with_jitter(250, 42)]
+            };
+            let fast = simulate(&machine, spec());
+            let slow = simulate_reference(&machine, spec());
+            assert_outcomes_identical(&fast, &slow, &format!("{bench}/{}", config.name));
+        }
+    }
+}
+
+/// Multiprogrammed shape (two jobs splitting the machine, as in §4.2/§4.3):
+/// coherence invalidations across jobs must also leave zero drift.
+#[test]
+fn fast_engine_matches_reference_multiprogrammed() {
+    use paxsim_omp::os::{split_jobs, PlacementPolicy};
+
+    let machine = MachineConfig::paxville_smp();
+    let store = TraceStore::new();
+    let config = all_configs()
+        .into_iter()
+        .find(|c| c.threads >= 4)
+        .expect("a 4-context configuration exists");
+    let per = config.threads / 2;
+    let placements = split_jobs(&config.contexts, 2, PlacementPolicy::Spread);
+    let traces = [KernelId::Cg, KernelId::Ft].map(|k| {
+        store.get(TraceKey {
+            kernel: k,
+            class: Class::T,
+            nthreads: per,
+            schedule: Schedule::Static,
+        })
+    });
+    let specs = || {
+        (0..2)
+            .map(|j| {
+                JobSpec::pinned(traces[j].clone(), placements[j].clone()).with_jitter(250, j as u64)
+            })
+            .collect::<Vec<_>>()
+    };
+    let fast = simulate(&machine, specs());
+    let slow = simulate_reference(&machine, specs());
+    assert_outcomes_identical(&fast, &slow, &format!("CG+FT on {}", config.name));
+}

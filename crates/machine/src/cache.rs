@@ -42,6 +42,10 @@ pub struct SetAssoc {
     dirty: Vec<bool>,
     ready: Vec<u64>,
     clock: u64,
+    /// Per-set way prediction: the way of the last hit or install. Purely a
+    /// lookup accelerator — a wrong prediction fails the tag compare and
+    /// falls back to the full scan, so observable state never depends on it.
+    mru_way: Vec<u32>,
 }
 
 impl SetAssoc {
@@ -62,6 +66,7 @@ impl SetAssoc {
             dirty: vec![false; n],
             ready: vec![0; n],
             clock: 0,
+            mru_way: vec![0; sets],
         }
     }
 
@@ -79,11 +84,26 @@ impl SetAssoc {
     /// Look up `line`; on a hit the LRU stamp is refreshed and, for writes,
     /// the line is marked dirty.
     pub fn access(&mut self, line: u64, write: bool) -> Lookup {
-        let base = self.set_of(line) * self.ways;
+        let set = self.set_of(line);
+        let base = set * self.ways;
         self.clock += 1;
+        // Way-predicted fast path: one compare against the set's MRU way
+        // catches the dominant repeated-hit case. The side effects are
+        // exactly those of the scan below finding the same way.
+        let p = base + self.mru_way[set] as usize;
+        if self.tags[p] == line {
+            self.stamp[p] = self.clock;
+            if write {
+                self.dirty[p] = true;
+            }
+            return Lookup::Hit {
+                ready_at: self.ready[p],
+            };
+        }
         for w in 0..self.ways {
             let i = base + w;
             if self.tags[i] == line {
+                self.mru_way[set] = w as u32;
                 self.stamp[i] = self.clock;
                 if write {
                     self.dirty[i] = true;
@@ -99,7 +119,8 @@ impl SetAssoc {
     /// Install `line` (typically after a miss), evicting the set's LRU way
     /// if necessary. `ready_at` is the tick at which the fill completes.
     pub fn install(&mut self, line: u64, dirty: bool, ready_at: u64) -> Option<Evicted> {
-        let base = self.set_of(line) * self.ways;
+        let set = self.set_of(line);
+        let base = set * self.ways;
         self.clock += 1;
         // Prefer an empty way; otherwise evict the LRU way.
         let mut victim = base;
@@ -108,6 +129,7 @@ impl SetAssoc {
             let i = base + w;
             if self.tags[i] == line {
                 // Already present (racing prefetch/demand): refresh.
+                self.mru_way[set] = w as u32;
                 self.stamp[i] = self.clock;
                 self.dirty[i] |= dirty;
                 self.ready[i] = self.ready[i].min(ready_at);
@@ -125,6 +147,7 @@ impl SetAssoc {
             line: self.tags[victim],
             dirty: self.dirty[victim],
         });
+        self.mru_way[set] = (victim - base) as u32;
         self.tags[victim] = line;
         self.stamp[victim] = self.clock;
         self.dirty[victim] = dirty;
@@ -259,6 +282,146 @@ mod tests {
     mod properties {
         use super::*;
         use proptest::prelude::*;
+
+        /// Naive reference cache: per-set recency lists (front = LRU, back
+        /// = MRU), no way prediction, no stamps, no clock. The semantic
+        /// ground truth the optimized [`SetAssoc`] must match exactly.
+        struct RefCache {
+            sets: usize,
+            ways: usize,
+            lru: Vec<Vec<(u64, bool, u64)>>, // (line, dirty, ready)
+        }
+
+        impl RefCache {
+            fn new(geom: CacheGeometry) -> Self {
+                let sets = geom.sets();
+                Self {
+                    sets,
+                    ways: geom.ways,
+                    lru: vec![Vec::new(); sets],
+                }
+            }
+
+            fn set_of(&self, line: u64) -> usize {
+                (line as usize) & (self.sets - 1)
+            }
+
+            fn access(&mut self, line: u64, write: bool) -> Lookup {
+                let set = self.set_of(line);
+                let s = &mut self.lru[set];
+                if let Some(i) = s.iter().position(|e| e.0 == line) {
+                    let mut e = s.remove(i);
+                    e.1 |= write;
+                    let ready = e.2;
+                    s.push(e);
+                    Lookup::Hit { ready_at: ready }
+                } else {
+                    Lookup::Miss
+                }
+            }
+
+            fn install(&mut self, line: u64, dirty: bool, ready_at: u64) -> Option<Evicted> {
+                let set = self.set_of(line);
+                let ways = self.ways;
+                let s = &mut self.lru[set];
+                if let Some(i) = s.iter().position(|e| e.0 == line) {
+                    let mut e = s.remove(i);
+                    e.1 |= dirty;
+                    e.2 = e.2.min(ready_at);
+                    s.push(e);
+                    return None;
+                }
+                let evicted = if s.len() == ways {
+                    let victim = s.remove(0);
+                    Some(Evicted {
+                        line: victim.0,
+                        dirty: victim.1,
+                    })
+                } else {
+                    None
+                };
+                s.push((line, dirty, ready_at));
+                evicted
+            }
+
+            fn invalidate(&mut self, line: u64) -> Option<bool> {
+                let set = self.set_of(line);
+                let s = &mut self.lru[set];
+                s.iter()
+                    .position(|e| e.0 == line)
+                    .map(|i| s.remove(i).1)
+            }
+
+            fn contains(&self, line: u64) -> bool {
+                self.lru[self.set_of(line)].iter().any(|e| e.0 == line)
+            }
+
+            fn occupancy(&self) -> usize {
+                self.lru.iter().map(|s| s.len()).sum()
+            }
+        }
+
+        /// One step of an arbitrary cache workload.
+        #[derive(Debug, Clone, Copy)]
+        enum CacheOp {
+            Access { line: u64, write: bool },
+            Install { line: u64, dirty: bool, ready: u64 },
+            Invalidate { line: u64 },
+        }
+
+        fn cache_op() -> impl Strategy<Value = CacheOp> {
+            prop_oneof![
+                (0u64..48, proptest::bool::ANY)
+                    .prop_map(|(line, write)| CacheOp::Access { line, write }),
+                (0u64..48, proptest::bool::ANY, 0u64..1000)
+                    .prop_map(|(line, dirty, ready)| CacheOp::Install { line, dirty, ready }),
+                (0u64..48).prop_map(|line| CacheOp::Invalidate { line }),
+            ]
+        }
+
+        proptest! {
+            /// The way-predicted cache is observationally equivalent to the
+            /// naive reference: identical hit/miss results (with ready
+            /// ticks), identical evictions (line and dirtiness), identical
+            /// invalidation results, at every step of any workload.
+            #[test]
+            fn equivalent_to_reference_cache(
+                ops in proptest::collection::vec(cache_op(), 1..400),
+            ) {
+                let geom = CacheGeometry::new(512, 2, 64); // 4 sets × 2 ways
+                let mut fast = SetAssoc::new(geom);
+                let mut re = RefCache::new(geom);
+                for (step, &op) in ops.iter().enumerate() {
+                    match op {
+                        CacheOp::Access { line, write } => {
+                            prop_assert_eq!(
+                                fast.access(line, write),
+                                re.access(line, write),
+                                "access diverged at step {}", step
+                            );
+                        }
+                        CacheOp::Install { line, dirty, ready } => {
+                            prop_assert_eq!(
+                                fast.install(line, dirty, ready),
+                                re.install(line, dirty, ready),
+                                "install diverged at step {}", step
+                            );
+                        }
+                        CacheOp::Invalidate { line } => {
+                            prop_assert_eq!(
+                                fast.invalidate(line),
+                                re.invalidate(line),
+                                "invalidate diverged at step {}", step
+                            );
+                        }
+                    }
+                    prop_assert_eq!(fast.occupancy(), re.occupancy());
+                }
+                for line in 0..48 {
+                    prop_assert_eq!(fast.contains(line), re.contains(line));
+                }
+            }
+        }
 
         proptest! {
             /// The most recently installed/accessed line in a set is never

@@ -134,6 +134,11 @@ impl Counters {
     }
 
     /// Derive the paper's reported metrics from these counters.
+    ///
+    /// Every division is guarded: a zero denominator yields `0.0`, never
+    /// NaN or ±inf, so empty or partial counter blocks (a job that retired
+    /// no branches, a run with no bus traffic) always produce finite,
+    /// serializable metrics.
     pub fn metrics(&self) -> Metrics {
         let rate = |num: u64, den: u64| {
             if den == 0 {
@@ -149,7 +154,12 @@ impl Counters {
             itlb_miss_rate: rate(self.itlb_miss, self.itlb_access),
             dtlb_misses: self.dtlb_miss(),
             pct_stalled: rate(self.ticks_stall(), self.ticks_active()),
-            branch_prediction_rate: rate(self.branches - self.branch_mispredict, self.branches),
+            // saturating_sub: a malformed block with mispredicts > branches
+            // must clamp to 0.0 rather than wrap (or panic in debug).
+            branch_prediction_rate: rate(
+                self.branches.saturating_sub(self.branch_mispredict),
+                self.branches,
+            ),
             pct_prefetch_bus: rate(self.bus_prefetch, self.bus_total()),
             cpi: rate(self.active_cycles(), self.instructions),
         }
@@ -269,6 +279,27 @@ mod tests {
         assert_eq!(m.l1_miss_rate, 0.0);
         assert_eq!(m.cpi, 0.0);
         assert_eq!(m.branch_prediction_rate, 0.0);
+    }
+
+    #[test]
+    fn degenerate_counters_stay_finite() {
+        // Every denominator zero, plus mispredicts exceeding branches:
+        // all metrics must come out finite (no NaN, no ±inf, no wrap).
+        let c = Counters {
+            branch_mispredict: 7,
+            l1d_miss: 3,
+            l2_miss: 3,
+            tc_miss: 3,
+            itlb_miss: 3,
+            ..Counters::default()
+        };
+        let m = c.metrics();
+        for (name, v) in Metrics::NAMES.iter().zip(m.values()) {
+            assert!(v.is_finite(), "{name} = {v}");
+        }
+        assert_eq!(m.branch_prediction_rate, 0.0);
+        assert_eq!(m.pct_stalled, 0.0);
+        assert_eq!(m.pct_prefetch_bus, 0.0);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * region ends are OpenMP barriers: early threads accumulate
 //!   synchronization wait until the last arrives.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::branch::Gshare;
@@ -34,7 +36,6 @@ use crate::prefetch::StreamPrefetcher;
 use crate::sim::JobSpec;
 use crate::tlb::Tlb;
 use crate::topology::Lcpu;
-use crate::trace::TraceBuf;
 use crate::trace_cache::TraceCache;
 use crate::TPC;
 
@@ -43,6 +44,9 @@ const CODE_BASE: u64 = 0x7f00_0000_0000;
 /// Max uops issued per engine iteration, so long `Flops` runs interleave
 /// fairly with the SMT sibling.
 const FLOPS_CHUNK: u32 = 24;
+
+/// Sentinel for "no line cached" in the repeated-reference filter.
+const NO_LINE: u64 = u64::MAX;
 
 /// Shared resources of one core.
 struct CoreRes {
@@ -55,6 +59,16 @@ struct CoreRes {
     dtlb: Tlb,
     bp: Gshare,
     pf: StreamPrefetcher,
+    /// Repeated-reference filter: the line of this core's most recent data
+    /// reference, its L1 `ready_at`, and whether that reference was a store.
+    /// A back-to-back reference to the same line is provably still an L1 and
+    /// DTLB hit (nothing else touched either structure on this core), so
+    /// the full lookup is skipped. Cleared when a remote store invalidates
+    /// the line. The filter is per-core because L1/DTLB are shared by the
+    /// SMT siblings.
+    last_line: u64,
+    last_ready: u64,
+    last_was_store: bool,
 }
 
 impl CoreRes {
@@ -69,6 +83,9 @@ impl CoreRes {
             dtlb: Tlb::new(cfg.dtlb_entries, cfg.tlb_ways, cfg.page),
             bp: Gshare::new(cfg.bp_pht_bits, cfg.bp_ghr_bits),
             pf: StreamPrefetcher::new(cfg.pf_streams, cfg.pf_degree),
+            last_line: NO_LINE,
+            last_ready: 0,
+            last_was_store: false,
         }
     }
 }
@@ -78,6 +95,29 @@ enum Phase {
     Run,
     Barrier,
     Done,
+}
+
+/// How long `step_ctx` may keep a context before yielding to the scheduler.
+///
+/// The reference engine re-evaluates its linear scan after every quantum;
+/// the fast engine exploits the fact that the scan provably re-picks the
+/// same context for as long as its `(clock, index)` stays lexicographically
+/// below every other runnable context's — so it lets `step_ctx` burn
+/// through all of those back-to-back quanta in one call. No other context
+/// steps in between, hence no shared structure is touched in a different
+/// order and the replay stays bit-identical.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Sched {
+    /// One quantum, then return (the reference engine's granularity). Also
+    /// selects the reference (filter-free) memory path.
+    Quantum,
+    /// Keep taking quanta while `(ctx.t, ci)` stays below this bound — the
+    /// next-best heap entry. A stale bound only makes the context yield
+    /// early, which the heap loop handles like any other quantum end.
+    Until(u64, usize),
+    /// Sole runnable context: nothing else can be scheduled before its
+    /// region ends, so run to the region boundary without yielding.
+    Sole,
 }
 
 /// One hardware context's execution state.
@@ -135,7 +175,21 @@ pub(crate) struct EngineOutcome {
     pub job_region_ends: Vec<Vec<u64>>,
 }
 
+/// Run the optimized engine: min-heap context scheduling plus the
+/// repeated-reference fast path. Produces counters bit-identical to
+/// [`run_reference`] (asserted by `paxsim-core`'s differential tests).
 pub(crate) fn run(cfg: &MachineConfig, specs: &[JobSpec]) -> EngineOutcome {
+    run_impl(cfg, specs, true)
+}
+
+/// Run the seed-shaped reference engine: linear least-local-time scan and
+/// full DTLB/L1/L2 lookups on every reference. Kept as the oracle for the
+/// fast path and as the baseline for the throughput benchmark.
+pub(crate) fn run_reference(cfg: &MachineConfig, specs: &[JobSpec]) -> EngineOutcome {
+    run_impl(cfg, specs, false)
+}
+
+fn run_impl(cfg: &MachineConfig, specs: &[JobSpec], fast: bool) -> EngineOutcome {
     let mut cores: Vec<CoreRes> = (0..cfg.cores()).map(|_| CoreRes::new(cfg)).collect();
     let mut fsbs: Vec<Fsb> = (0..cfg.chips).map(|_| Fsb::default()).collect();
     let mut mem = MemCtl::default();
@@ -187,40 +241,100 @@ pub(crate) fn run(cfg: &MachineConfig, specs: &[JobSpec]) -> EngineOutcome {
     }
 
     let tpu = TPC / cfg.issue_width; // ticks per uop
-    loop {
-        // Pick the least-advanced runnable context (deterministic tie-break
-        // on index).
-        let mut best: Option<usize> = None;
-        for (i, c) in ctxs.iter().enumerate() {
-            if c.phase == Phase::Run && best.is_none_or(|b| c.t < ctxs[b].t) {
-                best = Some(i);
+    if fast {
+        // Event-driven scheduling: a lazy min-heap keyed by (local time,
+        // context index). Lexicographic `(t, i)` ordering reproduces the
+        // reference scan's deterministic tie-break (lowest index among the
+        // least-advanced contexts). Entries are not removed when a context
+        // blocks or advances; a popped entry is *validated* against the
+        // context's current state and skipped when stale. Local clocks never
+        // decrease, so a stale entry can never masquerade as current.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = ctxs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.phase == Phase::Run)
+            .map(|(i, c)| Reverse((c.t, i)))
+            .collect();
+        while let Some(Reverse((t, ci))) = heap.pop() {
+            if ctxs[ci].phase != Phase::Run || ctxs[ci].t != t {
+                continue; // stale entry
+            }
+            let sibling_active = ctx_at[ctxs[ci].lcpu.sibling().index()]
+                .map(|s| ctxs[s].phase == Phase::Run)
+                .unwrap_or(false);
+            // While this context runs, no other context's phase or clock
+            // can change, so the yield bound is computed once per dispatch.
+            let sched = match heap.peek() {
+                None => Sched::Sole,
+                Some(&Reverse((t2, i2))) => Sched::Until(t2, i2),
+            };
+            let finished_region = step_ctx(
+                cfg,
+                tpu,
+                sibling_active,
+                sched,
+                ci,
+                &mut ctxs[ci],
+                &mut cores,
+                &mut fsbs,
+                &mut mem,
+                &mut jobs,
+                &mut pf_buf,
+            );
+            if finished_region {
+                if handle_arrival(cfg, ci, &mut ctxs, &mut jobs) {
+                    // Barrier released: re-enqueue the whole team at its
+                    // post-barrier clocks.
+                    let ji = ctxs[ci].job;
+                    for &i in &jobs[ji].ctx_ids {
+                        if ctxs[i].phase == Phase::Run {
+                            heap.push(Reverse((ctxs[i].t, i)));
+                        }
+                    }
+                }
+            } else {
+                heap.push(Reverse((ctxs[ci].t, ci)));
             }
         }
-        let Some(ci) = best else {
-            break; // every context is Done (barriers release eagerly)
-        };
+    } else {
+        loop {
+            // Pick the least-advanced runnable context (deterministic
+            // tie-break on index).
+            let mut best: Option<usize> = None;
+            for (i, c) in ctxs.iter().enumerate() {
+                if c.phase == Phase::Run && best.is_none_or(|b| c.t < ctxs[b].t) {
+                    best = Some(i);
+                }
+            }
+            let Some(ci) = best else {
+                break; // every context is Done (barriers release eagerly)
+            };
 
-        // Netburst statically partitions the load fill buffers and store
-        // buffers between SMT siblings: a context with a *running* sibling
-        // works with half the miss-level parallelism it gets solo.
-        let sibling_active = ctx_at[ctxs[ci].lcpu.sibling().index()]
-            .map(|s| ctxs[s].phase == Phase::Run)
-            .unwrap_or(false);
+            // Netburst statically partitions the load fill buffers and store
+            // buffers between SMT siblings: a context with a *running*
+            // sibling works with half the miss-level parallelism it gets
+            // solo.
+            let sibling_active = ctx_at[ctxs[ci].lcpu.sibling().index()]
+                .map(|s| ctxs[s].phase == Phase::Run)
+                .unwrap_or(false);
 
-        let finished_region = step_ctx(
-            cfg,
-            tpu,
-            sibling_active,
-            &mut ctxs[ci],
-            &mut cores,
-            &mut fsbs,
-            &mut mem,
-            &mut jobs,
-            &mut pf_buf,
-        );
+            let finished_region = step_ctx(
+                cfg,
+                tpu,
+                sibling_active,
+                Sched::Quantum,
+                ci,
+                &mut ctxs[ci],
+                &mut cores,
+                &mut fsbs,
+                &mut mem,
+                &mut jobs,
+                &mut pf_buf,
+            );
 
-        if finished_region {
-            handle_arrival(cfg, ci, &mut ctxs, &mut jobs);
+            if finished_region {
+                handle_arrival(cfg, ci, &mut ctxs, &mut jobs);
+            }
         }
     }
 
@@ -232,13 +346,16 @@ pub(crate) fn run(cfg: &MachineConfig, specs: &[JobSpec]) -> EngineOutcome {
     }
 }
 
-/// Advance one context by up to a quantum. Returns `true` if it reached the
-/// end of its current region (caller must run barrier bookkeeping).
+/// Advance context `ci` for as long as `sched` allows (at least one
+/// quantum). Returns `true` if it reached the end of its current region
+/// (caller must run barrier bookkeeping).
 #[allow(clippy::too_many_arguments)]
 fn step_ctx(
     cfg: &MachineConfig,
     tpu: u64,
     sibling_active: bool,
+    sched: Sched,
+    ci: usize,
     ctx: &mut Ctx,
     cores: &mut [CoreRes],
     fsbs: &mut [Fsb],
@@ -249,12 +366,17 @@ fn step_ctx(
     let job = &mut jobs[ctx.job];
     let asid = job.asid;
     let ctr = &mut job.counters;
-    let buf: Arc<TraceBuf> = job.trace.regions[ctx.region].threads[ctx.thread].clone();
-    let ops = buf.ops();
+    // Disjoint field borrows: the trace is read-only while counters mutate.
+    let ops = job.trace.regions[ctx.region].threads[ctx.thread].ops();
     let core_idx = ctx.lcpu.core_index();
     let fsb = &mut fsbs[ctx.lcpu.chip as usize];
     let slot = ctx.lcpu.ctx as usize;
-    let limit = ctx.t + cfg.quantum;
+    let fast = sched != Sched::Quantum;
+    let mut limit = if sched == Sched::Sole {
+        u64::MAX // quantum boundaries are unobservable with nothing to yield to
+    } else {
+        ctx.t + cfg.quantum
+    };
     // Store buffers are hard-partitioned under SMT; the load
     // miss-level-parallelism limit is per-thread (scheduler-window bound)
     // and does not grow when running solo. The shared front end issues
@@ -270,29 +392,44 @@ fn step_ctx(
 
     while ctx.idx < ops.len() {
         if ctx.t >= limit {
-            return false;
+            match sched {
+                // Still below the next-best runnable context: the scheduler
+                // would re-pick this context, so take the next quantum here.
+                Sched::Until(t2, i2) if ctx.t < t2 || (ctx.t == t2 && ci < i2) => {
+                    limit = ctx.t + cfg.quantum;
+                }
+                _ => return false,
+            }
         }
         match ops[ctx.idx] {
             Op::Flops { n } => {
                 if ctx.pending_uops == 0 {
                     ctx.pending_uops = n;
                 }
-                let m = ctx.pending_uops.min(FLOPS_CHUNK);
                 // FP work flows through the core's single FP unit, shared
                 // by the SMT siblings (its rate, not the 3-wide issue,
                 // bounds FP-dense code). The out-of-order window lets the
                 // context run ahead of the FP backlog by `fp_queue` ticks;
                 // only a sustained backlog throttles it.
+                //
+                // All chunks of the op that fit in this quantum replay in
+                // one tight loop rather than re-dispatching through the op
+                // match per chunk; each chunk still checks the quantum
+                // limit first, exactly as the per-iteration path did.
                 let core = &mut cores[core_idx];
-                let start = ctx.t.max(core.fp_next_free);
-                let cost = m as u64 * cfg.fp_tpu;
-                core.fp_next_free = start + cost;
-                let dispatch = m as u64 * tpu;
-                let visible = (start + cost - cfg.fp_queue.min(start + cost)).max(ctx.t + dispatch);
-                ctr.ticks_issue += visible - ctx.t;
-                ctx.t = visible;
-                ctr.instructions += m as u64;
-                ctx.pending_uops -= m;
+                while ctx.pending_uops > 0 && ctx.t < limit {
+                    let m = ctx.pending_uops.min(FLOPS_CHUNK);
+                    let start = ctx.t.max(core.fp_next_free);
+                    let cost = m as u64 * cfg.fp_tpu;
+                    core.fp_next_free = start + cost;
+                    let dispatch = m as u64 * tpu;
+                    let visible =
+                        (start + cost - cfg.fp_queue.min(start + cost)).max(ctx.t + dispatch);
+                    ctr.ticks_issue += visible - ctx.t;
+                    ctx.t = visible;
+                    ctr.instructions += m as u64;
+                    ctx.pending_uops -= m;
+                }
                 if ctx.pending_uops == 0 {
                     ctx.idx += 1;
                 }
@@ -300,56 +437,20 @@ fn step_ctx(
             }
             Op::Load { addr } => {
                 mem_ref(
-                    cfg,
-                    tpu,
-                    mlp,
-                    wb_cap,
-                    ctx,
-                    cores,
-                    core_idx,
-                    fsb,
-                    mem,
-                    ctr,
-                    asid,
-                    addr,
-                    MemRef::Load,
-                    pf_buf,
+                    cfg, tpu, mlp, wb_cap, fast, ctx, cores, core_idx, fsb, mem, ctr, asid, addr,
+                    MemRef::Load, pf_buf,
                 );
             }
             Op::LoadDep { addr } => {
                 mem_ref(
-                    cfg,
-                    tpu,
-                    mlp,
-                    wb_cap,
-                    ctx,
-                    cores,
-                    core_idx,
-                    fsb,
-                    mem,
-                    ctr,
-                    asid,
-                    addr,
-                    MemRef::LoadDep,
-                    pf_buf,
+                    cfg, tpu, mlp, wb_cap, fast, ctx, cores, core_idx, fsb, mem, ctr, asid, addr,
+                    MemRef::LoadDep, pf_buf,
                 );
             }
             Op::Store { addr } => {
                 mem_ref(
-                    cfg,
-                    tpu,
-                    mlp,
-                    wb_cap,
-                    ctx,
-                    cores,
-                    core_idx,
-                    fsb,
-                    mem,
-                    ctr,
-                    asid,
-                    addr,
-                    MemRef::Store,
-                    pf_buf,
+                    cfg, tpu, mlp, wb_cap, fast, ctx, cores, core_idx, fsb, mem, ctr, asid, addr,
+                    MemRef::Store, pf_buf,
                 );
             }
             Op::Branch { site, taken } => {
@@ -432,6 +533,7 @@ fn mem_ref(
     tpu: u64,
     mlp: usize,
     wb_cap: usize,
+    fast: bool,
     ctx: &mut Ctx,
     cores: &mut [CoreRes],
     core_idx: usize,
@@ -447,88 +549,113 @@ fn mem_ref(
     issue(ctx, core, ctr, tpu);
     ctr.instructions += 1;
     let a = tag_address(asid, addr);
-
-    // Data TLB.
-    ctr.dtlb_access += 1;
-    if !core.dtlb.access(a) {
-        match kind {
-            MemRef::Store => ctr.dtlb_miss_store += 1,
-            _ => ctr.dtlb_miss_load += 1,
-        }
-        let p = cycles(cfg.tlb_walk);
-        ctx.t += p;
-        ctr.ticks_stall_tlb += p;
-    }
-
-    // L1 data cache (write-through: stores never dirty L1).
-    ctr.l1d_access += 1;
     let line = core.l1d.line_of(a);
-    let mut took_l1_miss = false;
-    let ready = match core.l1d.access(line, false) {
-        Lookup::Hit { ready_at } => {
-            if kind == MemRef::Store {
-                // Write-through: keep L2's copy dirty when present. This is
-                // bookkeeping, not a demand reference, so no counters.
-                let _ = core.l2.access(line, true);
-            }
-            ready_at
-        }
-        Lookup::Miss => {
-            took_l1_miss = true;
-            ctr.l1d_miss += 1;
-            ctr.l2_access += 1;
-            let is_store = kind == MemRef::Store;
-            let ready = match core.l2.access(line, is_store) {
-                Lookup::Hit { ready_at } => {
-                    // Consuming a still-in-flight prefetched line keeps the
-                    // stream trained so the frontier advances without
-                    // waiting for a demand miss.
-                    if cfg.prefetch && ready_at > ctx.t {
-                        prefetch_after_miss(cfg, core, fsb, mem, ctr, line, ctx.t, pf_buf);
-                    }
-                    (ctx.t + cycles(cfg.l2_lat)).max(ready_at)
-                }
-                Lookup::Miss => {
-                    ctr.l2_miss += 1;
-                    ctr.bus_demand_read += 1;
-                    let done = transact(cfg, fsb, mem, ctx.t, BusKind::DemandRead);
-                    if let Some(ev) = core.l2.install(line, is_store, done) {
-                        if ev.dirty {
-                            ctr.bus_write += 1;
-                            transact(cfg, fsb, mem, ctx.t, BusKind::Write);
-                        }
-                    }
-                    // Let the stream prefetcher chase this miss.
-                    if cfg.prefetch {
-                        prefetch_after_miss(cfg, core, fsb, mem, ctr, line, ctx.t, pf_buf);
-                    }
-                    done
-                }
-            };
-            core.l1d.install(line, false, ready);
-            ready
-        }
-    };
+    let is_store = kind == MemRef::Store;
 
-    // MESI-style ownership: a store that had to allocate (missed L1) may
-    // have sharers on other cores — invalidate them and account the snoop.
-    if kind == MemRef::Store && took_l1_miss {
-        for (oi, other) in cores.iter_mut().enumerate() {
-            if oi == core_idx {
-                continue;
+    ctr.dtlb_access += 1;
+    ctr.l1d_access += 1;
+
+    // Repeated-reference fast path: the previous data reference on this
+    // core touched the same line, and nothing has invalidated it since, so
+    // the line is still resident and most-recently-used in both the DTLB
+    // (same line ⇒ same page) and L1 — skipping the re-stamp preserves
+    // every relative LRU ordering, hence the future hit/miss/evict sequence.
+    // A store is only eligible when the previous reference was also a store
+    // (which already left L2's copy dirty and freshly stamped); a store
+    // after a load must take the full path for the L2 dirty bookkeeping.
+    let ready = if fast && line == core.last_line && (!is_store || core.last_was_store) {
+        core.last_was_store = is_store;
+        core.last_ready
+    } else {
+        // Data TLB.
+        if !core.dtlb.access(a) {
+            match kind {
+                MemRef::Store => ctr.dtlb_miss_store += 1,
+                _ => ctr.dtlb_miss_load += 1,
             }
-            let in_l1 = other.l1d.invalidate(line).is_some();
-            let l2_state = other.l2.invalidate(line);
-            if in_l1 || l2_state.is_some() {
-                ctr.coherence_invalidations += 1;
-                if l2_state == Some(true) {
-                    // The remote dirty copy is written back on the snoop.
-                    ctr.bus_write += 1;
-                    transact(cfg, fsb, mem, ctx.t, BusKind::Write);
+            let p = cycles(cfg.tlb_walk);
+            ctx.t += p;
+            ctr.ticks_stall_tlb += p;
+        }
+
+        // L1 data cache (write-through: stores never dirty L1).
+        let mut took_l1_miss = false;
+        let ready = match core.l1d.access(line, false) {
+            Lookup::Hit { ready_at } => {
+                if kind == MemRef::Store {
+                    // Write-through: keep L2's copy dirty when present. This
+                    // is bookkeeping, not a demand reference, so no counters.
+                    let _ = core.l2.access(line, true);
+                }
+                ready_at
+            }
+            Lookup::Miss => {
+                took_l1_miss = true;
+                ctr.l1d_miss += 1;
+                ctr.l2_access += 1;
+                let ready = match core.l2.access(line, is_store) {
+                    Lookup::Hit { ready_at } => {
+                        // Consuming a still-in-flight prefetched line keeps
+                        // the stream trained so the frontier advances
+                        // without waiting for a demand miss.
+                        if cfg.prefetch && ready_at > ctx.t {
+                            prefetch_after_miss(cfg, core, fsb, mem, ctr, line, ctx.t, pf_buf);
+                        }
+                        (ctx.t + cycles(cfg.l2_lat)).max(ready_at)
+                    }
+                    Lookup::Miss => {
+                        ctr.l2_miss += 1;
+                        ctr.bus_demand_read += 1;
+                        let done = transact(cfg, fsb, mem, ctx.t, BusKind::DemandRead);
+                        if let Some(ev) = core.l2.install(line, is_store, done) {
+                            if ev.dirty {
+                                ctr.bus_write += 1;
+                                transact(cfg, fsb, mem, ctx.t, BusKind::Write);
+                            }
+                        }
+                        // Let the stream prefetcher chase this miss.
+                        if cfg.prefetch {
+                            prefetch_after_miss(cfg, core, fsb, mem, ctr, line, ctx.t, pf_buf);
+                        }
+                        done
+                    }
+                };
+                core.l1d.install(line, false, ready);
+                ready
+            }
+        };
+
+        // MESI-style ownership: a store that had to allocate (missed L1)
+        // may have sharers on other cores — invalidate them and account the
+        // snoop.
+        if is_store && took_l1_miss {
+            for (oi, other) in cores.iter_mut().enumerate() {
+                if oi == core_idx {
+                    continue;
+                }
+                let in_l1 = other.l1d.invalidate(line).is_some();
+                let l2_state = other.l2.invalidate(line);
+                if in_l1 || l2_state.is_some() {
+                    ctr.coherence_invalidations += 1;
+                    if l2_state == Some(true) {
+                        // The remote dirty copy is written back on the snoop.
+                        ctr.bus_write += 1;
+                        transact(cfg, fsb, mem, ctx.t, BusKind::Write);
+                    }
+                }
+                if other.last_line == line {
+                    // The remote core's filter entry just lost its line.
+                    other.last_line = NO_LINE;
                 }
             }
         }
-    }
+
+        let core = &mut cores[core_idx];
+        core.last_line = line;
+        core.last_ready = ready;
+        core.last_was_store = is_store;
+        ready
+    };
 
     match kind {
         MemRef::LoadDep => {
@@ -627,14 +754,15 @@ fn prefetch_after_miss(
     }
 }
 
-/// A context reached its region-end barrier.
-fn handle_arrival(cfg: &MachineConfig, ci: usize, ctxs: &mut [Ctx], jobs: &mut [JobState]) {
+/// A context reached its region-end barrier. Returns `true` when it was the
+/// last arriver and the whole team was released (or finished).
+fn handle_arrival(cfg: &MachineConfig, ci: usize, ctxs: &mut [Ctx], jobs: &mut [JobState]) -> bool {
     let ji = ctxs[ci].job;
     ctxs[ci].phase = Phase::Barrier;
     jobs[ji].arrived += 1;
     let n = jobs[ji].trace.nthreads;
     if jobs[ji].arrived < n {
-        return;
+        return false;
     }
     // Last arriver: release everyone.
     jobs[ji].arrived = 0;
@@ -665,6 +793,7 @@ fn handle_arrival(cfg: &MachineConfig, ci: usize, ctxs: &mut [Ctx], jobs: &mut [
     if done {
         jobs[ji].finish = release;
     }
+    true
 }
 
 #[cfg(test)]

@@ -86,7 +86,7 @@ pub mod prelude {
     pub use crate::config::MachineConfig;
     pub use crate::counters::{Counters, Metrics};
     pub use crate::op::Op;
-    pub use crate::sim::{simulate, JobOutcome, JobSpec, RegionSpan, SimOutcome};
+    pub use crate::sim::{simulate, simulate_reference, JobOutcome, JobSpec, RegionSpan, SimOutcome};
     pub use crate::topology::Lcpu;
     pub use crate::trace::{ProgramTrace, RegionTrace, TraceBuf};
     pub use crate::{cycles, to_cycles, TPC};

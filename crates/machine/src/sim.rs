@@ -92,7 +92,20 @@ pub struct SimOutcome {
 /// context outside the configured topology, or two jobs share a context.
 pub fn simulate(cfg: &MachineConfig, jobs: Vec<JobSpec>) -> SimOutcome {
     validate(cfg, &jobs);
-    let out = engine::run(cfg, &jobs);
+    shape_outcome(engine::run(cfg, &jobs), &jobs)
+}
+
+/// Run `jobs` through the seed-shaped reference engine: linear context
+/// scanning and full DTLB/L1/L2 lookups on every reference, with none of
+/// the fast paths. [`simulate`] must produce bit-identical outcomes; this
+/// entry point exists as the oracle for differential tests and as the
+/// baseline for throughput benchmarks.
+pub fn simulate_reference(cfg: &MachineConfig, jobs: Vec<JobSpec>) -> SimOutcome {
+    validate(cfg, &jobs);
+    shape_outcome(engine::run_reference(cfg, &jobs), &jobs)
+}
+
+fn shape_outcome(out: engine::EngineOutcome, jobs: &[JobSpec]) -> SimOutcome {
     let mut total = Counters::default();
     let mut results = Vec::with_capacity(jobs.len());
     let mut wall = 0u64;

@@ -14,6 +14,37 @@
 //! over-capacity working sets.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the u64 block keys. Hash quality only affects
+/// speed, never results: the map is used purely for membership and
+/// indexing, and the victim choice comes from a separate xorshift stream.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut h = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+}
+
+/// Sentinel for "no cached most-recent key" (real keys carry a non-zero
+/// ASID in bits 32+, so they never reach `u64::MAX`).
+const NO_KEY: u64 = u64::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct Entry {
@@ -25,12 +56,16 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct TraceCache {
     /// key → index into `entries`.
-    map: HashMap<u64, usize>,
+    map: HashMap<u64, usize, BuildHasherDefault<KeyHasher>>,
     entries: Vec<Entry>,
     used: u64,
     budget: u64,
     /// Deterministic LCG state for victim selection.
     rng: u64,
+    /// The most recently accessed resident key: hits mutate nothing, so a
+    /// repeat of this key can return without touching the map. Cleared
+    /// when eviction removes it.
+    last_key: u64,
 }
 
 impl TraceCache {
@@ -38,11 +73,12 @@ impl TraceCache {
     pub fn new(capacity_uops: u64) -> Self {
         assert!(capacity_uops >= 64, "unreasonably small trace cache");
         Self {
-            map: HashMap::new(),
+            map: HashMap::default(),
             entries: Vec::new(),
             used: 0,
             budget: capacity_uops,
             rng: 0x2545_f491_4f6c_dd1d,
+            last_key: NO_KEY,
         }
     }
 
@@ -61,7 +97,11 @@ impl TraceCache {
     /// a hit; a miss installs the block, evicting pseudo-random victims
     /// until it fits. Blocks larger than the whole array are clamped.
     pub fn access(&mut self, key: u64, uops: u32) -> bool {
+        if key == self.last_key {
+            return true; // still resident: hits never mutate, evictions clear
+        }
         if self.map.contains_key(&key) {
+            self.last_key = key;
             return true;
         }
         let need = (uops.max(1) as u64).min(self.budget);
@@ -70,6 +110,9 @@ impl TraceCache {
             let victim = self.entries.swap_remove(v);
             self.used -= victim.uops as u64;
             self.map.remove(&victim.key);
+            if victim.key == self.last_key {
+                self.last_key = NO_KEY;
+            }
             if v < self.entries.len() {
                 self.map.insert(self.entries[v].key, v);
             }
@@ -80,6 +123,7 @@ impl TraceCache {
             uops: need as u32,
         });
         self.used += need;
+        self.last_key = key;
         false
     }
 

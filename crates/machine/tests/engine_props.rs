@@ -134,6 +134,43 @@ proptest! {
         prop_assert_eq!(a.jobs[0].counters, b.jobs[0].counters);
     }
 
+    /// The optimized engine (min-heap scheduling, repeated-reference fast
+    /// path, way prediction) is bit-identical to the seed-shaped reference
+    /// engine on arbitrary programs — every counter, every region end,
+    /// every cycle count.
+    #[test]
+    fn fast_engine_matches_reference(
+        prog in arb_program(2),
+        other in arb_program(1),
+        seed in 0u64..1000,
+    ) {
+        let cfg = MachineConfig::paxville_smp();
+        let prog = Arc::new(prog);
+        let other = Arc::new(other);
+        // Two jobs sharing a chip: exercises SMT partitioning, coherence
+        // invalidations (which must clear the reference filter), and
+        // cross-job scheduling order.
+        let specs = || {
+            vec![
+                JobSpec::pinned(prog.clone(), vec![Lcpu::A0, Lcpu::A4]).with_jitter(300, seed),
+                JobSpec::pinned(other.clone(), vec![Lcpu::A1]).with_jitter(300, seed ^ 7),
+            ]
+        };
+        let fast = simulate(&cfg, specs());
+        let slow = simulate_reference(&cfg, specs());
+        prop_assert_eq!(fast.wall_cycles, slow.wall_cycles);
+        prop_assert_eq!(&fast.total, &slow.total);
+        for (f, s) in fast.jobs.iter().zip(slow.jobs.iter()) {
+            prop_assert_eq!(f.cycles, s.cycles);
+            prop_assert_eq!(&f.counters, &s.counters);
+            prop_assert_eq!(f.regions.len(), s.regions.len());
+            for (fr, sr) in f.regions.iter().zip(s.regions.iter()) {
+                prop_assert_eq!(fr.end, sr.end);
+                prop_assert_eq!(fr.cycles, sr.cycles);
+            }
+        }
+    }
+
     /// Contention monotonicity: adding a second job never finishes the
     /// first one sooner than running it alone (same placement).
     #[test]

@@ -235,7 +235,7 @@ mod tests {
         let b = Ep.build(Class::T, 1, Schedule::Static);
         let s = b.trace.stats();
         // Branches: one loop branch + one acceptance branch per pair.
-        assert!(s.branches as u64 >= 2 * pairs(Class::T) - 2);
+        assert!(s.branches >= 2 * pairs(Class::T) - 2);
     }
 
     #[test]

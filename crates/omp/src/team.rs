@@ -374,7 +374,7 @@ mod tests {
         let prog = team.finish();
         assert_eq!(prog.regions.len(), 1);
         for t in &prog.regions[0].threads {
-            assert!(t.len() > 0, "every thread traced");
+            assert!(!t.is_empty(), "every thread traced");
             assert_eq!(t.memory_ops(), 16);
         }
     }
@@ -445,7 +445,7 @@ mod tests {
     fn worksharing_respects_schedule() {
         let mut team = Team::new("t", 2);
         team.set_schedule(Schedule::StaticChunk(1));
-        let mut seen = vec![Vec::new(), Vec::new()];
+        let mut seen = [Vec::new(), Vec::new()];
         team.parallel("ws", |p| {
             let tid = p.tid;
             p.for_static(1, 1, 6, |_, i| seen[tid].push(i));

@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(pct(0.1234), "12.3%");
-        assert_eq!(ratio(2.71828), "2.72");
+        assert_eq!(ratio(2.5), "2.50");
     }
 
     #[test]
