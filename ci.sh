@@ -11,10 +11,20 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== engine throughput (quick, zero-drift check) =="
+echo "== engine throughput (quick, zero-drift check, memoization on) =="
 PAXSIM_BENCH_QUICK=1 cargo bench -p paxsim-bench --bench engine_throughput
+
+echo "== engine throughput (quick, zero-drift check, memoization off) =="
+# The '/quiet' workloads drift-check memoized replay against the reference
+# engine above; this second pass pins the same workloads with memoization
+# disabled, so any divergence between the memoized and plain fast paths
+# shows up as drift against the shared reference.
+PAXSIM_BENCH_QUICK=1 PAXSIM_DISABLE_MEMO=1 cargo bench -p paxsim-bench --bench engine_throughput
 
 echo "ci.sh: all gates passed"

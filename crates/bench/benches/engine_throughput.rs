@@ -43,11 +43,18 @@ fn time_median<F: FnMut() -> SimOutcome>(samples: usize, mut f: F) -> (Duration,
 /// Bit-identical outcome check: the optimized engine must reproduce the
 /// reference exactly, or the throughput numbers are meaningless.
 fn assert_no_drift(fast: &SimOutcome, slow: &SimOutcome, what: &str) {
-    assert_eq!(fast.wall_cycles, slow.wall_cycles, "{what}: wall cycles drifted");
+    assert_eq!(
+        fast.wall_cycles, slow.wall_cycles,
+        "{what}: wall cycles drifted"
+    );
     assert_eq!(fast.total, slow.total, "{what}: counters drifted");
     for (f, s) in fast.jobs.iter().zip(slow.jobs.iter()) {
         assert_eq!(f.cycles, s.cycles, "{what}/{}: job cycles drifted", f.name);
-        assert_eq!(f.counters, s.counters, "{what}/{}: job counters drifted", f.name);
+        assert_eq!(
+            f.counters, s.counters,
+            "{what}/{}: job counters drifted",
+            f.name
+        );
     }
 }
 
@@ -58,15 +65,26 @@ struct Row {
     speedup: f64,
     sim_uops: u64,
     fast_uops_per_sec: f64,
+    /// Packed + interned in-memory footprint of the workload's trace.
+    trace_bytes_packed: u64,
+    /// The same trace as a naive array-of-`Op` (the pre-packing layout).
+    trace_bytes_unpacked: u64,
+    memo_probes: u64,
+    memo_hits: u64,
+    memo_hit_rate: f64,
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn write_report(rows: &[Row], sweep_ms: Option<f64>) {
-    let geomean =
-        (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
     let workloads = Value::Array(
         rows.iter()
             .map(|r| {
@@ -77,6 +95,15 @@ fn write_report(rows: &[Row], sweep_ms: Option<f64>) {
                     ("speedup", Value::Float(r.speedup)),
                     ("sim_uops", Value::UInt(r.sim_uops)),
                     ("fast_uops_per_sec", Value::Float(r.fast_uops_per_sec)),
+                    ("trace_bytes_packed", Value::UInt(r.trace_bytes_packed)),
+                    ("trace_bytes_unpacked", Value::UInt(r.trace_bytes_unpacked)),
+                    (
+                        "trace_reduction",
+                        Value::Float(r.trace_bytes_unpacked as f64 / r.trace_bytes_packed as f64),
+                    ),
+                    ("memo_probes", Value::UInt(r.memo_probes)),
+                    ("memo_hits", Value::UInt(r.memo_hits)),
+                    ("memo_hit_rate", Value::Float(r.memo_hit_rate)),
                 ])
             })
             .collect(),
@@ -91,7 +118,11 @@ fn write_report(rows: &[Row], sweep_ms: Option<f64>) {
                  scheduler + full per-reference lookups). Structure-level optimizations \
                  (MRU way prediction, TLB page filter, trace-cache key filter) are shared \
                  by both engines; compare BENCH_engine.json across PRs for the end-to-end \
-                 trajectory."
+                 trajectory. trace_bytes_packed counts the interned packed-word encoding, \
+                 trace_bytes_unpacked the naive array-of-Op layout it replaced. '/quiet' \
+                 rows run jitter-free, where the fast engine's steady-state region \
+                 memoization engages (memo_hit_rate > 0); the reference engine never \
+                 memoizes, so those rows stay drift-checked too."
                     .into(),
             ),
         ),
@@ -118,36 +149,63 @@ fn bench(c: &mut Criterion) {
     let store = warmed_store(&[KernelId::Ep, KernelId::Cg], class);
 
     let mut rows = Vec::new();
-    for (kernel, cfg_name) in [
-        (KernelId::Cg, "Serial"),
-        (KernelId::Ep, "HT off -4-2"),
-        (KernelId::Cg, "HT off -4-2"),
-        (KernelId::Cg, "HT on -8-2"),
+    // Jittered rows exercise the general scheduler; '/quiet' (jitter 0)
+    // rows are where steady-state region memoization engages.
+    for (kernel, cfg_name, jitter) in [
+        (KernelId::Cg, "Serial", 250),
+        (KernelId::Ep, "HT off -4-2", 250),
+        (KernelId::Cg, "HT off -4-2", 250),
+        (KernelId::Cg, "HT on -8-2", 250),
+        (KernelId::Cg, "Serial", 0),
+        (KernelId::Cg, "HT off -4-2", 0),
     ] {
         let cfg = config_by_name(cfg_name).unwrap();
         let t = trace(&store, kernel, class, cfg.threads);
-        let spec = || vec![JobSpec::pinned(t.clone(), cfg.contexts.clone()).with_jitter(250, 7)];
+        let spec = || {
+            let s = JobSpec::pinned(t.clone(), cfg.contexts.clone());
+            vec![if jitter > 0 {
+                s.with_jitter(jitter, 7)
+            } else {
+                s
+            }]
+        };
+        let label = if jitter > 0 {
+            format!("{kernel}/{cfg_name}")
+        } else {
+            format!("{kernel}/{cfg_name}/quiet")
+        };
 
         let (fast_t, fast_out) = time_median(samples, || simulate(&machine, spec()));
         let (ref_t, ref_out) = time_median(samples, || simulate_reference(&machine, spec()));
-        assert_no_drift(&fast_out, &ref_out, &format!("{kernel}/{cfg_name}"));
+        assert_no_drift(&fast_out, &ref_out, &label);
 
         let sim_uops = fast_out.total.instructions;
         let row = Row {
-            label: format!("{kernel}/{cfg_name}"),
+            label,
             fast_ms: fast_t.as_secs_f64() * 1e3,
             reference_ms: ref_t.as_secs_f64() * 1e3,
             speedup: ref_t.as_secs_f64() / fast_t.as_secs_f64(),
             sim_uops,
             fast_uops_per_sec: sim_uops as f64 / fast_t.as_secs_f64(),
+            trace_bytes_packed: t.packed_bytes() as u64,
+            trace_bytes_unpacked: t.unpacked_bytes() as u64,
+            memo_probes: fast_out.memo.probes,
+            memo_hits: fast_out.memo.hits,
+            memo_hit_rate: fast_out.memo.hit_rate(),
         };
         println!(
-            "{}: fast {:.2} ms, reference {:.2} ms, speedup {:.2}x, {:.1} Muops/s",
+            "{}: fast {:.2} ms, reference {:.2} ms, speedup {:.2}x, {:.1} Muops/s, \
+             trace {} -> {} B ({:.2}x), memo {}/{}",
             row.label,
             row.fast_ms,
             row.reference_ms,
             row.speedup,
-            row.fast_uops_per_sec / 1e6
+            row.fast_uops_per_sec / 1e6,
+            row.trace_bytes_unpacked,
+            row.trace_bytes_packed,
+            row.trace_bytes_unpacked as f64 / row.trace_bytes_packed as f64,
+            row.memo_hits,
+            row.memo_probes,
         );
         rows.push(row);
     }

@@ -47,9 +47,7 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--bench" => {
-                args.bench = it.next().expect("--bench NAME").parse().expect("benchmark")
-            }
+            "--bench" => args.bench = it.next().expect("--bench NAME").parse().expect("benchmark"),
             "--pair" => {
                 args.pair = Some(it.next().expect("--pair NAME").parse().expect("benchmark"))
             }
@@ -124,10 +122,7 @@ fn main() {
         let c = &job.counters;
         let m = c.metrics();
         println!("== {} — {} cycles ==", job.name, job.cycles);
-        println!(
-            "  instructions {:>12}   CPI {:.3}",
-            c.instructions, m.cpi
-        );
+        println!("  instructions {:>12}   CPI {:.3}", c.instructions, m.cpi);
         println!(
             "  L1D  {:>11} access {:>10} miss ({:.2}%)",
             c.l1d_access,

@@ -115,13 +115,39 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_micros(200));
             live.fetch_sub(1, Ordering::SeqCst);
         });
-        let cap = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         assert!(
             peak.load(Ordering::SeqCst) <= cap,
             "peak {} workers exceeds host parallelism {}",
             peak.load(Ordering::SeqCst),
             cap
         );
+    }
+
+    #[test]
+    fn order_preserved_under_skewed_durations() {
+        // Early items take longest, so *completion* order is roughly
+        // reversed; the result vector must still be in index order.
+        let out = map_indexed(50, |i| {
+            std::thread::sleep(std::time::Duration::from_micros((50 - i as u64) * 40));
+            i * 11
+        });
+        assert_eq!(out, (0..50).map(|i| i * 11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked")]
+    fn worker_panic_surfaces() {
+        // A panicking cell must abort the sweep with a clear panic, not
+        // hang the pool or silently drop the item.
+        map_indexed(32, |i| {
+            if i == 7 {
+                panic!("cell exploded");
+            }
+            i
+        });
     }
 
     #[test]

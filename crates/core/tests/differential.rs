@@ -43,14 +43,66 @@ fn fast_engine_matches_reference_on_all_table1_configs() {
                 schedule: Schedule::Static,
             });
             let spec = || {
-                vec![JobSpec::pinned(trace.clone(), config.contexts.clone())
-                    .with_jitter(250, 42)]
+                vec![JobSpec::pinned(trace.clone(), config.contexts.clone()).with_jitter(250, 42)]
             };
             let fast = simulate(&machine, spec());
             let slow = simulate_reference(&machine, spec());
             assert_outcomes_identical(&fast, &slow, &format!("{bench}/{}", config.name));
         }
     }
+}
+
+/// The same sweep with perfectly quiet jobs (jitter 0): this is the path
+/// where the fast engine's steady-state region memoization engages, while
+/// the reference engine never memoizes — so this test is the bit-identity
+/// gate for packed decoding *and* memoized replay together.
+#[test]
+fn memoizing_engine_matches_reference_on_all_table1_configs() {
+    let machine = MachineConfig::paxville_smp();
+    let store = TraceStore::new();
+    for bench in [KernelId::Ep, KernelId::Cg] {
+        for config in all_configs() {
+            let trace = store.get(TraceKey {
+                kernel: bench,
+                class: Class::T,
+                nthreads: config.threads,
+                schedule: Schedule::Static,
+            });
+            let spec = || vec![JobSpec::pinned(trace.clone(), config.contexts.clone())];
+            let fast = simulate(&machine, spec());
+            let slow = simulate_reference(&machine, spec());
+            assert_outcomes_identical(&fast, &slow, &format!("quiet {bench}/{}", config.name));
+        }
+    }
+}
+
+/// CG iterates structurally identical regions, so on a quiet run the memo
+/// table must actually answer probes — otherwise the memoization path is
+/// silently dead and the identity test above proves nothing about it.
+#[test]
+fn memoization_fires_on_iterative_cg() {
+    let machine = MachineConfig::paxville_smp();
+    let store = TraceStore::new();
+    let config = all_configs()
+        .into_iter()
+        .find(|c| c.threads >= 4)
+        .expect("a 4-context configuration exists");
+    let trace = store.get(TraceKey {
+        kernel: KernelId::Cg,
+        class: Class::T,
+        nthreads: config.threads,
+        schedule: Schedule::Static,
+    });
+    let out = simulate(
+        &machine,
+        vec![JobSpec::pinned(trace, config.contexts.clone())],
+    );
+    assert!(out.memo.probes > 0, "quiet single-job run must probe");
+    assert!(
+        out.memo.hits > 0,
+        "CG's repeated iterations must hit the memo table: {:?}",
+        out.memo
+    );
 }
 
 /// Multiprogrammed shape (two jobs splitting the machine, as in §4.2/§4.3):

@@ -8,7 +8,10 @@
 
 /// Per-core gshare predictor. Contexts are identified by their SMT slot
 /// (0 or 1) for history purposes.
-#[derive(Debug, Clone)]
+///
+/// Every field is time-free, so the whole struct is its own canonical
+/// memoization snapshot (`PartialEq` + `Clone`, see `crate::memo`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Gshare {
     /// Two-bit saturating counters, initialized weakly taken (2).
     pht: Vec<u8>,

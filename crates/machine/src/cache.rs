@@ -190,6 +190,81 @@ impl SetAssoc {
     pub fn ways(&self) -> usize {
         self.ways
     }
+
+    /// Canonical replay-relevant snapshot at boundary clock `base` (see
+    /// `crate::memo`). Two states with equal canons are indistinguishable
+    /// to any future op sequence executed at clocks ≥ `base`:
+    ///
+    /// * each set's occupied ways are listed oldest → newest, *erasing way
+    ///   positions entirely*: lookup scans every way of a set, eviction
+    ///   picks the minimum stamp (the first listed line), and the choice of
+    ///   slot for a new line is never observable — so states whose sets
+    ///   hold the same lines in permuted ways are behaviorally identical
+    ///   and must canonicalize equally (steady-state loops reproduce the
+    ///   same *resident set* each iteration, not the same way layout);
+    /// * absolute LRU stamps are erased by that recency ordering —
+    ///   replacement only ever compares stamps within a set, so the order
+    ///   carries exactly the information it uses. Empty ways vanish: their
+    ///   stale stamps are never read (install prefers empties before
+    ///   consulting stamps; access fails their tag compare);
+    /// * in-flight `ready` ticks become offsets from `base`; fills already
+    ///   complete at the boundary (ready ≤ base) clamp to "settled" (0)
+    ///   since every consumer compares them against a clock ≥ `base`;
+    /// * `clock` and `mru_way` are omitted — the clock only generates fresh
+    ///   stamps above all existing ones, and way prediction is proven
+    ///   non-observable by `equivalent_to_reference_cache`.
+    pub(crate) fn canon(&self, base: u64) -> SetAssocCanon {
+        let mut lines = Vec::with_capacity(self.occupancy());
+        let mut order: Vec<usize> = Vec::with_capacity(self.ways);
+        for set in 0..self.sets {
+            let first = set * self.ways;
+            order.clear();
+            order.extend((first..first + self.ways).filter(|&i| self.tags[i] != INVALID));
+            order.sort_by_key(|&i| self.stamp[i]);
+            for &i in &order {
+                lines.push((
+                    set as u32,
+                    self.tags[i],
+                    self.dirty[i],
+                    self.ready[i].saturating_sub(base),
+                ));
+            }
+        }
+        SetAssocCanon { lines }
+    }
+
+    /// Install canonical state `c` re-anchored at boundary clock `base`.
+    /// Lines land in each set's first ways, oldest first — one definite
+    /// representative of the way-permutation equivalence class.
+    pub(crate) fn restore(&mut self, c: &SetAssocCanon, base: u64) {
+        self.tags.fill(INVALID);
+        self.stamp.fill(0);
+        self.dirty.fill(false);
+        self.ready.fill(0);
+        let mut fill = vec![0usize; self.sets];
+        for &(set, tag, dirty, ready_off) in &c.lines {
+            let set = set as usize;
+            let way = fill[set];
+            fill[set] += 1;
+            let i = set * self.ways + way;
+            self.tags[i] = tag;
+            // Recency rank as the stamp: 1..=k oldest → newest.
+            self.stamp[i] = (way + 1) as u64;
+            self.dirty[i] = dirty;
+            self.ready[i] = if ready_off == 0 { 0 } else { base + ready_off };
+        }
+        // Fresh stamps must exceed every rank; prediction state is free.
+        self.clock = self.ways as u64;
+        self.mru_way.fill(0);
+    }
+}
+
+/// See [`SetAssoc::canon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SetAssocCanon {
+    /// Occupied lines in (set, recency) order: `(set, tag, dirty,
+    /// ready − base clamped to 0)`.
+    lines: Vec<(u32, u64, bool, u64)>,
 }
 
 #[cfg(test)]
@@ -265,6 +340,30 @@ mod tests {
         assert_eq!(c.line_of(63), 0);
         assert_eq!(c.line_of(64), 1);
         assert_eq!(c.line_of(6400), 100);
+    }
+
+    #[test]
+    fn canon_restore_preserves_behavior() {
+        // A state with occupied, dirty, in-flight, and invalidated ways.
+        let mut a = tiny();
+        a.install(0, false, 0);
+        a.install(4, true, 0);
+        a.access(0, false); // line 4 becomes LRU in its set
+        a.install(1, false, 500); // in-flight fill
+        a.install(5, false, 0);
+        a.invalidate(5); // leaves a stale stamp on the emptied way
+        let base = 300;
+        let canon = a.canon(base);
+        let mut b = tiny();
+        b.restore(&canon, base);
+        // Canonicalization is idempotent across restore.
+        assert_eq!(b.canon(base), canon);
+        // The restored cache replays like the original: same lookups, same
+        // eviction choice (LRU line 4), same surviving in-flight tick.
+        assert_eq!(a.access(0, false), b.access(0, false));
+        assert_eq!(a.install(8, false, 600), b.install(8, false, 600));
+        assert_eq!(a.access(1, false), b.access(1, false));
+        assert_eq!(a.access(1, false), Lookup::Hit { ready_at: 500 });
     }
 
     #[test]
@@ -347,9 +446,7 @@ mod tests {
             fn invalidate(&mut self, line: u64) -> Option<bool> {
                 let set = self.set_of(line);
                 let s = &mut self.lru[set];
-                s.iter()
-                    .position(|e| e.0 == line)
-                    .map(|i| s.remove(i).1)
+                s.iter().position(|e| e.0 == line).map(|i| s.remove(i).1)
             }
 
             fn contains(&self, line: u64) -> bool {

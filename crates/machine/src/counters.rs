@@ -133,6 +133,40 @@ impl Counters {
         self.ticks_sync += o.ticks_sync;
     }
 
+    /// Field-wise difference `self − earlier`. Counters are monotone
+    /// within a run, so this is the exact per-region delta the engine's
+    /// memoization records and replays (the inverse of [`Counters::add`]).
+    pub fn delta(&self, earlier: &Counters) -> Counters {
+        Counters {
+            instructions: self.instructions - earlier.instructions,
+            l1d_access: self.l1d_access - earlier.l1d_access,
+            l1d_miss: self.l1d_miss - earlier.l1d_miss,
+            l2_access: self.l2_access - earlier.l2_access,
+            l2_miss: self.l2_miss - earlier.l2_miss,
+            tc_access: self.tc_access - earlier.tc_access,
+            tc_miss: self.tc_miss - earlier.tc_miss,
+            itlb_access: self.itlb_access - earlier.itlb_access,
+            itlb_miss: self.itlb_miss - earlier.itlb_miss,
+            dtlb_access: self.dtlb_access - earlier.dtlb_access,
+            dtlb_miss_load: self.dtlb_miss_load - earlier.dtlb_miss_load,
+            dtlb_miss_store: self.dtlb_miss_store - earlier.dtlb_miss_store,
+            branches: self.branches - earlier.branches,
+            branch_mispredict: self.branch_mispredict - earlier.branch_mispredict,
+            coherence_invalidations: self.coherence_invalidations - earlier.coherence_invalidations,
+            bus_demand_read: self.bus_demand_read - earlier.bus_demand_read,
+            bus_write: self.bus_write - earlier.bus_write,
+            bus_prefetch: self.bus_prefetch - earlier.bus_prefetch,
+            ticks_issue: self.ticks_issue - earlier.ticks_issue,
+            ticks_stall_mem: self.ticks_stall_mem - earlier.ticks_stall_mem,
+            ticks_stall_branch: self.ticks_stall_branch - earlier.ticks_stall_branch,
+            ticks_stall_tc: self.ticks_stall_tc - earlier.ticks_stall_tc,
+            ticks_stall_tlb: self.ticks_stall_tlb - earlier.ticks_stall_tlb,
+            ticks_stall_wb: self.ticks_stall_wb - earlier.ticks_stall_wb,
+            ticks_stall_issue: self.ticks_stall_issue - earlier.ticks_stall_issue,
+            ticks_sync: self.ticks_sync - earlier.ticks_sync,
+        }
+    }
+
     /// Derive the paper's reported metrics from these counters.
     ///
     /// Every division is guarded: a zero denominator yields `0.0`, never
@@ -315,6 +349,15 @@ mod tests {
         assert_eq!(acc.ticks_sync, 2 * c.ticks_sync);
         // CPI is intensive, not extensive: doubling all counts preserves it.
         assert!((acc.metrics().cpi - c.metrics().cpi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_inverts_add() {
+        let a = sample();
+        let mut b = a;
+        b.add(&a);
+        assert_eq!(b.delta(&a), a);
+        assert_eq!(a.delta(&a), Counters::default());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::branch::Gshare;
@@ -31,7 +32,8 @@ use crate::cache::{Lookup, SetAssoc};
 use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::cycles;
-use crate::op::{tag_address, Op};
+use crate::memo::{CoreSnap, MachineSnap, MemoEntry, MemoStats};
+use crate::op::{tag_address, unpack_at, Op};
 use crate::prefetch::StreamPrefetcher;
 use crate::sim::JobSpec;
 use crate::tlb::Tlb;
@@ -173,6 +175,7 @@ pub(crate) struct EngineOutcome {
     pub job_starts: Vec<u64>,
     pub job_counters: Vec<Counters>,
     pub job_region_ends: Vec<Vec<u64>>,
+    pub memo: MemoStats,
 }
 
 /// Run the optimized engine: min-heap context scheduling plus the
@@ -241,7 +244,27 @@ fn run_impl(cfg: &MachineConfig, specs: &[JobSpec], fast: bool) -> EngineOutcome
     }
 
     let tpu = TPC / cfg.issue_width; // ticks per uop
-    if fast {
+    let mut memo_stats = MemoStats::default();
+    // Steady-state region memoization applies to a single quiet (jitter-
+    // free) job: its whole team then sits at one common clock at every
+    // region boundary, which is what makes a region's evolution a pure
+    // function of (trace, machine state) up to a time translation.
+    let memo_on =
+        fast && specs.len() == 1 && specs[0].jitter_cycles == 0 && !crate::memo::disabled();
+    if memo_on {
+        run_memoized(
+            cfg,
+            tpu,
+            &ctx_at,
+            &mut ctxs,
+            &mut cores,
+            &mut fsbs,
+            &mut mem,
+            &mut jobs,
+            &mut pf_buf,
+            &mut memo_stats,
+        );
+    } else if fast {
         // Event-driven scheduling: a lazy min-heap keyed by (local time,
         // context index). Lexicographic `(t, i)` ordering reproduces the
         // reference scan's deterministic tie-break (lowest index among the
@@ -343,7 +366,264 @@ fn run_impl(cfg: &MachineConfig, specs: &[JobSpec], fast: bool) -> EngineOutcome
         job_starts: jobs.iter().map(|j| j.start).collect(),
         job_counters: jobs.iter().map(|j| j.counters).collect(),
         job_region_ends: jobs.into_iter().map(|j| j.region_ends).collect(),
+        memo: memo_stats,
     }
+}
+
+/// Fast-path driver with steady-state region memoization (single quiet job
+/// only — see the gate in `run_impl`).
+///
+/// Each simulated region is recorded as (canonical pre-state, canonical
+/// post-state, Δt, Δcounters) keyed by its interned `RegionTrace` pointer.
+/// When a later boundary presents the same region with a canonically equal
+/// machine state, the recorded deltas are replayed instead of re-simulating
+/// — exact by determinism: same trace + same replay-relevant state ⇒ same
+/// evolution. Canonical states express every absolute tick as an offset
+/// from the boundary clock (see the `memo` module for why each structure's
+/// canonicalization is behavior-preserving), which is sound because the
+/// engine's timing rules are invariant under time translation — with one
+/// exception: the FP out-of-order window clamp `fp_queue.min(start + cost)`
+/// reads absolute time when `start + cost < fp_queue`. Boundaries earlier
+/// than `fp_queue` ticks are therefore simulated normally, never memoized.
+///
+/// Three structural facts keep the bookkeeping off the steady-state path:
+///
+/// * **Chaining** — a boundary's canonical state is already known whenever
+///   the previous region was resolved through the table: a hit leaves the
+///   machine in `e.post`'s class at the release clock, and a recorded miss
+///   just computed `canon(machine)` as its post-state. Since `canon` is
+///   idempotent, that snapshot *is* the next boundary's pre-state — so
+///   `snapshot()` runs only for the post-state of each miss (a handful of
+///   warmup regions), never per boundary.
+/// * **Interning** — every snapshot is deduplicated through a pool of
+///   pairwise-distinct canonical states, so probing is `Rc::ptr_eq`, not a
+///   deep compare (and a hit still can never be a hash collision — there
+///   are no hashes at all, the pool compares full canonical states).
+/// * **Lazy restore** — a hit does not write the machine back; the chained
+///   snapshot stands in for it. Concrete state is materialized only when a
+///   probe misses and the region must actually be simulated. (Nothing
+///   reads machine state after the final region, so a trailing restore is
+///   unnecessary.)
+#[allow(clippy::too_many_arguments)]
+fn run_memoized(
+    cfg: &MachineConfig,
+    tpu: u64,
+    ctx_at: &[Option<usize>],
+    ctxs: &mut [Ctx],
+    cores: &mut [CoreRes],
+    fsbs: &mut [Fsb],
+    mem: &mut MemCtl,
+    jobs: &mut [JobState],
+    pf_buf: &mut Vec<u64>,
+    stats: &mut MemoStats,
+) {
+    let mut table: std::collections::HashMap<usize, Vec<MemoEntry>> =
+        std::collections::HashMap::new();
+    /// Deduplicate `snap` against the pool so that `Rc::ptr_eq` on pooled
+    /// snapshots is exactly canonical equality.
+    fn intern(pool: &mut Vec<Rc<MachineSnap>>, snap: MachineSnap) -> Rc<MachineSnap> {
+        if let Some(p) = pool.iter().find(|p| ***p == snap) {
+            return Rc::clone(p);
+        }
+        let p = Rc::new(snap);
+        pool.push(Rc::clone(&p));
+        p
+    }
+    let mut pool: Vec<Rc<MachineSnap>> = Vec::new();
+    // canon(machine) at the current boundary, when known without reading
+    // the machine (chained from the previous hit or recorded miss).
+    let mut cur: Option<Rc<MachineSnap>> = None;
+    // Does the concrete machine state match the current boundary (false
+    // after a lazy hit, until the next materializing restore)?
+    let mut live = true;
+    let lead = jobs[0].ctx_ids[0];
+    while ctxs[lead].phase == Phase::Run {
+        let r = ctxs[lead].region;
+        let base = ctxs[lead].t;
+        debug_assert!(
+            jobs[0]
+                .ctx_ids
+                .iter()
+                .all(|&i| ctxs[i].t == base && ctxs[i].idx == 0 && ctxs[i].phase == Phase::Run),
+            "quiet team must be aligned at every region boundary"
+        );
+        stats.regions += 1;
+        if base < cfg.fp_queue {
+            // Pre-memoization warmup (always concrete: hits need base ≥
+            // fp_queue, which only grows).
+            debug_assert!(live && cur.is_none());
+            run_region(cfg, tpu, ctx_at, ctxs, cores, fsbs, mem, jobs, pf_buf);
+            continue;
+        }
+        stats.probes += 1;
+        let key = Arc::as_ptr(&jobs[0].trace.regions[r]) as *const () as usize;
+        let pre = match cur.take() {
+            Some(p) => p,
+            None => intern(&mut pool, snapshot(cores, fsbs, mem, base)),
+        };
+        if let Some(e) = table
+            .get(&key)
+            .and_then(|b| b.iter().find(|e| Rc::ptr_eq(&e.pre, &pre)))
+        {
+            stats.hits += 1;
+            let release = base + e.dt;
+            jobs[0].counters.add(&e.dcounters);
+            jobs[0].region_ends.push(release);
+            let done = r + 1 >= jobs[0].trace.regions.len();
+            for ctx in ctxs.iter_mut() {
+                ctx.t = release;
+                if done {
+                    ctx.phase = Phase::Done;
+                } else {
+                    ctx.region = r + 1;
+                    ctx.idx = 0;
+                    ctx.pending_uops = 0;
+                }
+            }
+            if done {
+                jobs[0].finish = release;
+            }
+            cur = Some(Rc::clone(&e.post));
+            live = false;
+            continue;
+        }
+        if !live {
+            restore(cores, fsbs, mem, &pre, base);
+            live = true;
+        }
+        let counters_before = jobs[0].counters;
+        run_region(cfg, tpu, ctx_at, ctxs, cores, fsbs, mem, jobs, pf_buf);
+        let release = ctxs[lead].t;
+        let post = intern(&mut pool, snapshot(cores, fsbs, mem, release));
+        cur = Some(Rc::clone(&post));
+        table.entry(key).or_default().push(MemoEntry {
+            pre,
+            post,
+            dt: release - base,
+            dcounters: jobs[0].counters.delta(&counters_before),
+        });
+    }
+}
+
+/// Simulate exactly one region of the (single) quiet job with the fast
+/// scheduler, returning at its barrier release.
+///
+/// Bit-identical to the general heap loop's handling of the same region: a
+/// fresh heap holds exactly the runnable team, and the general loop's stale
+/// heap entries only cause validation skips or early yields — neither
+/// touches machine state — so the sequence of state-mutating quanta (always
+/// the lexicographically least `(clock, index)` runnable context) is the
+/// same in both drivers.
+#[allow(clippy::too_many_arguments)]
+fn run_region(
+    cfg: &MachineConfig,
+    tpu: u64,
+    ctx_at: &[Option<usize>],
+    ctxs: &mut [Ctx],
+    cores: &mut [CoreRes],
+    fsbs: &mut [Fsb],
+    mem: &mut MemCtl,
+    jobs: &mut [JobState],
+    pf_buf: &mut Vec<u64>,
+) {
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = jobs[0]
+        .ctx_ids
+        .iter()
+        .map(|&i| Reverse((ctxs[i].t, i)))
+        .collect();
+    while let Some(Reverse((t, ci))) = heap.pop() {
+        if ctxs[ci].phase != Phase::Run || ctxs[ci].t != t {
+            continue; // stale entry
+        }
+        let sibling_active = ctx_at[ctxs[ci].lcpu.sibling().index()]
+            .map(|s| ctxs[s].phase == Phase::Run)
+            .unwrap_or(false);
+        let sched = match heap.peek() {
+            None => Sched::Sole,
+            Some(&Reverse((t2, i2))) => Sched::Until(t2, i2),
+        };
+        let finished_region = step_ctx(
+            cfg,
+            tpu,
+            sibling_active,
+            sched,
+            ci,
+            &mut ctxs[ci],
+            cores,
+            fsbs,
+            mem,
+            jobs,
+            pf_buf,
+        );
+        if finished_region {
+            if handle_arrival(cfg, ci, ctxs, jobs) {
+                return;
+            }
+        } else {
+            heap.push(Reverse((ctxs[ci].t, ci)));
+        }
+    }
+    unreachable!("region ended without a barrier release");
+}
+
+/// Capture the canonical replay-relevant machine state at boundary clock
+/// `base`. Absolute ticks become offsets (`saturating_sub(base)`): any tick
+/// at or before the boundary is behaviorally "free now" everywhere the
+/// engine consumes it (always via `max`/`>` against a clock ≥ `base`), so
+/// clamping to 0 merges states that cannot be distinguished by any replay.
+fn snapshot(cores: &[CoreRes], fsbs: &[Fsb], mem: &MemCtl, base: u64) -> MachineSnap {
+    MachineSnap {
+        cores: cores
+            .iter()
+            .map(|c| CoreSnap {
+                issue_off: c.issue_next_free.saturating_sub(base),
+                fp_off: c.fp_next_free.saturating_sub(base),
+                l1d: c.l1d.canon(base),
+                l2: c.l2.canon(base),
+                tc: c.tc.canon(),
+                itlb: c.itlb.canon(base),
+                dtlb: c.dtlb.canon(base),
+                bp: c.bp.clone(),
+                pf: c.pf.canon(),
+                last_line: c.last_line,
+                last_ready_off: c.last_ready.saturating_sub(base),
+                last_was_store: c.last_was_store,
+            })
+            .collect(),
+        fsb_offs: fsbs
+            .iter()
+            .map(|f| f.next_free.saturating_sub(base))
+            .collect(),
+        mem_off: mem.next_free.saturating_sub(base),
+    }
+}
+
+/// Install the canonical state `snap` re-anchored at boundary clock `base`.
+fn restore(
+    cores: &mut [CoreRes],
+    fsbs: &mut [Fsb],
+    mem: &mut MemCtl,
+    snap: &MachineSnap,
+    base: u64,
+) {
+    for (c, s) in cores.iter_mut().zip(&snap.cores) {
+        c.issue_next_free = base + s.issue_off;
+        c.fp_next_free = base + s.fp_off;
+        c.l1d.restore(&s.l1d, base);
+        c.l2.restore(&s.l2, base);
+        c.tc.restore(&s.tc);
+        c.itlb.restore(&s.itlb, base);
+        c.dtlb.restore(&s.dtlb, base);
+        c.bp = s.bp.clone();
+        c.pf.restore(&s.pf);
+        c.last_line = s.last_line;
+        c.last_ready = base + s.last_ready_off;
+        c.last_was_store = s.last_was_store;
+    }
+    for (f, &off) in fsbs.iter_mut().zip(&snap.fsb_offs) {
+        f.next_free = base + off;
+    }
+    mem.next_free = base + snap.mem_off;
 }
 
 /// Advance context `ci` for as long as `sched` allows (at least one
@@ -367,7 +647,9 @@ fn step_ctx(
     let asid = job.asid;
     let ctr = &mut job.counters;
     // Disjoint field borrows: the trace is read-only while counters mutate.
-    let ops = job.trace.regions[ctx.region].threads[ctx.thread].ops();
+    // The packed words are replayed directly; `ctx.idx` is a *word* index
+    // (always on an op boundary — `unpack_at` returns the next one).
+    let words = job.trace.regions[ctx.region].threads[ctx.thread].words();
     let core_idx = ctx.lcpu.core_index();
     let fsb = &mut fsbs[ctx.lcpu.chip as usize];
     let slot = ctx.lcpu.ctx as usize;
@@ -390,7 +672,7 @@ fn step_ctx(
     };
     let tpu = if sibling_active { cfg.smt_tpu } else { tpu };
 
-    while ctx.idx < ops.len() {
+    while ctx.idx < words.len() {
         if ctx.t >= limit {
             match sched {
                 // Still below the next-best runnable context: the scheduler
@@ -401,7 +683,8 @@ fn step_ctx(
                 _ => return false,
             }
         }
-        match ops[ctx.idx] {
+        let (op, next_idx) = unpack_at(words, ctx.idx);
+        match op {
             Op::Flops { n } => {
                 if ctx.pending_uops == 0 {
                     ctx.pending_uops = n;
@@ -431,26 +714,65 @@ fn step_ctx(
                     ctx.pending_uops -= m;
                 }
                 if ctx.pending_uops == 0 {
-                    ctx.idx += 1;
+                    ctx.idx = next_idx;
                 }
                 continue;
             }
             Op::Load { addr } => {
                 mem_ref(
-                    cfg, tpu, mlp, wb_cap, fast, ctx, cores, core_idx, fsb, mem, ctr, asid, addr,
-                    MemRef::Load, pf_buf,
+                    cfg,
+                    tpu,
+                    mlp,
+                    wb_cap,
+                    fast,
+                    ctx,
+                    cores,
+                    core_idx,
+                    fsb,
+                    mem,
+                    ctr,
+                    asid,
+                    addr,
+                    MemRef::Load,
+                    pf_buf,
                 );
             }
             Op::LoadDep { addr } => {
                 mem_ref(
-                    cfg, tpu, mlp, wb_cap, fast, ctx, cores, core_idx, fsb, mem, ctr, asid, addr,
-                    MemRef::LoadDep, pf_buf,
+                    cfg,
+                    tpu,
+                    mlp,
+                    wb_cap,
+                    fast,
+                    ctx,
+                    cores,
+                    core_idx,
+                    fsb,
+                    mem,
+                    ctr,
+                    asid,
+                    addr,
+                    MemRef::LoadDep,
+                    pf_buf,
                 );
             }
             Op::Store { addr } => {
                 mem_ref(
-                    cfg, tpu, mlp, wb_cap, fast, ctx, cores, core_idx, fsb, mem, ctr, asid, addr,
-                    MemRef::Store, pf_buf,
+                    cfg,
+                    tpu,
+                    mlp,
+                    wb_cap,
+                    fast,
+                    ctx,
+                    cores,
+                    core_idx,
+                    fsb,
+                    mem,
+                    ctr,
+                    asid,
+                    addr,
+                    MemRef::Store,
+                    pf_buf,
                 );
             }
             Op::Branch { site, taken } => {
@@ -488,7 +810,7 @@ fn step_ctx(
                 ctr.instructions += uops as u64;
             }
         }
-        ctx.idx += 1;
+        ctx.idx = next_idx;
     }
 
     // Region complete: drain in-flight memory operations before the barrier.

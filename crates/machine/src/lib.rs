@@ -57,6 +57,7 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod memo;
 pub mod op;
 pub mod prefetch;
 pub mod sim;
@@ -85,8 +86,11 @@ pub mod prelude {
     //! The commonly used surface of the simulator.
     pub use crate::config::MachineConfig;
     pub use crate::counters::{Counters, Metrics};
+    pub use crate::memo::MemoStats;
     pub use crate::op::Op;
-    pub use crate::sim::{simulate, simulate_reference, JobOutcome, JobSpec, RegionSpan, SimOutcome};
+    pub use crate::sim::{
+        simulate, simulate_reference, JobOutcome, JobSpec, RegionSpan, SimOutcome,
+    };
     pub use crate::topology::Lcpu;
     pub use crate::trace::{ProgramTrace, RegionTrace, TraceBuf};
     pub use crate::{cycles, to_cycles, TPC};

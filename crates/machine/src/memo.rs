@@ -1,0 +1,129 @@
+//! Steady-state region memoization: the snapshot types and statistics
+//! behind the engine's region-level replay cache.
+//!
+//! The simulator is deterministic, so one region of a single jitter-free
+//! job is a pure function of (region trace, replay-relevant machine state
+//! at the region boundary) — up to a *time translation*, because at a
+//! boundary the whole team sits at one common clock `base` and every
+//! engine timing rule is expressed through `max`/`saturating_sub`/`+`
+//! against clocks ≥ `base`. The engine therefore snapshots a *canonical*
+//! machine state at each boundary (absolute ticks → offsets from `base`,
+//! absolute LRU stamps → ranks) and, on an exact canonical match for the
+//! same interned region, replays the recorded cycle and counter deltas
+//! instead of re-simulating.
+//!
+//! What makes the canon exact (each structure documents its own argument
+//! next to its `canon()`):
+//!
+//! * `SetAssoc` (L1/L2): tags and dirty verbatim, per-set LRU ranks,
+//!   in-flight `ready` ticks as offsets, settled ones clamped;
+//! * `Tlb`: inner array canon + the semantic last-page filter verbatim;
+//! * `TraceCache`: entries in exact order (swap-remove eviction), rng and
+//!   last-key filter verbatim;
+//! * `Gshare`: wholly time-free — cloned as-is;
+//! * `StreamPrefetcher`: streams in table order with stamps as ranks;
+//! * issue/FP servers, bus and memory-controller `next_free`: offsets.
+//!
+//! Both the probe and the record compare *full* canonical states (no
+//! hashing), so a memo hit can never be a collision. The differential
+//! tests in `paxsim-core` assert bit-identical `SimOutcome`s against the
+//! reference engine with memoization active.
+//!
+//! Set `PAXSIM_DISABLE_MEMO=1` to turn memoization off (used by `ci.sh`
+//! for an explicit on-vs-off drift check).
+
+use serde::{Deserialize, Serialize};
+
+use crate::branch::Gshare;
+use crate::cache::SetAssocCanon;
+use crate::counters::Counters;
+use crate::prefetch::PrefetcherCanon;
+use crate::tlb::TlbCanon;
+use crate::trace_cache::TraceCacheCanon;
+
+/// Memoization telemetry for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoStats {
+    /// Region executions driven by the memoizing scheduler.
+    pub regions: u64,
+    /// Region boundaries eligible for memoization (table probed).
+    pub probes: u64,
+    /// Probes answered from the memo table (region not re-simulated).
+    pub hits: u64,
+}
+
+impl MemoStats {
+    /// Fraction of probes answered from the table (0 when never probed —
+    /// e.g. the reference engine, multi-job or jittered runs).
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+}
+
+/// Is memoization disabled for this process (env `PAXSIM_DISABLE_MEMO`)?
+pub(crate) fn disabled() -> bool {
+    std::env::var_os("PAXSIM_DISABLE_MEMO").is_some_and(|v| v != "0")
+}
+
+/// Canonical replay-relevant state of one core at a region boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CoreSnap {
+    pub issue_off: u64,
+    pub fp_off: u64,
+    pub l1d: SetAssocCanon,
+    pub l2: SetAssocCanon,
+    pub tc: TraceCacheCanon,
+    pub itlb: TlbCanon,
+    pub dtlb: TlbCanon,
+    pub bp: Gshare,
+    pub pf: PrefetcherCanon,
+    pub last_line: u64,
+    pub last_ready_off: u64,
+    pub last_was_store: bool,
+}
+
+/// Canonical replay-relevant state of the whole machine. Covers *all*
+/// cores, buses and the memory controller — not just the job's placement:
+/// stores invalidate remote caches and every transaction shares the
+/// controller, so remote state is replay-relevant too.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MachineSnap {
+    pub cores: Vec<CoreSnap>,
+    pub fsb_offs: Vec<u64>,
+    pub mem_off: u64,
+}
+
+/// One memoized region execution: pre-state → (post-state, Δt, Δcounters).
+///
+/// Both snapshots are *interned* in the engine's snapshot pool (see
+/// `run_memoized`): every `Rc<MachineSnap>` held by an entry or chained
+/// across a boundary comes from the pool, whose members are pairwise
+/// canonically distinct — so `Rc::ptr_eq` on two pooled snapshots is
+/// exactly canonical equality, and probes need no deep compares.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoEntry {
+    pub pre: std::rc::Rc<MachineSnap>,
+    pub post: std::rc::Rc<MachineSnap>,
+    pub dt: u64,
+    pub dcounters: Counters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_guards_zero_probes() {
+        assert_eq!(MemoStats::default().hit_rate(), 0.0);
+        let s = MemoStats {
+            regions: 10,
+            probes: 8,
+            hits: 6,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -119,6 +119,51 @@ impl StreamPrefetcher {
     pub fn active_streams(&self) -> usize {
         self.streams.len()
     }
+
+    /// Canonical replay-relevant snapshot (see `crate::memo`): streams in
+    /// their exact table order (the adjacency search scans in order and
+    /// more than one stream can match, so order is behavioral) with
+    /// absolute stamps reduced to LRU ranks — replacement only compares
+    /// stamps among live streams.
+    pub(crate) fn canon(&self) -> PrefetcherCanon {
+        let mut by_age: Vec<usize> = (0..self.streams.len()).collect();
+        by_age.sort_by_key(|&i| self.streams[i].stamp);
+        let mut rank = vec![0u64; self.streams.len()];
+        for (r, &i) in by_age.iter().enumerate() {
+            rank[i] = (r + 1) as u64;
+        }
+        PrefetcherCanon {
+            streams: self
+                .streams
+                .iter()
+                .zip(&rank)
+                .map(|(s, &r)| (s.region, s.last_line, s.dir, s.next, r))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn restore(&mut self, c: &PrefetcherCanon) {
+        self.streams = c
+            .streams
+            .iter()
+            .map(|&(region, last_line, dir, next, r)| Stream {
+                region,
+                last_line,
+                dir,
+                next,
+                stamp: r,
+            })
+            .collect();
+        // Fresh stamps must exceed every rank.
+        self.clock = self.streams.len() as u64;
+    }
+}
+
+/// See [`StreamPrefetcher::canon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PrefetcherCanon {
+    /// (region, last_line, dir, next, age rank 1..=n) per stream.
+    streams: Vec<(u64, u64, i64, u64, u64)>,
 }
 
 #[cfg(test)]

@@ -81,6 +81,9 @@ pub struct SimOutcome {
     pub jobs: Vec<JobOutcome>,
     /// Sum of all jobs' counters (machine-wide view).
     pub total: Counters,
+    /// Region-memoization telemetry (all zeros for the reference engine,
+    /// multi-job or jittered runs, where memoization never engages).
+    pub memo: crate::memo::MemoStats,
 }
 
 /// Run `jobs` concurrently on a machine configured by `cfg` until all
@@ -138,6 +141,7 @@ fn shape_outcome(out: engine::EngineOutcome, jobs: &[JobSpec]) -> SimOutcome {
         wall_cycles: wall,
         jobs: results,
         total,
+        memo: out.memo,
     }
 }
 

@@ -67,6 +67,28 @@ impl Tlb {
     pub fn occupancy(&self) -> usize {
         self.inner.occupancy()
     }
+
+    /// Canonical replay-relevant snapshot (see `crate::memo`). The
+    /// last-page filter is captured verbatim: it is semantic here — a
+    /// filtered repeat skips the inner re-stamp entirely.
+    pub(crate) fn canon(&self, base: u64) -> TlbCanon {
+        TlbCanon {
+            inner: self.inner.canon(base),
+            last_page: self.last_page,
+        }
+    }
+
+    pub(crate) fn restore(&mut self, c: &TlbCanon, base: u64) {
+        self.inner.restore(&c.inner, base);
+        self.last_page = c.last_page;
+    }
+}
+
+/// See [`Tlb::canon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TlbCanon {
+    inner: crate::cache::SetAssocCanon,
+    last_page: u64,
 }
 
 #[cfg(test)]

@@ -6,20 +6,38 @@
 //! *not* on the machine configuration — so one trace can be replayed across
 //! every hardware configuration of the study, and twice concurrently for
 //! multi-program workloads.
+//!
+//! Two sharing layers keep big iterative programs small:
+//!
+//! * each buffer stores its ops *packed* — one 8-byte word per op (see
+//!   [`crate::op`]) with adjacent `Flops` coalesced at emission time —
+//!   halving memory against the old 16-byte `Op` array and improving
+//!   replay locality;
+//! * regions are held by `Arc`, so emitters (the `paxsim-omp` runtime)
+//!   can *intern* structurally identical regions: an iterative solver's
+//!   N identical iterations occupy one region's storage, not N.
 
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use crate::op::Op;
+use crate::op::{self, Op};
 
 /// A growable buffer of trace operations for one thread in one region,
 /// with convenience emitters used by the runtime and by tests.
 #[derive(Debug, Clone, Default)]
 pub struct TraceBuf {
-    ops: Vec<Op>,
-    /// Index of the most recent `Block` op, for body backfilling.
+    /// Packed op words (see [`crate::op::pack_into`]).
+    words: Vec<u64>,
+    /// Decoded op count (a two-word block is still one op).
+    n_ops: usize,
+    /// Word index of the most recent `Block` op, for body backfilling.
     open_block: Option<usize>,
     /// Uops accumulated since that block began (including its own).
     open_uops: u64,
+    /// Word index of a trailing `Flops` op eligible for coalescing. Must be
+    /// tracked explicitly: the last *word* of the buffer may be the raw id
+    /// word of a two-word block and carries no tag.
+    tail_flops: Option<usize>,
 }
 
 impl TraceBuf {
@@ -29,36 +47,57 @@ impl TraceBuf {
 
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            ops: Vec::with_capacity(n),
+            words: Vec::with_capacity(n),
             ..Self::default()
         }
     }
 
+    /// Append one encoded op word (or word pair) without touching the
+    /// open-block or coalescing state beyond what `op` requires.
+    #[inline]
+    fn emit(&mut self, op: Op) {
+        op::pack_into(op, &mut self.words);
+        self.n_ops += 1;
+    }
+
+    /// Append `op`. `Flops` coalesce with a trailing `Flops` op exactly as
+    /// [`TraceBuf::flops`] does; other ops are stored verbatim (in
+    /// particular a pushed `Block` keeps its given `body` and does not open
+    /// a new block for backfilling).
     #[inline]
     pub fn push(&mut self, op: Op) {
-        self.open_uops += op.uops();
-        self.ops.push(op);
+        match op {
+            Op::Flops { n } => self.flops(n),
+            _ => {
+                self.open_uops += op.uops();
+                self.tail_flops = None;
+                self.emit(op);
+            }
+        }
     }
 
     /// Emit an independent (streaming) load.
     #[inline]
     pub fn load(&mut self, addr: u64) {
         self.open_uops += 1;
-        self.ops.push(Op::Load { addr });
+        self.tail_flops = None;
+        self.emit(Op::Load { addr });
     }
 
     /// Emit a dependent (critical-path) load.
     #[inline]
     pub fn load_dep(&mut self, addr: u64) {
         self.open_uops += 1;
-        self.ops.push(Op::LoadDep { addr });
+        self.tail_flops = None;
+        self.emit(Op::LoadDep { addr });
     }
 
     /// Emit a store.
     #[inline]
     pub fn store(&mut self, addr: u64) {
         self.open_uops += 1;
-        self.ops.push(Op::Store { addr });
+        self.tail_flops = None;
+        self.emit(Op::Store { addr });
     }
 
     /// Emit `n` uops of FP/ALU work. Coalesces with a preceding `Flops` op
@@ -69,20 +108,23 @@ impl TraceBuf {
             return;
         }
         self.open_uops += n as u64;
-        if let Some(Op::Flops { n: last }) = self.ops.last_mut() {
+        if let Some(i) = self.tail_flops {
+            let last = op::flops_of(self.words[i]);
             if let Some(sum) = last.checked_add(n) {
-                *last = sum;
+                self.words[i] = op::flops_word(sum);
                 return;
             }
         }
-        self.ops.push(Op::Flops { n });
+        self.tail_flops = Some(self.words.len());
+        self.emit(Op::Flops { n });
     }
 
     /// Emit a conditional branch outcome at static site `site`.
     #[inline]
     pub fn branch(&mut self, site: u32, taken: bool) {
         self.open_uops += 1;
-        self.ops.push(Op::Branch { site, taken });
+        self.tail_flops = None;
+        self.emit(Op::Branch { site, taken });
     }
 
     /// Emit a basic-block fetch. The previous block's decoded-body
@@ -92,9 +134,10 @@ impl TraceBuf {
     #[inline]
     pub fn block(&mut self, bb: u32, uops: u16) {
         self.seal();
-        self.open_block = Some(self.ops.len());
+        self.tail_flops = None;
+        self.open_block = Some(self.words.len());
         self.open_uops = uops as u64;
-        self.ops.push(Op::Block {
+        self.emit(Op::Block {
             bb,
             uops,
             body: uops,
@@ -105,33 +148,70 @@ impl TraceBuf {
     pub fn seal(&mut self) {
         if let Some(i) = self.open_block.take() {
             let total = self.open_uops.min(u16::MAX as u64) as u16;
-            if let Op::Block { body, .. } = &mut self.ops[i] {
-                *body = total.max(*body);
-            }
+            self.words[i] = op::patch_body(self.words[i], total.max(op::body_of(self.words[i])));
         }
         self.open_uops = 0;
     }
 
+    /// Number of (decoded) ops.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.n_ops
     }
 
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.n_ops == 0
     }
 
-    pub fn ops(&self) -> &[Op] {
-        &self.ops
+    /// The packed op words; decode with [`crate::op::unpack_at`] starting
+    /// from word 0 (every other starting index may land mid-op).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bytes of packed op storage.
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Iterate the ops, decoding on the fly.
+    pub fn iter(&self) -> OpIter<'_> {
+        OpIter {
+            words: &self.words,
+            i: 0,
+        }
+    }
+
+    /// Decode the full op sequence (tests / diagnostics; the engine replays
+    /// the packed words directly).
+    pub fn to_ops(&self) -> Vec<Op> {
+        self.iter().collect()
     }
 
     /// Total retired instructions represented by this buffer.
     pub fn instructions(&self) -> u64 {
-        self.ops.iter().map(Op::uops).sum()
+        self.iter().map(|o| o.uops()).sum()
     }
 
     /// Number of memory operations.
     pub fn memory_ops(&self) -> u64 {
-        self.ops.iter().filter(|o| o.is_memory()).count() as u64
+        self.iter().filter(Op::is_memory).count() as u64
+    }
+}
+
+/// Content equality over the packed words (builder scratch state — open
+/// block, coalescing cursor — is excluded; compare sealed buffers).
+impl PartialEq for TraceBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words
+    }
+}
+
+impl Eq for TraceBuf {}
+
+impl Hash for TraceBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
     }
 }
 
@@ -142,6 +222,36 @@ impl FromIterator<Op> for TraceBuf {
             buf.push(op);
         }
         buf
+    }
+}
+
+/// Decoding iterator over a packed op stream.
+#[derive(Debug, Clone)]
+pub struct OpIter<'a> {
+    words: &'a [u64],
+    i: usize,
+}
+
+impl Iterator for OpIter<'_> {
+    type Item = Op;
+
+    #[inline]
+    fn next(&mut self) -> Option<Op> {
+        if self.i >= self.words.len() {
+            return None;
+        }
+        let (op, next) = op::unpack_at(self.words, self.i);
+        self.i = next;
+        Some(op)
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceBuf {
+    type Item = Op;
+    type IntoIter = OpIter<'a>;
+
+    fn into_iter(self) -> OpIter<'a> {
+        self.iter()
     }
 }
 
@@ -186,13 +296,40 @@ impl RegionTrace {
     }
 }
 
+/// Structural equality: same label and bit-identical packed streams. This
+/// is what region interning keys on — two equal regions replay identically
+/// from any machine state.
+impl PartialEq for RegionTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.threads.len() == other.threads.len()
+            && self
+                .threads
+                .iter()
+                .zip(&other.threads)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl Eq for RegionTrace {}
+
+impl Hash for RegionTrace {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.label.hash(state);
+        for t in &self.threads {
+            t.hash(state);
+        }
+    }
+}
+
 /// A complete traced program: an ordered list of regions, all with the same
-/// thread arity.
+/// thread arity. Regions are `Arc`-shared so iterative emitters can intern
+/// repeated regions; `regions.len()` still counts *occurrences*.
 #[derive(Debug, Clone)]
 pub struct ProgramTrace {
     pub name: String,
     pub nthreads: usize,
-    pub regions: Vec<RegionTrace>,
+    pub regions: Vec<Arc<RegionTrace>>,
 }
 
 impl ProgramTrace {
@@ -215,6 +352,11 @@ impl ProgramTrace {
 
     /// Append a region; its thread arity must match the program's.
     pub fn push_region(&mut self, region: RegionTrace) {
+        self.push_region_arc(Arc::new(region));
+    }
+
+    /// Append an already-shared (interned) region.
+    pub fn push_region_arc(&mut self, region: Arc<RegionTrace>) {
         assert_eq!(
             region.nthreads(),
             self.nthreads,
@@ -231,6 +373,34 @@ impl ProgramTrace {
         self.regions.iter().map(|r| r.total_ops()).sum()
     }
 
+    /// Number of *distinct* region objects (interned regions count once).
+    pub fn unique_regions(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.regions
+            .iter()
+            .filter(|r| seen.insert(Arc::as_ptr(r)))
+            .count()
+    }
+
+    /// Bytes of packed op storage actually held, counting each interned
+    /// buffer once.
+    pub fn packed_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        self.regions
+            .iter()
+            .flat_map(|r| r.threads.iter())
+            .filter(|t| seen.insert(Arc::as_ptr(t)))
+            .map(|t| t.packed_bytes())
+            .sum()
+    }
+
+    /// Bytes the same program would occupy as one decoded [`Op`] record per
+    /// occurrence (the pre-packing, pre-interning layout) — the baseline
+    /// for the trace-memory reduction tracked by the benches.
+    pub fn unpacked_bytes(&self) -> usize {
+        self.total_ops() * std::mem::size_of::<Op>()
+    }
+
     /// Summary statistics, useful for sanity checks and reports.
     pub fn stats(&self) -> TraceStats {
         let mut s = TraceStats {
@@ -239,16 +409,16 @@ impl ProgramTrace {
         };
         for r in &self.regions {
             for t in &r.threads {
-                for op in t.ops() {
+                for op in t.iter() {
                     match op {
                         Op::Load { .. } => s.loads += 1,
                         Op::LoadDep { .. } => s.dep_loads += 1,
                         Op::Store { .. } => s.stores += 1,
-                        Op::Flops { n } => s.flop_uops += *n as u64,
+                        Op::Flops { n } => s.flop_uops += n as u64,
                         Op::Branch { .. } => s.branches += 1,
                         Op::Block { uops, .. } => {
                             s.blocks += 1;
-                            s.block_uops += *uops as u64;
+                            s.block_uops += uops as u64;
                         }
                     }
                 }
@@ -309,6 +479,108 @@ mod tests {
     }
 
     #[test]
+    fn push_coalesces_adjacent_flops() {
+        // Emission-time coalescing applies to `push` (and so to
+        // `FromIterator`) exactly as to the `flops` emitter.
+        let ops = [
+            Op::Flops { n: 3 },
+            Op::Flops { n: 4 },
+            Op::Load { addr: 64 },
+            Op::Flops { n: 2 },
+        ];
+        let b: TraceBuf = ops.into_iter().collect();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.instructions(), 3 + 4 + 1 + 2);
+        assert_eq!(
+            b.to_ops(),
+            vec![
+                Op::Flops { n: 7 },
+                Op::Load { addr: 64 },
+                Op::Flops { n: 2 }
+            ]
+        );
+    }
+
+    #[test]
+    fn two_word_block_does_not_confuse_coalescing() {
+        let mut b = TraceBuf::new();
+        b.flops(5);
+        // An oversized block id takes the two-word escape; its raw second
+        // word must not be mistaken for anything by the coalescer.
+        b.push(Op::Block {
+            bb: u32::MAX,
+            uops: 2,
+            body: 2,
+        });
+        b.flops(6);
+        b.flops(1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(
+            b.to_ops(),
+            vec![
+                Op::Flops { n: 5 },
+                Op::Block {
+                    bb: u32::MAX,
+                    uops: 2,
+                    body: 2
+                },
+                Op::Flops { n: 7 },
+            ]
+        );
+    }
+
+    #[test]
+    fn packed_storage_is_compact() {
+        let mut b = TraceBuf::new();
+        b.block(1, 2);
+        b.load(0x1000);
+        b.flops(9);
+        b.branch(1, true);
+        b.seal();
+        assert_eq!(b.len(), 4);
+        // One 8-byte word per op: half the 16-byte decoded Op.
+        assert_eq!(b.packed_bytes(), 4 * 8);
+        assert!(b.packed_bytes() * 2 <= b.len() * std::mem::size_of::<Op>());
+    }
+
+    #[test]
+    fn seal_backfills_block_body() {
+        let mut b = TraceBuf::new();
+        b.block(7, 3);
+        b.load(64);
+        b.flops(10);
+        b.seal();
+        match b.to_ops()[0] {
+            Op::Block { bb, uops, body } => {
+                assert_eq!((bb, uops), (7, 3));
+                assert_eq!(body, 3 + 1 + 10);
+            }
+            ref o => panic!("expected block, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn content_equality_and_hash_follow_words() {
+        use std::collections::hash_map::DefaultHasher;
+        let emit = |n: u32| {
+            let mut b = TraceBuf::new();
+            b.block(1, 2);
+            b.flops(n);
+            b.seal();
+            b
+        };
+        let (a, b, c) = (emit(5), emit(5), emit(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let h = |t: &TraceBuf| {
+            let mut s = DefaultHasher::new();
+            t.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
     fn program_arity_checked() {
         let mut p = ProgramTrace::new("t", 2);
         p.push_region(RegionTrace::new(vec![TraceBuf::new(), TraceBuf::new()]));
@@ -320,6 +592,35 @@ mod tests {
     fn program_arity_mismatch_panics() {
         let mut p = ProgramTrace::new("t", 2);
         p.push_region(RegionTrace::new(vec![TraceBuf::new()]));
+    }
+
+    #[test]
+    fn interned_regions_counted_once_in_bytes() {
+        let region = || {
+            let mut b = TraceBuf::new();
+            for i in 0..100u64 {
+                b.load(i * 64);
+            }
+            RegionTrace::labeled(vec![b], "r")
+        };
+        let shared = Arc::new(region());
+        let mut p = ProgramTrace::new("t", 1);
+        for _ in 0..10 {
+            p.push_region_arc(shared.clone());
+        }
+        assert_eq!(p.regions.len(), 10);
+        assert_eq!(p.unique_regions(), 1);
+        assert_eq!(p.total_ops(), 1000);
+        // Storage: one interned copy of 100 packed words.
+        assert_eq!(p.packed_bytes(), 100 * 8);
+        assert_eq!(p.unpacked_bytes(), 1000 * std::mem::size_of::<Op>());
+        // Identical content in fresh (non-interned) regions still counts
+        // per copy — only true sharing is credited.
+        let mut q = ProgramTrace::new("t", 1);
+        q.push_region(region());
+        q.push_region(region());
+        assert_eq!(q.unique_regions(), 2);
+        assert_eq!(q.packed_bytes(), 2 * 100 * 8);
     }
 
     #[test]
@@ -343,5 +644,76 @@ mod tests {
         assert_eq!(s.instructions(), 1 + 1 + 1 + 5 + 1 + 2);
         assert_eq!(s.instructions(), p.instructions());
         assert_eq!(s.memory_ops(), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..crate::op::ADDR_LIMIT).prop_map(|addr| Op::Load { addr }),
+                (0u64..crate::op::ADDR_LIMIT).prop_map(|addr| Op::LoadDep { addr }),
+                (0u64..crate::op::ADDR_LIMIT).prop_map(|addr| Op::Store { addr }),
+                (1u32..5000).prop_map(|n| Op::Flops { n }),
+                ((0u32..=u32::MAX), proptest::bool::ANY)
+                    .prop_map(|(site, taken)| Op::Branch { site, taken }),
+                ((0u32..=u32::MAX), 0u16..200, 0u16..400).prop_map(|(bb, uops, body)| Op::Block {
+                    bb,
+                    uops,
+                    body
+                }),
+            ]
+        }
+
+        proptest! {
+            /// Building a buffer from arbitrary ops and decoding it back
+            /// yields the same stream up to `Flops` coalescing: non-`Flops`
+            /// ops are bit-identical and in order, adjacent `Flops` runs
+            /// merge without changing the `uops()` total.
+            #[test]
+            fn buffer_roundtrip_with_coalescing(
+                ops in proptest::collection::vec(arb_op(), 0..200),
+            ) {
+                let buf: TraceBuf = ops.iter().copied().collect();
+                let decoded = buf.to_ops();
+
+                // uops totals are exactly preserved.
+                let want: u64 = ops.iter().map(|o| o.uops()).sum();
+                prop_assert_eq!(buf.instructions(), want);
+
+                // The decoded stream equals the input with adjacent Flops
+                // coalesced (splitting on u32 overflow, as the builder
+                // does).
+                let mut expect: Vec<Op> = Vec::new();
+                for &op in &ops {
+                    match (op, expect.last_mut()) {
+                        (Op::Flops { n: 0 }, _) => {}
+                        (Op::Flops { n }, Some(Op::Flops { n: last }))
+                            if last.checked_add(n).is_some() =>
+                        {
+                            *last += n;
+                        }
+                        _ => expect.push(op),
+                    }
+                }
+                prop_assert_eq!(decoded, expect);
+            }
+
+            /// Decoding never loses ops: count, memory ops and per-kind
+            /// totals survive packing.
+            #[test]
+            fn accounting_survives_packing(
+                ops in proptest::collection::vec(arb_op(), 0..200),
+            ) {
+                let buf: TraceBuf = ops.iter().copied().collect();
+                let mem = ops.iter().filter(|o| o.is_memory()).count() as u64;
+                prop_assert_eq!(buf.memory_ops(), mem);
+                prop_assert_eq!(buf.iter().count(), buf.len());
+                // Packed size never exceeds the decoded AoS size and is at
+                // least 2x smaller once every op packs to one word.
+                prop_assert!(buf.packed_bytes() <= buf.len() * 16);
+            }
+        }
     }
 }

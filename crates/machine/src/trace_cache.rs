@@ -136,6 +136,43 @@ impl TraceCache {
     pub fn blocks(&self) -> usize {
         self.entries.len()
     }
+
+    /// Canonical replay-relevant snapshot (see `crate::memo`): the entry
+    /// list in its exact order (swap-remove eviction makes order
+    /// behavioral), the rng and last-key filter verbatim. The map is pure
+    /// index bookkeeping, rebuilt on restore.
+    pub(crate) fn canon(&self) -> TraceCacheCanon {
+        TraceCacheCanon {
+            entries: self.entries.iter().map(|e| (e.key, e.uops)).collect(),
+            used: self.used,
+            rng: self.rng,
+            last_key: self.last_key,
+        }
+    }
+
+    pub(crate) fn restore(&mut self, c: &TraceCacheCanon) {
+        self.entries = c
+            .entries
+            .iter()
+            .map(|&(key, uops)| Entry { key, uops })
+            .collect();
+        self.map.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            self.map.insert(e.key, i);
+        }
+        self.used = c.used;
+        self.rng = c.rng;
+        self.last_key = c.last_key;
+    }
+}
+
+/// See [`TraceCache::canon`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TraceCacheCanon {
+    entries: Vec<(u64, u32)>,
+    used: u64,
+    rng: u64,
+    last_key: u64,
 }
 
 #[cfg(test)]

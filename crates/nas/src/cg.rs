@@ -327,6 +327,26 @@ mod tests {
     }
 
     #[test]
+    fn iterations_are_interned() {
+        // Every CG iteration emits the same four regions with identical
+        // op streams (the runtime keeps reduction slots stable across
+        // iterations), so the runtime's region interner must collapse
+        // `4 × iters` regions down to 4 shared ones — this is what makes
+        // the engine's steady-state memoization and the ≥2× trace-memory
+        // reduction effective on iterative kernels.
+        let b = Cg.build(Class::T, 4, Schedule::Static);
+        let (_, _, iters) = size(Class::T);
+        assert_eq!(b.trace.regions.len(), 4 * iters);
+        assert_eq!(b.trace.unique_regions(), 4, "one shared region per phase");
+        assert!(
+            b.trace.packed_bytes() * 2 <= b.trace.unpacked_bytes(),
+            "packing + interning must at least halve trace memory: {} vs {}",
+            b.trace.packed_bytes(),
+            b.trace.unpacked_bytes()
+        );
+    }
+
+    #[test]
     fn working_set_exceeds_l2_at_class_s() {
         let (n, nz, _) = size(Class::S);
         let m = make_matrix(n, nz);

@@ -106,10 +106,7 @@ proptest! {
 fn coupling_matrix_is_symmetric() {
     for r in 0..NC {
         for c in 0..NC {
-            assert_eq!(
-                paxsim_nas::cfd::COUPLE[r][c],
-                paxsim_nas::cfd::COUPLE[c][r]
-            );
+            assert_eq!(paxsim_nas::cfd::COUPLE[r][c], paxsim_nas::cfd::COUPLE[c][r]);
         }
     }
 }

@@ -5,6 +5,11 @@
 //! [`Array`]s, FP work, branches and worksharing loops. The numerics happen
 //! natively; the trace captures their architectural footprint.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
 use paxsim_machine::trace::{ProgramTrace, RegionTrace, TraceBuf};
 
 use crate::mem::Array;
@@ -190,13 +195,25 @@ impl<'a> Par<'a> {
 }
 
 /// A fork/join team building a traced program.
+///
+/// Regions are *interned* as they are recorded: when an iteration emits a
+/// region structurally identical to an earlier one (same label, bit-identical
+/// packed per-thread streams), the earlier `Arc<RegionTrace>` is reused
+/// instead of materializing another copy. Iterative solvers like CG keep one
+/// region's storage for N iterations, and the engine keys its steady-state
+/// region memoization on the shared pointer.
 pub struct Team {
     name: String,
     nthreads: usize,
-    regions: Vec<RegionTrace>,
+    regions: Vec<Arc<RegionTrace>>,
+    /// Content-hash buckets of previously recorded regions.
+    interner: HashMap<u64, Vec<Arc<RegionTrace>>>,
     schedule: Schedule,
     code_expansion: u32,
-    redux_count: u32,
+    /// Stable reduction-slot ids, keyed by region label so repeated
+    /// iterations of the same reduction reuse the same padded scratch
+    /// lines (a prerequisite for their regions to intern equal).
+    redux_ids: HashMap<String, u32>,
 }
 
 impl Team {
@@ -207,10 +224,26 @@ impl Team {
             name: name.into(),
             nthreads,
             regions: Vec::new(),
+            interner: HashMap::new(),
             schedule: Schedule::Static,
             code_expansion: 1,
-            redux_count: 0,
+            redux_ids: HashMap::new(),
         }
+    }
+
+    /// Record `region`, reusing a previously interned copy when one with
+    /// identical content exists.
+    fn intern(&mut self, region: RegionTrace) {
+        let mut h = DefaultHasher::new();
+        region.hash(&mut h);
+        let bucket = self.interner.entry(h.finish()).or_default();
+        if let Some(existing) = bucket.iter().find(|r| ***r == region) {
+            self.regions.push(Arc::clone(existing));
+            return;
+        }
+        let region = Arc::new(region);
+        bucket.push(Arc::clone(&region));
+        self.regions.push(region);
     }
 
     /// Set the default worksharing schedule for subsequent regions.
@@ -254,7 +287,7 @@ impl Team {
             f(&mut par);
             bufs.push(buf);
         }
-        self.regions.push(RegionTrace::labeled(bufs, label));
+        self.intern(RegionTrace::labeled(bufs, label));
     }
 
     /// Execute a serial (master-only) section: `f` runs once as thread 0;
@@ -270,7 +303,7 @@ impl Team {
             trace: &mut bufs[0],
         };
         f(&mut par);
-        self.regions.push(RegionTrace::labeled(bufs, label));
+        self.intern(RegionTrace::labeled(bufs, label));
     }
 
     /// A parallel region with an OpenMP `reduction` clause: each thread's
@@ -284,8 +317,11 @@ impl Team {
         combine: impl Fn(R, R) -> R,
         mut f: impl FnMut(&mut Par) -> R,
     ) -> R {
-        let redux = self.redux_count;
-        self.redux_count += 1;
+        // Slot ids are keyed by label, not by a running counter: the same
+        // reduction executed every iteration must touch the same scratch
+        // lines or no two iterations would ever trace identically.
+        let next = self.redux_ids.len() as u32;
+        let redux = *self.redux_ids.entry(label.to_string()).or_insert(next);
         let slot = |tid: usize| REDUX_BASE + (redux as u64) * 4096 + (tid as u64) * 64;
 
         let mut acc = init;
@@ -313,7 +349,7 @@ impl Team {
                 bufs[0].flops(1);
             }
         }
-        self.regions.push(RegionTrace::labeled(bufs, label));
+        self.intern(RegionTrace::labeled(bufs, label));
         acc
     }
 
@@ -336,7 +372,7 @@ impl Team {
             };
             sec(&mut par);
         }
-        self.regions.push(RegionTrace::labeled(bufs, label));
+        self.intern(RegionTrace::labeled(bufs, label));
     }
 
     /// Number of regions recorded so far.
@@ -344,11 +380,12 @@ impl Team {
         self.regions.len()
     }
 
-    /// Finalize into a replayable program trace.
+    /// Finalize into a replayable program trace. Interned regions stay
+    /// shared in the resulting program.
     pub fn finish(self) -> ProgramTrace {
         let mut p = ProgramTrace::new(self.name, self.nthreads);
         for r in self.regions {
-            p.push_region(r);
+            p.push_region_arc(r);
         }
         p
     }
@@ -431,7 +468,7 @@ mod tests {
         let mut lines = std::collections::HashSet::new();
         for r in &prog.regions {
             for t in &r.threads {
-                for op in t.ops() {
+                for op in t.iter() {
                     if let paxsim_machine::op::Op::Store { addr } = op {
                         assert!(lines.insert(addr / 64), "slot line reused");
                     }
@@ -463,7 +500,7 @@ mod tests {
             p.lp(7, 1, 3, |_, _| {});
         });
         let prog = team.finish();
-        let ops = prog.regions[0].threads[0].ops().to_vec();
+        let ops = prog.regions[0].threads[0].to_ops();
         use paxsim_machine::op::Op;
         let outcomes: Vec<bool> = ops
             .iter()
@@ -552,6 +589,38 @@ mod tests {
         for t in &prog.regions[0].threads[1..] {
             assert!(t.is_empty());
         }
+    }
+
+    #[test]
+    fn identical_regions_are_interned() {
+        let mut team = Team::new("t", 2);
+        for _ in 0..5 {
+            team.parallel("iter", |p| {
+                p.for_static(1, 2, 32, |p, i| p.raw_load(i as u64 * 8));
+            });
+            team.parallel_reduce("dot", 0.0, |a: f64, b| a + b, |_| 1.0);
+        }
+        team.serial("tail", |p| p.flops(9));
+        let prog = team.finish();
+        assert_eq!(prog.regions.len(), 11);
+        // One interned copy per distinct region shape.
+        assert_eq!(prog.unique_regions(), 3);
+        assert!(Arc::ptr_eq(&prog.regions[0], &prog.regions[2]));
+        assert!(Arc::ptr_eq(&prog.regions[1], &prog.regions[3]));
+        assert!(!Arc::ptr_eq(&prog.regions[0], &prog.regions[1]));
+        // Interning shares storage; per-occurrence accounting is unchanged.
+        assert!(prog.packed_bytes() < prog.unpacked_bytes() / 2);
+    }
+
+    #[test]
+    fn different_content_not_interned() {
+        let mut team = Team::new("t", 1);
+        team.parallel("a", |p| p.flops(1));
+        team.parallel("a", |p| p.flops(2));
+        // Same content, different label: also distinct.
+        team.parallel("b", |p| p.flops(1));
+        let prog = team.finish();
+        assert_eq!(prog.unique_regions(), 3);
     }
 
     #[test]
