@@ -17,6 +17,30 @@ cargo fmt --all -- --check
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== resilience suite under live fault injection =="
+# Both injected faults are single-use: the resilient sweep must absorb
+# them (retry the panicked cell, rebuild the panicked trace) and come out
+# clean and bit-identical to an uninjected run. Runs alone in its own
+# process — fault plans are process-global.
+PAXSIM_FAULTS="cell-panic:1:1,build-panic:ep:1" \
+    cargo test -q -p paxsim-core --release --test resilience env_fault_plan_is_absorbed_cleanly
+
+echo "== SIGKILL-mid-sweep resume smoke =="
+# Kill a journaled study partway through, resume it, and require the
+# resumed report to be byte-identical to an uninterrupted run's.
+cargo build --release -q --example resilient_study -p paxsim-core
+RESIL_BIN=target/release/examples/resilient_study
+RESIL_TMP=$(mktemp -d)
+trap 'rm -rf "$RESIL_TMP"' EXIT
+"$RESIL_BIN" "$RESIL_TMP/ref.jsonl" "$RESIL_TMP/ref.report"
+"$RESIL_BIN" "$RESIL_TMP/kill.jsonl" "$RESIL_TMP/kill.report" & RESIL_PID=$!
+sleep 1
+kill -9 "$RESIL_PID" 2>/dev/null || true
+wait "$RESIL_PID" 2>/dev/null || true
+"$RESIL_BIN" "$RESIL_TMP/kill.jsonl" "$RESIL_TMP/kill.report"
+cmp "$RESIL_TMP/ref.report" "$RESIL_TMP/kill.report"
+echo "resumed report is byte-identical to the uninterrupted run"
+
 echo "== engine throughput (quick, zero-drift check, memoization on) =="
 PAXSIM_BENCH_QUICK=1 cargo bench -p paxsim-bench --bench engine_throughput
 

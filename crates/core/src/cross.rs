@@ -39,11 +39,15 @@ impl CrossStudy {
             .collect()
     }
 
-    /// Figure 5: one box-and-whisker per configuration.
+    /// Figure 5: one box-and-whisker per configuration. A configuration
+    /// with no samples (every pair cell of a resilient sweep failed) is
+    /// omitted rather than summarized from nothing.
     pub fn boxes(&self) -> Vec<(String, BoxWhisker)> {
         self.configs
             .iter()
-            .map(|c| (c.name.clone(), BoxWhisker::of(&self.samples(&c.name))))
+            .map(|c| (c.name.clone(), self.samples(&c.name)))
+            .filter(|(_, samples)| !samples.is_empty())
+            .map(|(name, samples)| (name, BoxWhisker::of(&samples)))
             .collect()
     }
 
@@ -52,7 +56,7 @@ impl CrossStudy {
         self.boxes()
             .into_iter()
             .map(|(n, b)| (n, b.median))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty study")
     }
 }

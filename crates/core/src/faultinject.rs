@@ -1,0 +1,363 @@
+//! Deterministic fault injection for the resilience test harness.
+//!
+//! The sweep machinery calls tiny hooks at its recovery-relevant choke
+//! points (trace build start, cell start, fast-engine result). Each hook
+//! first does a single relaxed atomic load; when no faults are installed —
+//! the production configuration — that load is the *entire* cost, so the
+//! harness is a no-op on the hot path.
+//!
+//! Faults come from two sources:
+//!
+//! * the `PAXSIM_FAULTS` environment variable, parsed once per process
+//!   (used by `ci.sh` to run the whole resilience suite under injection);
+//! * [`with_plan`], which installs a plan for the duration of a closure
+//!   under a global lock (used by tests; overrides the env plan).
+//!
+//! Spec syntax — comma-separated faults, colon-separated fields:
+//!
+//! ```text
+//! build-panic:<kernel>[:times]   panic the first <times> trace builds of <kernel> (default 1)
+//! cell-panic:<index>[:times]     panic the first <times> executions of sweep item <index> (default 1)
+//! cell-slow:<index>:<ms>[:times] sleep <ms> at the start of sweep item <index> (default unlimited)
+//! drift:<kernel>[:times]         perturb the fast-engine counters for <kernel> cells (default unlimited)
+//! ```
+//!
+//! Every fault carries a remaining-use counter, so "fail the first
+//! attempt, succeed on retry" scenarios are expressed as `…:1`. The
+//! module also ships journal corruption helpers ([`truncate_tail`],
+//! [`flip_bit`]) used by the resume/corruption tests and the CI smoke.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One injected fault with its remaining-use budget.
+#[derive(Debug)]
+struct Fault {
+    kind: FaultKind,
+    remaining: AtomicU32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FaultKind {
+    BuildPanic { kernel: String },
+    CellPanic { index: usize },
+    CellSlow { index: usize, ms: u64 },
+    Drift { kernel: String },
+}
+
+/// A parsed fault plan.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Parse a `PAXSIM_FAULTS`-syntax spec. Empty spec = empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            let u = |i: usize, what: &str| -> Result<u64, String> {
+                fields
+                    .get(i)
+                    .ok_or_else(|| format!("fault `{part}`: missing {what}"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault `{part}`: bad {what}"))
+            };
+            let (kind, default_times) = match fields[0] {
+                "build-panic" => (
+                    FaultKind::BuildPanic {
+                        kernel: fields
+                            .get(1)
+                            .ok_or_else(|| format!("fault `{part}`: missing kernel"))?
+                            .to_string(),
+                    },
+                    1,
+                ),
+                "cell-panic" => (
+                    FaultKind::CellPanic {
+                        index: u(1, "index")? as usize,
+                    },
+                    1,
+                ),
+                "cell-slow" => (
+                    FaultKind::CellSlow {
+                        index: u(1, "index")? as usize,
+                        ms: u(2, "milliseconds")?,
+                    },
+                    u32::MAX as u64,
+                ),
+                "drift" => (
+                    FaultKind::Drift {
+                        kernel: fields
+                            .get(1)
+                            .ok_or_else(|| format!("fault `{part}`: missing kernel"))?
+                            .to_string(),
+                    },
+                    u32::MAX as u64,
+                ),
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            // The trailing optional field is always the use budget.
+            let times_idx = match kind {
+                FaultKind::CellSlow { .. } => 3,
+                _ => 2,
+            };
+            let times = match fields.get(times_idx) {
+                Some(_) => u(times_idx, "times")?,
+                None => default_times,
+            };
+            faults.push(Fault {
+                kind,
+                remaining: AtomicU32::new(times.min(u32::MAX as u64) as u32),
+            });
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    fn consume(&self, want: impl Fn(&FaultKind) -> bool) -> Option<&FaultKind> {
+        for f in &self.faults {
+            if want(&f.kind) {
+                // Claim one use; a raced-out decrement means the budget is
+                // spent and the fault no longer fires.
+                let mut cur = f.remaining.load(Ordering::Relaxed);
+                while cur > 0 {
+                    match f.remaining.compare_exchange(
+                        cur,
+                        cur - 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Some(&f.kind),
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Fast-path gate: true iff *any* plan (env or installed) is live.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Test-installed plan; overrides the env plan while present.
+static INSTALLED: Mutex<Option<FaultPlan>> = Mutex::new(None);
+/// Serializes tests that install plans (fault state is process-global).
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking faulted test must not poison the harness for the rest
+    // of the suite — the guarded state stays consistent either way.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The process-wide env plan, parsed once from `PAXSIM_FAULTS`.
+fn env_plan() -> &'static Option<FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("PAXSIM_FAULTS").ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(p) if !p.faults.is_empty() => {
+                ACTIVE.store(true, Ordering::Relaxed);
+                Some(p)
+            }
+            Ok(_) => None,
+            Err(e) => {
+                eprintln!("PAXSIM_FAULTS ignored: {e}");
+                None
+            }
+        }
+    })
+}
+
+/// Force env-plan parsing (call once early so `active()` is accurate
+/// before the first hook fires). Returns whether an env plan is live.
+pub fn init_from_env() -> bool {
+    env_plan().is_some()
+}
+
+/// Is any fault plan live? One relaxed load — the entire disabled-path
+/// cost of every hook.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Hold off every [`with_plan`] caller for the guard's lifetime.
+///
+/// Fault plans are process-global: a sweep running in one test can
+/// consume a fault another test just installed. Tests that run clean
+/// sweeps (baselines for a bit-identity comparison, resume runs) take
+/// this guard so no plan can be live while they execute; tests that
+/// inject take [`with_plan`], which holds the same lock. Acquire it
+/// *before* computing a baseline and drop it before calling `with_plan`
+/// — the lock is not reentrant.
+pub fn quiesced() -> MutexGuard<'static, ()> {
+    lock(&TEST_LOCK)
+}
+
+/// Run `f` with `spec` installed as the process fault plan, serializing
+/// against every other `with_plan` caller. The previous state is restored
+/// even if `f` panics.
+pub fn with_plan<R>(spec: &str, f: impl FnOnce() -> R) -> R {
+    let plan = FaultPlan::parse(spec).expect("with_plan: bad fault spec");
+    let _serial = lock(&TEST_LOCK);
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            *lock(&INSTALLED) = None;
+            ACTIVE.store(env_plan().is_some(), Ordering::Relaxed);
+        }
+    }
+    *lock(&INSTALLED) = Some(plan);
+    ACTIVE.store(true, Ordering::Relaxed);
+    let _restore = Restore;
+    f()
+}
+
+fn consume(want: impl Fn(&FaultKind) -> bool + Copy) -> Option<FaultKind> {
+    let installed = lock(&INSTALLED);
+    if let Some(plan) = installed.as_ref() {
+        return plan.consume(want).cloned();
+    }
+    drop(installed);
+    env_plan().as_ref().and_then(|p| p.consume(want).cloned())
+}
+
+/// Hook: start of a trace build for `kernel`. Panics if a matching
+/// `build-panic` fault has budget left.
+#[inline]
+pub(crate) fn build_hook(kernel: &str) {
+    if !active() {
+        return;
+    }
+    if consume(|k| matches!(k, FaultKind::BuildPanic { kernel: fk } if fk == kernel)).is_some() {
+        panic!("injected build fault for {kernel}");
+    }
+}
+
+/// Hook: start of sweep item `index`. Sleeps on a matching `cell-slow`
+/// fault, panics on a matching `cell-panic` fault.
+#[inline]
+pub(crate) fn cell_hook(index: usize) {
+    if !active() {
+        return;
+    }
+    if let Some(FaultKind::CellSlow { ms, .. }) =
+        consume(|k| matches!(k, FaultKind::CellSlow { index: fi, .. } if *fi == index))
+    {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    if consume(|k| matches!(k, FaultKind::CellPanic { index: fi } if *fi == index)).is_some() {
+        panic!("injected cell fault at item {index}");
+    }
+}
+
+/// Hook: should the fast-engine result for `kernel` be perturbed
+/// (simulating engine drift the sentinel must catch)?
+#[inline]
+pub(crate) fn drift_hook(kernel: &str) -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::Drift { kernel: fk } if fk == kernel)).is_some()
+}
+
+// ---------------------------------------------------------------------------
+// Journal corruption helpers (used by resume/corruption tests and CI).
+// ---------------------------------------------------------------------------
+
+/// Truncate the last `bytes` bytes of `path` — models a process killed
+/// mid-append leaving a partial record.
+pub fn truncate_tail(path: &std::path::Path, bytes: u64) -> std::io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len.saturating_sub(bytes))?;
+    Ok(())
+}
+
+/// Flip one bit of the byte at `offset` in `path` — models on-disk
+/// corruption the journal CRC must catch.
+pub fn flip_bit(path: &std::path::Path, offset: u64) -> std::io::Result<()> {
+    let mut data = std::fs::read(path)?;
+    let i = offset as usize;
+    if i >= data.len() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("offset {offset} beyond file of {} bytes", data.len()),
+        ));
+    }
+    data[i] ^= 0x10;
+    std::fs::write(path, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_kinds() {
+        let p =
+            FaultPlan::parse("build-panic:cg:2, cell-panic:7, cell-slow:3:50, drift:ep:4").unwrap();
+        assert_eq!(p.faults.len(), 4);
+        assert_eq!(p.faults[0].remaining.load(Ordering::Relaxed), 2);
+        assert_eq!(p.faults[1].remaining.load(Ordering::Relaxed), 1);
+        assert_eq!(p.faults[2].remaining.load(Ordering::Relaxed), u32::MAX);
+        assert_eq!(p.faults[3].remaining.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("explode:now").is_err());
+        assert!(FaultPlan::parse("cell-panic:notanumber").is_err());
+        assert!(FaultPlan::parse("build-panic").is_err());
+        assert!(FaultPlan::parse("").unwrap().faults.is_empty());
+    }
+
+    #[test]
+    fn budgets_are_consumed() {
+        let p = FaultPlan::parse("cell-panic:5:2").unwrap();
+        let hit = |p: &FaultPlan| {
+            p.consume(|k| matches!(k, FaultKind::CellPanic { index: 5 }))
+                .is_some()
+        };
+        assert!(hit(&p));
+        assert!(hit(&p));
+        assert!(!hit(&p), "budget of 2 must be spent");
+    }
+
+    #[test]
+    fn with_plan_installs_and_restores() {
+        assert!(!active() || env_plan().is_some());
+        with_plan("drift:ep", || {
+            assert!(active());
+            assert!(drift_hook("ep"));
+            assert!(!drift_hook("cg"));
+        });
+        // Restored: either fully off, or back to the env plan.
+        assert_eq!(active(), env_plan().is_some());
+    }
+
+    #[test]
+    fn hooks_panic_with_budget() {
+        with_plan("cell-panic:3:1", || {
+            let r = std::panic::catch_unwind(|| cell_hook(3));
+            assert!(r.is_err(), "first use must panic");
+            cell_hook(3); // budget spent: no panic
+            cell_hook(4); // different index: no panic
+        });
+    }
+
+    #[test]
+    fn corruption_helpers_edit_files() {
+        let dir = std::env::temp_dir().join("paxsim_faultinject_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.txt");
+        std::fs::write(&path, b"hello world\n").unwrap();
+        truncate_tail(&path, 6).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello ");
+        flip_bit(&path, 0).unwrap();
+        assert_ne!(std::fs::read(&path).unwrap()[0], b'h');
+        assert!(flip_bit(&path, 10_000).is_err());
+    }
+}

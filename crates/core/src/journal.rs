@@ -1,0 +1,412 @@
+//! Checkpoint/resume journal for sweep drivers.
+//!
+//! An append-only JSON-lines file: one completed cell per line, each line
+//! carrying a CRC-32 of its payload so truncation (a process killed
+//! mid-append) and bit rot are *detected* — a record that fails its check
+//! is dropped and its cell re-runs, never trusted.
+//!
+//! ```text
+//! <crc32 hex, 8 chars> \t {"key":"single|cg|T|HT on -2-1|t3|j2000|static","sides":[…]}
+//! ```
+//!
+//! Keys encode everything a cell's result depends on — driver kind,
+//! kernel(s), problem class, configuration, trial count, jitter amplitude
+//! and schedule — so a journal can only resume the exact study shape that
+//! wrote it; any option change misses and recomputes. Appends are
+//! `write_all` + `flush` per record: a SIGKILL can lose at most the
+//! in-flight record (detected as a partial line on reload), never a
+//! completed one. Duplicate keys are legal (quarantine re-runs append
+//! corrected records); the *last* valid record for a key wins on reload.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use paxsim_machine::counters::Counters;
+use paxsim_perfmon::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StudyError, StudyResult};
+use crate::study::Cell;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial).
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Records.
+// ---------------------------------------------------------------------------
+
+/// One program side of a journaled cell (single-program cells have one
+/// side; multi-program and cross-product cells have two).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SideRecord {
+    /// Benchmark name (`KernelId` round-trips via its string form).
+    pub bench: String,
+    pub cycles: Summary,
+    pub speedup: Summary,
+    pub counters: Counters,
+}
+
+impl SideRecord {
+    pub fn of(bench: &str, cell: &Cell) -> Self {
+        Self {
+            bench: bench.to_string(),
+            cycles: cell.cycles,
+            speedup: cell.speedup,
+            counters: cell.counters,
+        }
+    }
+
+    pub fn to_cell(&self) -> Cell {
+        Cell {
+            cycles: self.cycles,
+            speedup: self.speedup,
+            counters: self.counters,
+        }
+    }
+}
+
+/// One journaled cell: the key plus every program side's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Record {
+    pub key: String,
+    pub sides: Vec<SideRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// The journal.
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    cells: HashMap<String, Record>,
+    file: std::fs::File,
+    write_errors: usize,
+}
+
+/// A thread-safe checkpoint journal. Shared by the pool workers of a
+/// resilient sweep: lookups serve resumed cells, appends land as cells
+/// complete.
+pub struct Journal {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+    /// Records dropped on load (bad CRC, bad JSON, partial line).
+    corrupt: usize,
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Journal {
+    /// Open (creating if absent) the journal at `path`, loading every
+    /// valid record and counting — not trusting — corrupt ones.
+    pub fn open(path: &Path) -> StudyResult<Journal> {
+        let io_err = |op: &'static str, e: std::io::Error| StudyError::JournalIo {
+            path: path.display().to_string(),
+            op,
+            detail: e.to_string(),
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| io_err("create-dir", e))?;
+            }
+        }
+        let existing = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(io_err("read", e)),
+        };
+        let mut cells = HashMap::new();
+        let mut corrupt = 0;
+        // A file killed mid-append may end without a newline; such a tail
+        // is at best a partial record and must not be trusted. Splitting
+        // on '\n' and requiring the terminator drops it naturally.
+        let complete_lines = match existing.rfind('\n') {
+            Some(last) => {
+                if last + 1 < existing.len() {
+                    corrupt += 1; // unterminated tail
+                }
+                &existing[..last + 1]
+            }
+            None => {
+                if !existing.is_empty() {
+                    corrupt += 1;
+                }
+                ""
+            }
+        };
+        for line in complete_lines.lines() {
+            match parse_line(line) {
+                Ok(rec) => {
+                    cells.insert(rec.key.clone(), rec);
+                }
+                Err(_) => corrupt += 1,
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", e))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            inner: Mutex::new(Inner {
+                cells,
+                file,
+                write_errors: 0,
+            }),
+            corrupt,
+        })
+    }
+
+    /// The cell previously recorded under `key`, if any.
+    pub fn lookup(&self, key: &str) -> Option<Record> {
+        lock(&self.inner).cells.get(key).cloned()
+    }
+
+    /// Append a completed cell. Best-effort durable: the line is flushed
+    /// to the OS before returning, so only a record in flight at the
+    /// moment of a kill can be lost (and reload detects the partial line).
+    pub fn record(&self, key: &str, sides: Vec<SideRecord>) -> StudyResult<()> {
+        let rec = Record {
+            key: key.to_string(),
+            sides,
+        };
+        let payload = serde_json::to_string(&rec).map_err(|e| StudyError::JournalIo {
+            path: self.path.display().to_string(),
+            op: "serialize",
+            detail: e.to_string(),
+        })?;
+        let line = format!("{:08x}\t{payload}\n", crc32(payload.as_bytes()));
+        let mut inner = lock(&self.inner);
+        let res = inner
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.file.flush());
+        if let Err(e) = res {
+            inner.write_errors += 1;
+            return Err(StudyError::JournalIo {
+                path: self.path.display().to_string(),
+                op: "append",
+                detail: e.to_string(),
+            });
+        }
+        inner.cells.insert(rec.key.clone(), rec);
+        Ok(())
+    }
+
+    /// Number of distinct keys currently resumable.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records dropped on load because they failed CRC/parse checks.
+    pub fn corrupt_records(&self) -> usize {
+        self.corrupt
+    }
+
+    /// Appends that failed (disk full, permissions…). The study keeps
+    /// running — those cells just won't resume next time.
+    pub fn write_errors(&self) -> usize {
+        lock(&self.inner).write_errors
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn parse_line(line: &str) -> Result<Record, String> {
+    let (crc_hex, payload) = line
+        .split_once('\t')
+        .ok_or_else(|| "missing CRC field".to_string())?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| "bad CRC field".to_string())?;
+    let got = crc32(payload.as_bytes());
+    if want != got {
+        return Err(format!(
+            "CRC mismatch: recorded {want:08x}, computed {got:08x}"
+        ));
+    }
+    serde_json::from_str::<Record>(payload).map_err(|e| format!("bad record JSON: {e}"))
+}
+
+/// Build the canonical journal key for one cell.
+///
+/// `driver` is `"single"`, `"multi"` or `"cross"`; `benches` the cell's
+/// program side(s); `config` the Table 1 configuration name. Options that
+/// change results (class, trials, jitter, schedule) are baked in so a
+/// stale journal can never be mistaken for the current study's.
+pub fn cell_key(
+    driver: &str,
+    benches: &[&str],
+    class: &str,
+    config: &str,
+    trials: usize,
+    jitter: u64,
+    schedule: &str,
+) -> String {
+    format!(
+        "{driver}|{}|{class}|{config}|t{trials}|j{jitter}|{schedule}",
+        benches.join("+")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("paxsim_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_sides() -> Vec<SideRecord> {
+        vec![SideRecord {
+            bench: "ep".into(),
+            cycles: Summary::of(&[100.0, 101.5]),
+            speedup: Summary::of(&[1.9, 1.95]),
+            counters: Counters {
+                instructions: 1234,
+                l1d_access: 99,
+                ..Counters::default()
+            },
+        }]
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let path = tmp("roundtrip.jsonl");
+        let j = Journal::open(&path).unwrap();
+        j.record("k1", sample_sides()).unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.corrupt_records(), 0);
+        let rec = j.lookup("k1").unwrap();
+        let side = &rec.sides[0];
+        let orig = &sample_sides()[0];
+        // f64 round-trips must be bit-exact for byte-identical resumes.
+        assert_eq!(side.cycles, orig.cycles);
+        assert_eq!(side.speedup, orig.speedup);
+        assert_eq!(side.counters, orig.counters);
+        assert_eq!(side.bench, "ep");
+    }
+
+    #[test]
+    fn last_record_wins() {
+        let path = tmp("dup.jsonl");
+        let j = Journal::open(&path).unwrap();
+        j.record("k", sample_sides()).unwrap();
+        let mut newer = sample_sides();
+        newer[0].counters.instructions = 777;
+        j.record("k", newer).unwrap();
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.lookup("k").unwrap().sides[0].counters.instructions, 777);
+    }
+
+    #[test]
+    fn truncated_tail_detected_and_dropped() {
+        let path = tmp("trunc.jsonl");
+        let j = Journal::open(&path).unwrap();
+        j.record("k1", sample_sides()).unwrap();
+        j.record("k2", sample_sides()).unwrap();
+        drop(j);
+        // Kill mid-append: chop half the final line.
+        crate::faultinject::truncate_tail(&path, 40).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1, "partial record must not load");
+        assert_eq!(j.corrupt_records(), 1);
+        assert!(j.lookup("k1").is_some());
+        assert!(j.lookup("k2").is_none());
+    }
+
+    #[test]
+    fn bitflip_detected_by_crc() {
+        let path = tmp("flip.jsonl");
+        let j = Journal::open(&path).unwrap();
+        j.record("k1", sample_sides()).unwrap();
+        drop(j);
+        // Flip a bit inside the payload (past the 9-byte CRC prefix).
+        crate::faultinject::flip_bit(&path, 30).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 0, "corrupt record must be dropped");
+        assert_eq!(j.corrupt_records(), 1);
+    }
+
+    #[test]
+    fn append_after_corruption_keeps_working() {
+        let path = tmp("heal.jsonl");
+        let j = Journal::open(&path).unwrap();
+        j.record("k1", sample_sides()).unwrap();
+        drop(j);
+        crate::faultinject::flip_bit(&path, 30).unwrap();
+        let j = Journal::open(&path).unwrap();
+        j.record("k1", sample_sides()).unwrap(); // re-run lands a fresh record
+        drop(j);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        // The corrupt first record is still counted on each load…
+        assert_eq!(j.corrupt_records(), 1);
+        // …but the healthy re-run record serves the resume.
+        assert_eq!(j.lookup("k1").unwrap().sides[0].bench, "ep");
+    }
+
+    #[test]
+    fn keys_bake_in_study_shape() {
+        let a = cell_key("single", &["cg"], "T", "CMT", 3, 2000, "Static");
+        let b = cell_key("single", &["cg"], "T", "CMT", 5, 2000, "Static");
+        let c = cell_key("multi", &["cg", "ft"], "T", "CMT", 3, 2000, "Static");
+        assert_ne!(a, b, "trial count must separate keys");
+        assert_ne!(a, c);
+        assert!(c.contains("cg+ft"));
+    }
+}

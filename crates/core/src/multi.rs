@@ -71,35 +71,23 @@ fn serial_cycles(opts: &StudyOptions, store: &TraceStore, bench: KernelId) -> f6
     simulate(&opts.machine, vec![spec]).jobs[0].cycles as f64
 }
 
-/// Run one multi-program workload on one configuration over trials.
-pub fn run_workload(
+/// Run one multi-program workload on one configuration over trials,
+/// with the traces already built and through an arbitrary simulation
+/// function (the resilient driver passes a drift-checking wrapper).
+pub(crate) fn run_workload_with(
     opts: &StudyOptions,
-    store: &TraceStore,
+    traces: [std::sync::Arc<paxsim_machine::trace::ProgramTrace>; 2],
     workload: (KernelId, KernelId),
     config: &HwConfig,
     serial_base: (f64, f64),
+    sim: &dyn Fn(Vec<JobSpec>) -> paxsim_machine::sim::SimOutcome,
 ) -> MultiCell {
     assert!(
         config.threads >= 2 && config.threads.is_multiple_of(2),
         "{} cannot host two programs",
         config.name
     );
-    let per = config.threads / 2;
     let placements = split_jobs(&config.contexts, 2, PlacementPolicy::Spread);
-    let traces = [
-        store.get(TraceKey {
-            kernel: workload.0,
-            class: opts.class,
-            nthreads: per,
-            schedule: opts.schedule,
-        }),
-        store.get(TraceKey {
-            kernel: workload.1,
-            class: opts.class,
-            nthreads: per,
-            schedule: opts.schedule,
-        }),
-    ];
 
     let mut cycles = [Vec::new(), Vec::new()];
     let mut counters0 = [None, None];
@@ -111,7 +99,7 @@ pub fn run_workload(
                     .with_jitter(jitter, (trial * 2 + j) as u64)
             })
             .collect();
-        let out = simulate(&opts.machine, jobs);
+        let out = sim(jobs);
         for j in 0..2 {
             cycles[j].push(out.jobs[j].cycles as f64);
             if trial == 0 {
@@ -136,6 +124,34 @@ pub fn run_workload(
         config: config.clone(),
         sides,
     }
+}
+
+/// Run one multi-program workload on one configuration over trials.
+pub fn run_workload(
+    opts: &StudyOptions,
+    store: &TraceStore,
+    workload: (KernelId, KernelId),
+    config: &HwConfig,
+    serial_base: (f64, f64),
+) -> MultiCell {
+    let per = config.threads / 2;
+    let traces = [
+        store.get(TraceKey {
+            kernel: workload.0,
+            class: opts.class,
+            nthreads: per,
+            schedule: opts.schedule,
+        }),
+        store.get(TraceKey {
+            kernel: workload.1,
+            class: opts.class,
+            nthreads: per,
+            schedule: opts.schedule,
+        }),
+    ];
+    run_workload_with(opts, traces, workload, config, serial_base, &|jobs| {
+        simulate(&opts.machine, jobs)
+    })
 }
 
 /// Run the full Section 4.2 study.

@@ -184,10 +184,10 @@ pub fn headlines(s: &SingleStudy) -> Headlines {
         avgs.iter()
             .find(|(a, _)| a == arch)
             .map(|(_, v)| *v)
-            .expect("architecture present")
+            .unwrap_or_else(|| panic!("architecture {arch} missing from study configs"))
     };
     let mut ranked = avgs.clone();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let cmt = by_arch("CMT");
     let cmp_smp = by_arch("CMP-based SMP");
@@ -218,6 +218,61 @@ pub fn headlines(s: &SingleStudy) -> Headlines {
         avg_stalled_ht_on: mean(&on),
         average_speedups: avgs,
     }
+}
+
+/// Render what the resilience layer did during a study run: resumption
+/// and journal health, retry/timeout counts, failed cells, and the drift
+/// sentinel's verdicts. Goes to stdout beside the study tables — never
+/// into the comparable report artifacts, which must stay byte-identical
+/// between a fresh and a resumed run.
+pub fn resilience_text(r: &crate::resilient::Resilience) -> String {
+    let mut t = Table::new("Study resilience").header(["Event", "Value"]);
+    t.row([
+        "Cells resumed from journal".to_string(),
+        r.resumed_cells.to_string(),
+    ]);
+    t.row([
+        "Corrupt journal records dropped".to_string(),
+        r.corrupt_records.to_string(),
+    ]);
+    t.row([
+        "Journal write errors".to_string(),
+        r.journal_write_errors.to_string(),
+    ]);
+    t.row(["Cell retries".to_string(), r.retries.to_string()]);
+    t.row(["Watchdog timeouts".to_string(), r.timeouts.to_string()]);
+    t.row(["Failed cells".to_string(), r.failed_cells.len().to_string()]);
+    t.row([
+        "Sentinel cross-checks".to_string(),
+        r.sentinel_checks.to_string(),
+    ]);
+    t.row([
+        "Reference-engine fallbacks".to_string(),
+        r.sentinel_fallbacks.to_string(),
+    ]);
+    t.row([
+        "Cells repaired after quarantine".to_string(),
+        r.repaired_cells.to_string(),
+    ]);
+    t.row([
+        "Quarantined kernels".to_string(),
+        if r.quarantined.is_empty() {
+            "none".to_string()
+        } else {
+            r.quarantined.join(", ")
+        },
+    ]);
+    let mut out = t.render();
+    for f in &r.failed_cells {
+        out.push_str(&format!("  failed: {} — {}\n", f.key, f.error));
+    }
+    for d in &r.drift_events {
+        out.push_str(&format!(
+            "  drift: {} on {} — {}\n",
+            d.kernel, d.config, d.detail
+        ));
+    }
+    out
 }
 
 /// Render the headline claims next to the paper's values.
@@ -296,7 +351,7 @@ pub fn single_to_json(s: &SingleStudy) -> serde_json::Value {
             .map(|r| r.iter().map(CellJson::from).collect())
             .collect(),
     })
-    .expect("serializable")
+    .expect("single-program study must serialize to JSON")
 }
 
 /// Serialize a multi-program study to JSON.
@@ -342,7 +397,7 @@ pub fn multi_to_json(m: &MultiStudy) -> serde_json::Value {
             })
             .collect(),
     })
-    .expect("serializable")
+    .expect("multi-program study must serialize to JSON")
 }
 
 /// Serialize the cross-product study to JSON.
@@ -379,7 +434,7 @@ pub fn cross_to_json(c: &CrossStudy) -> serde_json::Value {
             .map(|(config, summary)| BoxJ { config, summary })
             .collect(),
     })
-    .expect("serializable")
+    .expect("cross-product study must serialize to JSON")
 }
 
 /// Benchmark names column order used in figures.

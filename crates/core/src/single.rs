@@ -68,12 +68,15 @@ impl SingleStudy {
     }
 }
 
-/// Simulate `trace` on `config` for `trials` trials; returns (per-trial
+/// Simulate `trace` on `config` for `trials` trials through an arbitrary
+/// simulation function (the resilient driver passes a drift-checking
+/// wrapper; the plain driver passes [`simulate`]); returns (per-trial
 /// cycles, counters of trial 0 — the quiet reference trial).
-fn run_trials(
+pub(crate) fn run_trials_with(
     opts: &StudyOptions,
     trace: &Arc<ProgramTrace>,
     config: &HwConfig,
+    sim: &dyn Fn(Vec<JobSpec>) -> paxsim_machine::sim::SimOutcome,
 ) -> (Vec<f64>, paxsim_machine::counters::Counters) {
     let mut cycles = Vec::with_capacity(opts.trials);
     let mut counters0 = None;
@@ -81,13 +84,23 @@ fn run_trials(
         let jitter = if trial == 0 { 0 } else { opts.jitter_cycles };
         let spec = JobSpec::pinned(trace.clone(), config.contexts.clone())
             .with_jitter(jitter, trial as u64);
-        let out = simulate(&opts.machine, vec![spec]);
+        let out = sim(vec![spec]);
         cycles.push(out.jobs[0].cycles as f64);
         if trial == 0 {
             counters0 = Some(out.jobs[0].counters);
         }
     }
     (cycles, counters0.unwrap())
+}
+
+/// Simulate `trace` on `config` for `trials` trials; returns (per-trial
+/// cycles, counters of trial 0 — the quiet reference trial).
+fn run_trials(
+    opts: &StudyOptions,
+    trace: &Arc<ProgramTrace>,
+    config: &HwConfig,
+) -> (Vec<f64>, paxsim_machine::counters::Counters) {
+    run_trials_with(opts, trace, config, &|jobs| simulate(&opts.machine, jobs))
 }
 
 /// Run the full Section 4.1 study.

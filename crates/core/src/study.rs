@@ -80,6 +80,25 @@ impl Cell {
     pub fn metrics(&self) -> Metrics {
         self.counters.metrics()
     }
+
+    /// Placeholder for a cell whose every attempt failed: zero-sample
+    /// summaries and zeroed counters. The counter layer's guarded ratio
+    /// derivations keep every rendered metric finite (zero), so a
+    /// poisoned cell can sit in a report table without NaN or inf.
+    pub fn poisoned() -> Self {
+        let zero = Summary {
+            n: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+        Cell {
+            cycles: zero,
+            speedup: zero,
+            counters: Counters::default(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +111,20 @@ mod tests {
         assert_eq!(o.benchmarks.len(), 6);
         assert!(o.trials >= 3);
         assert_eq!(o.schedule, Schedule::Static);
+    }
+
+    #[test]
+    fn poisoned_cell_metrics_stay_finite() {
+        // A faulted run leaves zero-event cells behind; every derived
+        // metric must render as a finite number, never NaN/inf.
+        let c = Cell::poisoned();
+        for v in c.metrics().values() {
+            assert!(v.is_finite(), "poisoned metric not finite: {v}");
+            assert_eq!(v, 0.0);
+        }
+        assert_eq!(c.cycles.n, 0);
+        assert_eq!(c.cycles.cv(), 0.0);
+        assert!(c.speedup.mean.is_finite());
     }
 
     #[test]

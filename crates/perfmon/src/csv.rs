@@ -35,9 +35,29 @@ impl Csv {
     }
 
     /// Append a row of stringifiable fields.
+    ///
+    /// # Panics
+    ///
+    /// On arity mismatch — a caller bug, not an input condition. Use
+    /// [`Csv::try_row`] for rows assembled from external data.
     pub fn row<S: ToString>(&mut self, fields: &[S]) -> &mut Self {
         self.push_raw(fields.iter().map(|f| f.to_string()).collect());
         self
+    }
+
+    /// Append a row, reporting an arity mismatch as a contextual error
+    /// instead of panicking — for rows built from external or
+    /// user-supplied data whose shape the caller can't guarantee.
+    pub fn try_row<S: ToString>(&mut self, fields: &[S]) -> Result<&mut Self, String> {
+        if fields.len() != self.columns {
+            return Err(format!(
+                "CSV row has {} fields but the header has {} columns",
+                fields.len(),
+                self.columns
+            ));
+        }
+        self.push_raw(fields.iter().map(|f| f.to_string()).collect());
+        Ok(self)
     }
 
     pub fn rows(&self) -> usize {
@@ -48,9 +68,11 @@ impl Csv {
         &self.out
     }
 
-    /// Write the document to a file.
+    /// Write the document to a file; the error, if any, names the path.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, &self.out)
+        std::fs::write(path, &self.out).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("writing CSV to {}: {e}", path.display()))
+        })
     }
 }
 
@@ -82,6 +104,24 @@ mod tests {
     fn arity_enforced() {
         let mut c = Csv::new(&["a", "b"]);
         c.row(&["only"]);
+    }
+
+    #[test]
+    fn try_row_reports_arity_contextually() {
+        let mut c = Csv::new(&["a", "b"]);
+        let err = c.try_row(&["only"]).unwrap_err();
+        assert!(err.contains("1 fields"), "{err}");
+        assert!(err.contains("2 columns"), "{err}");
+        assert!(c.try_row(&["x", "y"]).is_ok());
+        assert_eq!(c.rows(), 1);
+    }
+
+    #[test]
+    fn write_error_names_the_path() {
+        let c = Csv::new(&["a"]);
+        let bogus = std::path::Path::new("/nonexistent-dir-paxsim/out.csv");
+        let err = c.write_to(bogus).unwrap_err();
+        assert!(err.to_string().contains("nonexistent-dir-paxsim"), "{err}");
     }
 
     #[test]
