@@ -41,6 +41,36 @@ wait "$RESIL_PID" 2>/dev/null || true
 cmp "$RESIL_TMP/ref.report" "$RESIL_TMP/kill.report"
 echo "resumed report is byte-identical to the uninterrupted run"
 
+echo "== serve daemon smoke (miss → hit, SIGTERM drain) =="
+SERVE_TMP=$(mktemp -d)
+SERVE_PID=""
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$RESIL_TMP" "$SERVE_TMP"' EXIT
+SERVE_SOCK="$SERVE_TMP/serve.sock"
+target/release/paxsim-serve --unix "$SERVE_SOCK" --cache "$SERVE_TMP/cache" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ] || { echo "daemon never bound its socket"; exit 1; }
+CLI=target/release/paxsim-cli
+MISS=$("$CLI" --unix "$SERVE_SOCK" simulate --kernel ep --config CMP)
+HIT=$("$CLI" --unix "$SERVE_SOCK" simulate --kernel ep --config CMP)
+[ "$MISS" = "$HIT" ] || {
+    echo "cache hit is not byte-identical to the miss:"
+    echo "  miss: $MISS"
+    echo "  hit:  $HIT"
+    exit 1
+}
+STATS=$("$CLI" --unix "$SERVE_SOCK" stats)
+echo "$STATS" | grep -q '"mem_hits":1' || {
+    echo "hit counter did not increment: $STATS"
+    exit 1
+}
+# SIGTERM must drain gracefully: exit 0, socket file removed.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+[ ! -e "$SERVE_SOCK" ] || { echo "socket file not removed on drain"; exit 1; }
+echo "serve smoke passed: byte-identical hit, counted, clean SIGTERM drain"
+
 echo "== engine throughput (quick, zero-drift check, memoization on) =="
 PAXSIM_BENCH_QUICK=1 cargo bench -p paxsim-bench --bench engine_throughput
 

@@ -61,14 +61,30 @@ fn want(args: &Args, s: &str) -> bool {
     args.sections.iter().any(|x| x == s || x == "all")
 }
 
-fn write_json(dir: &Option<String>, name: &str, value: &serde_json::Value) {
-    if let Some(dir) = dir {
-        std::fs::create_dir_all(dir).expect("create json dir");
-        let path = format!("{dir}/{name}.json");
-        let mut f = std::fs::File::create(&path).expect("create json file");
-        f.write_all(serde_json::to_string_pretty(value).unwrap().as_bytes())
-            .expect("write json");
-        eprintln!("wrote {path}");
+fn write_json(
+    dir: &Option<String>,
+    name: &str,
+    value: paxsim_core::error::StudyResult<serde_json::Value>,
+) {
+    let Some(dir) = dir else { return };
+    let value = value.unwrap_or_else(|e| {
+        eprintln!("report: rendering {name} JSON: {e}");
+        std::process::exit(1);
+    });
+    let path = format!("{dir}/{name}.json");
+    let result = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::File::create(&path))
+        .and_then(|mut f| {
+            let body = serde_json::to_string_pretty(&value)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            f.write_all(body.as_bytes())
+        });
+    match result {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("report: writing {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -106,7 +122,7 @@ fn main() {
         if want(&args, "efficiency") {
             println!("{}", efficiency_text(&study));
         }
-        write_json(&args.json_dir, "single", &report::single_to_json(&study));
+        write_json(&args.json_dir, "single", report::single_to_json(&study));
         if let Some(dir) = &args.csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
             let mut csv = paxsim_perfmon::Csv::new(&[
@@ -181,7 +197,7 @@ fn main() {
         eprintln!("running multi-program study…");
         let multi = run_multi_program(&opts, &store, &paper_workloads());
         println!("{}", fig4_text(&multi));
-        write_json(&args.json_dir, "multi", &report::multi_to_json(&multi));
+        write_json(&args.json_dir, "multi", report::multi_to_json(&multi));
     }
 
     if want(&args, "fig5") {
@@ -190,6 +206,6 @@ fn main() {
         let opts5 = opts.clone().with_benchmarks(all_kernels().to_vec());
         let cross = run_cross_product(&opts5, &store);
         println!("{}", fig5_text(&cross));
-        write_json(&args.json_dir, "cross", &report::cross_to_json(&cross));
+        write_json(&args.json_dir, "cross", report::cross_to_json(&cross));
     }
 }

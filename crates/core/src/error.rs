@@ -45,6 +45,12 @@ pub enum StudyError {
         line: usize,
         reason: String,
     },
+    /// A simulation request named something that does not exist or is out
+    /// of range (`field` says which part). The serve daemon maps this to
+    /// a `bad-request` wire error; it must never panic on client input.
+    BadSpec { field: String, detail: String },
+    /// A value failed to serialize for a report or a cache/wire payload.
+    Serialize { what: String, detail: String },
 }
 
 impl StudyError {
@@ -87,6 +93,12 @@ impl fmt::Display for StudyError {
             }
             StudyError::JournalCorrupt { path, line, reason } => {
                 write!(f, "journal {path} line {line} corrupt: {reason}")
+            }
+            StudyError::BadSpec { field, detail } => {
+                write!(f, "bad request spec: {field}: {detail}")
+            }
+            StudyError::Serialize { what, detail } => {
+                write!(f, "serializing {what} failed: {detail}")
             }
         }
     }
@@ -141,6 +153,22 @@ mod tests {
             reason: "verify".into()
         }
         .transient());
+    }
+
+    #[test]
+    fn spec_and_serialize_errors_are_terminal_and_named() {
+        let e = StudyError::BadSpec {
+            field: "kernel".into(),
+            detail: "unknown NAS benchmark `zz`".into(),
+        };
+        assert!(!e.transient(), "a bad spec will be bad again");
+        assert!(e.to_string().contains("kernel"), "{e}");
+        let e = StudyError::Serialize {
+            what: "stats reply".into(),
+            detail: "boom".into(),
+        };
+        assert!(!e.transient());
+        assert!(e.to_string().contains("stats reply"), "{e}");
     }
 
     #[test]

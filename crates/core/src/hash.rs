@@ -1,0 +1,369 @@
+//! Content hashing for simulation requests and machine configurations.
+//!
+//! The serve daemon and the checkpoint journal both need a *stable*
+//! identity for "the thing whose result this is": two requests that mean
+//! the same simulation must collide, two that differ anywhere a result
+//! depends on must not. Deriving `Hash` would tie the identity to Rust's
+//! in-memory layout and hasher seed; instead, [`ConfigHash`] is an FNV-1a
+//! digest of a *canonical serialized form* — the serde `Value` tree with
+//! every object's keys sorted, rendered as compact JSON — so the hash is
+//! independent of struct field order, process, platform and run.
+//!
+//! [`StudySpec`] is the canonical description of one servable simulation
+//! request: kernel, class, Table 1 configuration, trial count, jitter,
+//! schedule and the full [`MachineConfig`]. Its [`StudySpec::content_hash`]
+//! keys the serve cache, the serve journal *and* (via the machine-config
+//! digest folded into [`crate::journal::cell_key`]) the sweep journal.
+
+use paxsim_machine::config::MachineConfig;
+use paxsim_nas::{kernel_by_name, Class, KernelId};
+use paxsim_omp::schedule::Schedule;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::configs::{config_by_name, HwConfig};
+use crate::error::{StudyError, StudyResult};
+use crate::study::StudyOptions;
+
+// ---------------------------------------------------------------------------
+// FNV-1a and canonical JSON.
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a digest of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Recursively sort every object's keys. Arrays keep their order (element
+/// order is meaningful); duplicate keys keep their relative order (the
+/// serde stand-in never produces duplicates).
+fn canonicalize_value(v: &Value) -> Value {
+    match v {
+        Value::Array(a) => Value::Array(a.iter().map(canonicalize_value).collect()),
+        Value::Object(m) => {
+            let mut entries: Vec<(String, Value)> = m
+                .iter()
+                .map(|(k, item)| (k.clone(), canonicalize_value(item)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(entries)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The canonical text form hashed by [`content_hash`]: compact JSON of the
+/// key-sorted value tree. Exposed so tests (and the cache's debug output)
+/// can inspect exactly what was digested.
+pub fn canonical_json<T: Serialize>(t: &T) -> String {
+    serde_json::to_string(&canonicalize_value(&t.to_value()))
+        .expect("canonical value tree renders infallibly")
+}
+
+/// A stable content digest of any serializable configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigHash(pub u64);
+
+impl std::fmt::Display for ConfigHash {
+    /// 16 lowercase hex digits, the spelling used in cache keys and wire
+    /// replies.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a digest of `t`'s canonical serialized form.
+pub fn content_hash<T: Serialize>(t: &T) -> ConfigHash {
+    ConfigHash(fnv1a(canonical_json(t).as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
+// StudySpec: the canonical simulation-request description.
+// ---------------------------------------------------------------------------
+
+/// Everything one servable simulation point depends on. String-typed
+/// fields hold the *canonical* spellings (lowercase kernel, Table 1
+/// config name, uppercase class tag, OpenMP clause text for the
+/// schedule); [`StudySpec::resolve`] produces the typed pieces and
+/// normalizes spelling, so specs that differ only in case or in a
+/// config-name alias hash identically after resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudySpec {
+    /// NAS kernel name (`ep`, `cg`, …).
+    pub kernel: String,
+    /// Problem class tag (`T`, `S`, `W`).
+    pub class: String,
+    /// Table 1 configuration name or architecture alias (`Serial`,
+    /// `HT off -2-1`, `CMP`, …).
+    pub config: String,
+    /// Independent trials.
+    pub trials: usize,
+    /// Per-trial OS jitter amplitude in cycles.
+    pub jitter: u64,
+    /// Worksharing schedule clause (`static`, `dynamic,2`, …).
+    pub schedule: String,
+    /// The machine model (defaults to the paper's Paxville SMP).
+    pub machine: MachineConfig,
+}
+
+impl StudySpec {
+    /// A quick default spec: class T, one quiet trial, static schedule,
+    /// paper machine.
+    pub fn new(kernel: &str, config: &str) -> Self {
+        Self {
+            kernel: kernel.to_string(),
+            class: "T".to_string(),
+            config: config.to_string(),
+            trials: 1,
+            jitter: 0,
+            schedule: "static".to_string(),
+            machine: MachineConfig::paxville_smp(),
+        }
+    }
+
+    pub fn with_class(mut self, class: &str) -> Self {
+        self.class = class.to_string();
+        self
+    }
+
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    pub fn with_jitter(mut self, jitter: u64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Resolve and validate every field, returning the typed request.
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError::BadSpec`] naming the offending field — the serve
+    /// daemon maps this to a `bad-request` wire error instead of
+    /// panicking on malformed client input.
+    pub fn resolve(&self) -> StudyResult<ResolvedSpec> {
+        let bad = |field: &'static str, detail: String| StudyError::BadSpec {
+            field: field.to_string(),
+            detail,
+        };
+        let kernel: KernelId = kernel_by_name(&self.kernel)
+            .ok_or_else(|| bad("kernel", format!("unknown NAS benchmark `{}`", self.kernel)))?;
+        let class = match self.class.to_ascii_uppercase().as_str() {
+            "T" => Class::T,
+            "S" => Class::S,
+            "W" => Class::W,
+            other => return Err(bad("class", format!("unknown class `{other}` (T, S or W)"))),
+        };
+        let config = config_by_name(&self.config)
+            .ok_or_else(|| bad("config", format!("unknown configuration `{}`", self.config)))?;
+        if self.trials == 0 {
+            return Err(bad("trials", "trial count must be >= 1".to_string()));
+        }
+        let schedule: Schedule = self.schedule.parse().map_err(|e| bad("schedule", e))?;
+        let spec = StudySpec {
+            kernel: kernel.name().to_string(),
+            class: class.tag().to_string(),
+            config: config.name.clone(),
+            trials: self.trials,
+            jitter: self.jitter,
+            schedule: schedule.to_string(),
+            machine: self.machine.clone(),
+        };
+        Ok(ResolvedSpec {
+            kernel,
+            class,
+            config,
+            schedule,
+            spec,
+        })
+    }
+
+    /// The stable content digest of this spec's canonical form. Call on
+    /// the normalized spec inside [`ResolvedSpec`] so aliases collide.
+    pub fn content_hash(&self) -> ConfigHash {
+        content_hash(self)
+    }
+}
+
+/// A validated [`StudySpec`] with its typed pieces and normalized
+/// spelling.
+#[derive(Debug, Clone)]
+pub struct ResolvedSpec {
+    pub kernel: KernelId,
+    pub class: Class,
+    pub config: HwConfig,
+    pub schedule: Schedule,
+    /// The spec with every field in canonical spelling; hash this.
+    pub spec: StudySpec,
+}
+
+impl ResolvedSpec {
+    /// Cache/journal key of this request.
+    pub fn content_hash(&self) -> ConfigHash {
+        self.spec.content_hash()
+    }
+
+    /// Study options equivalent to this spec (single-benchmark).
+    pub fn options(&self) -> StudyOptions {
+        StudyOptions {
+            class: self.class,
+            trials: self.spec.trials,
+            jitter_cycles: self.spec.jitter,
+            schedule: self.schedule,
+            benchmarks: vec![self.kernel],
+            machine: self.spec.machine.clone(),
+        }
+    }
+
+    /// The same request against the serial baseline configuration — the
+    /// speedup denominator's cache entry.
+    pub fn serial_variant(&self) -> StudySpec {
+        let mut s = self.spec.clone();
+        s.config = crate::configs::serial().name;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Published FNV-1a 64-bit check values.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hash_is_field_order_stable() {
+        // Two object trees with the same content in different key order
+        // must digest identically: the canonical form sorts keys, so a
+        // struct-field reorder (or a client emitting JSON keys in any
+        // order) cannot change the identity of a request.
+        let a = Value::Object(vec![
+            ("x".into(), Value::UInt(1)),
+            ("y".into(), Value::String("s".into())),
+            (
+                "z".into(),
+                Value::Object(vec![
+                    ("p".into(), Value::Bool(true)),
+                    ("q".into(), Value::Float(2.5)),
+                ]),
+            ),
+        ]);
+        let b = Value::Object(vec![
+            (
+                "z".into(),
+                Value::Object(vec![
+                    ("q".into(), Value::Float(2.5)),
+                    ("p".into(), Value::Bool(true)),
+                ]),
+            ),
+            ("y".into(), Value::String("s".into())),
+            ("x".into(), Value::UInt(1)),
+        ]);
+        assert_eq!(content_hash(&a), content_hash(&b));
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        // Array order, by contrast, is meaningful.
+        let c = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        let d = Value::Array(vec![Value::UInt(2), Value::UInt(1)]);
+        assert_ne!(content_hash(&c), content_hash(&d));
+    }
+
+    #[test]
+    fn hash_is_default_value_stable() {
+        // A freshly built spec and one spelled out field-by-field with the
+        // same defaults are the same request.
+        let a = StudySpec::new("ep", "CMP");
+        let b = StudySpec {
+            kernel: "ep".into(),
+            class: "T".into(),
+            config: "CMP".into(),
+            trials: 1,
+            jitter: 0,
+            schedule: "static".into(),
+            machine: MachineConfig::paxville_smp(),
+        };
+        assert_eq!(a.content_hash(), b.content_hash());
+        // And the builder's no-op application changes nothing.
+        let c = StudySpec::new("ep", "CMP")
+            .with_class("T")
+            .with_trials(1)
+            .with_jitter(0);
+        assert_eq!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn resolution_normalizes_aliases() {
+        // `CMP` (arch alias, any case) and `HT off -2-1` (paper name)
+        // resolve to the same canonical spec, hence the same hash.
+        let a = StudySpec::new("EP", "cmp").resolve().unwrap();
+        let b = StudySpec::new("ep", "HT off -2-1").resolve().unwrap();
+        assert_eq!(a.spec.config, "HT off -2-1");
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.kernel, KernelId::Ep);
+        assert_eq!(a.class, Class::T);
+    }
+
+    #[test]
+    fn every_result_relevant_field_separates_hashes() {
+        let base = StudySpec::new("ep", "CMP").resolve().unwrap();
+        let variants = [
+            StudySpec::new("is", "CMP"),
+            StudySpec::new("ep", "CMT"),
+            StudySpec::new("ep", "CMP").with_class("S"),
+            StudySpec::new("ep", "CMP").with_trials(3),
+            StudySpec::new("ep", "CMP").with_jitter(2_000),
+        ];
+        for v in variants {
+            let r = v.resolve().unwrap();
+            assert_ne!(base.content_hash(), r.content_hash(), "{:?}", r.spec);
+        }
+        // Machine-model perturbations separate too.
+        let mut m = StudySpec::new("ep", "CMP");
+        m.machine.l2_lat += 1;
+        assert_ne!(
+            base.content_hash(),
+            m.resolve().unwrap().content_hash(),
+            "machine config must be part of the identity"
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        let field = |s: &StudySpec| match s.resolve().unwrap_err() {
+            StudyError::BadSpec { field, .. } => field,
+            e => panic!("unexpected error {e}"),
+        };
+        assert_eq!(field(&StudySpec::new("bogus", "CMP")), "kernel");
+        assert_eq!(field(&StudySpec::new("ep", "bogus")), "config");
+        assert_eq!(field(&StudySpec::new("ep", "CMP").with_class("Q")), "class");
+        assert_eq!(field(&StudySpec::new("ep", "CMP").with_trials(0)), "trials");
+        let mut s = StudySpec::new("ep", "CMP");
+        s.schedule = "fair,3".into();
+        assert_eq!(field(&s), "schedule");
+    }
+
+    #[test]
+    fn serial_variant_shares_everything_but_config() {
+        let r = StudySpec::new("ep", "CMP")
+            .with_trials(2)
+            .resolve()
+            .unwrap();
+        let s = r.serial_variant();
+        assert_eq!(s.config, "Serial");
+        assert_eq!(s.trials, 2);
+        assert_ne!(r.content_hash(), s.content_hash());
+    }
+}

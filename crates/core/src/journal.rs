@@ -270,9 +270,13 @@ fn parse_line(line: &str) -> Result<Record, String> {
 /// Build the canonical journal key for one cell.
 ///
 /// `driver` is `"single"`, `"multi"` or `"cross"`; `benches` the cell's
-/// program side(s); `config` the Table 1 configuration name. Options that
-/// change results (class, trials, jitter, schedule) are baked in so a
-/// stale journal can never be mistaken for the current study's.
+/// program side(s); `config` the Table 1 configuration name; `machine`
+/// the [`ConfigHash`](crate::hash::ConfigHash) digest of the machine
+/// model (as printed, 16 hex digits). Options that change results
+/// (class, trials, jitter, schedule, machine parameters) are baked in so
+/// a stale journal — including one written under different hardware
+/// parameters — can never be mistaken for the current study's.
+#[allow(clippy::too_many_arguments)]
 pub fn cell_key(
     driver: &str,
     benches: &[&str],
@@ -281,9 +285,10 @@ pub fn cell_key(
     trials: usize,
     jitter: u64,
     schedule: &str,
+    machine: &str,
 ) -> String {
     format!(
-        "{driver}|{}|{class}|{config}|t{trials}|j{jitter}|{schedule}",
+        "{driver}|{}|{class}|{config}|t{trials}|j{jitter}|{schedule}|m{machine}",
         benches.join("+")
     )
 }
@@ -402,11 +407,24 @@ mod tests {
 
     #[test]
     fn keys_bake_in_study_shape() {
-        let a = cell_key("single", &["cg"], "T", "CMT", 3, 2000, "Static");
-        let b = cell_key("single", &["cg"], "T", "CMT", 5, 2000, "Static");
-        let c = cell_key("multi", &["cg", "ft"], "T", "CMT", 3, 2000, "Static");
+        let m = "00f00f00f00f00f0";
+        let a = cell_key("single", &["cg"], "T", "CMT", 3, 2000, "static", m);
+        let b = cell_key("single", &["cg"], "T", "CMT", 5, 2000, "static", m);
+        let c = cell_key("multi", &["cg", "ft"], "T", "CMT", 3, 2000, "static", m);
+        let d = cell_key(
+            "single",
+            &["cg"],
+            "T",
+            "CMT",
+            3,
+            2000,
+            "static",
+            "deadbeefdeadbeef",
+        );
         assert_ne!(a, b, "trial count must separate keys");
         assert_ne!(a, c);
+        assert_ne!(a, d, "machine digest must separate keys");
         assert!(c.contains("cg+ft"));
+        assert!(a.ends_with("|m00f00f00f00f00f0"));
     }
 }

@@ -30,6 +30,8 @@ pub mod cross;
 pub mod efficiency;
 pub mod error;
 pub mod faultinject;
+pub mod hash;
+pub mod inflight;
 pub mod journal;
 pub mod multi;
 pub mod phases;
@@ -47,6 +49,8 @@ pub mod prelude {
     pub use crate::cross::{all_pairs, run_cross_product, CrossStudy};
     pub use crate::efficiency::{efficiency, efficiency_text, most_efficient_per_chip};
     pub use crate::error::{StudyError, StudyResult};
+    pub use crate::hash::{content_hash, ConfigHash, ResolvedSpec, StudySpec};
+    pub use crate::inflight::{Flight, Inflight};
     pub use crate::journal::Journal;
     pub use crate::multi::{paper_workloads, run_multi_program, MultiStudy};
     pub use crate::phases::{phase_profile, phases_text, PhaseProfile};

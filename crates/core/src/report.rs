@@ -332,8 +332,22 @@ impl From<&crate::study::Cell> for CellJson {
     }
 }
 
+/// Report serialization goes through the typed error so binaries and the
+/// serve daemon surface a contextual failure instead of panicking.
+fn to_value<T: Serialize>(what: &str, v: T) -> crate::error::StudyResult<serde_json::Value> {
+    serde_json::to_value(v).map_err(|e| crate::error::StudyError::Serialize {
+        what: what.to_string(),
+        detail: e.to_string(),
+    })
+}
+
 /// Serialize a single-program study to JSON.
-pub fn single_to_json(s: &SingleStudy) -> serde_json::Value {
+///
+/// # Errors
+///
+/// [`crate::error::StudyError::Serialize`] when the study cannot be
+/// rendered as a JSON value.
+pub fn single_to_json(s: &SingleStudy) -> crate::error::StudyResult<serde_json::Value> {
     #[derive(Serialize)]
     struct J {
         class: String,
@@ -341,21 +355,28 @@ pub fn single_to_json(s: &SingleStudy) -> serde_json::Value {
         configs: Vec<crate::configs::HwConfig>,
         cells: Vec<Vec<CellJson>>,
     }
-    serde_json::to_value(J {
-        class: s.options_class.clone(),
-        benchmarks: s.benchmarks.iter().map(|b| b.to_string()).collect(),
-        configs: s.configs.clone(),
-        cells: s
-            .cells
-            .iter()
-            .map(|r| r.iter().map(CellJson::from).collect())
-            .collect(),
-    })
-    .expect("single-program study must serialize to JSON")
+    to_value(
+        "single-program study",
+        J {
+            class: s.options_class.clone(),
+            benchmarks: s.benchmarks.iter().map(|b| b.to_string()).collect(),
+            configs: s.configs.clone(),
+            cells: s
+                .cells
+                .iter()
+                .map(|r| r.iter().map(CellJson::from).collect())
+                .collect(),
+        },
+    )
 }
 
 /// Serialize a multi-program study to JSON.
-pub fn multi_to_json(m: &MultiStudy) -> serde_json::Value {
+///
+/// # Errors
+///
+/// [`crate::error::StudyError::Serialize`] when the study cannot be
+/// rendered as a JSON value.
+pub fn multi_to_json(m: &MultiStudy) -> crate::error::StudyResult<serde_json::Value> {
     #[derive(Serialize)]
     struct Side {
         bench: String,
@@ -371,37 +392,44 @@ pub fn multi_to_json(m: &MultiStudy) -> serde_json::Value {
         workloads: Vec<(String, String)>,
         cells: Vec<Vec<CellJ>>,
     }
-    serde_json::to_value(J {
-        workloads: m
-            .workloads
-            .iter()
-            .map(|(a, b)| (a.to_string(), b.to_string()))
-            .collect(),
-        cells: m
-            .cells
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|c| CellJ {
-                        config: c.config.name.clone(),
-                        sides: c
-                            .sides
-                            .iter()
-                            .map(|s| Side {
-                                bench: s.bench.to_string(),
-                                cell: CellJson::from(&s.cell),
-                            })
-                            .collect(),
-                    })
-                    .collect()
-            })
-            .collect(),
-    })
-    .expect("multi-program study must serialize to JSON")
+    to_value(
+        "multi-program study",
+        J {
+            workloads: m
+                .workloads
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            cells: m
+                .cells
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|c| CellJ {
+                            config: c.config.name.clone(),
+                            sides: c
+                                .sides
+                                .iter()
+                                .map(|s| Side {
+                                    bench: s.bench.to_string(),
+                                    cell: CellJson::from(&s.cell),
+                                })
+                                .collect(),
+                        })
+                        .collect()
+                })
+                .collect(),
+        },
+    )
 }
 
 /// Serialize the cross-product study to JSON.
-pub fn cross_to_json(c: &CrossStudy) -> serde_json::Value {
+///
+/// # Errors
+///
+/// [`crate::error::StudyError::Serialize`] when the study cannot be
+/// rendered as a JSON value.
+pub fn cross_to_json(c: &CrossStudy) -> crate::error::StudyResult<serde_json::Value> {
     #[derive(Serialize)]
     struct Point {
         pair: (String, String),
@@ -418,23 +446,25 @@ pub fn cross_to_json(c: &CrossStudy) -> serde_json::Value {
         points: Vec<Point>,
         boxes: Vec<BoxJ>,
     }
-    serde_json::to_value(J {
-        points: c
-            .points
-            .iter()
-            .map(|p| Point {
-                pair: (p.pair.0.to_string(), p.pair.1.to_string()),
-                config: p.config.clone(),
-                speedups: p.speedups,
-            })
-            .collect(),
-        boxes: c
-            .boxes()
-            .into_iter()
-            .map(|(config, summary)| BoxJ { config, summary })
-            .collect(),
-    })
-    .expect("cross-product study must serialize to JSON")
+    to_value(
+        "cross-product study",
+        J {
+            points: c
+                .points
+                .iter()
+                .map(|p| Point {
+                    pair: (p.pair.0.to_string(), p.pair.1.to_string()),
+                    config: p.config.clone(),
+                    speedups: p.speedups,
+                })
+                .collect(),
+            boxes: c
+                .boxes()
+                .into_iter()
+                .map(|(config, summary)| BoxJ { config, summary })
+                .collect(),
+        },
+    )
 }
 
 /// Benchmark names column order used in figures.
@@ -481,7 +511,7 @@ mod tests {
         let h = headlines(&s);
         assert!(h.avg_stalled_ht_on > 0.0);
         assert!(headlines_text(&h).contains("3.6%"));
-        let json = single_to_json(&s);
+        let json = single_to_json(&s).unwrap();
         assert!(json["cells"][0][0]["metrics"]["cpi"].as_f64().unwrap() > 0.0);
     }
 

@@ -157,6 +157,10 @@ struct Ctx<'a> {
     sentinel: DriftSentinel,
     resumed: AtomicUsize,
     repaired: AtomicUsize,
+    /// Content digest of `opts.machine`, folded into every journal key so
+    /// a journal written under different hardware parameters cannot
+    /// serve this study's cells.
+    machine_hash: String,
 }
 
 impl<'a> Ctx<'a> {
@@ -177,6 +181,7 @@ impl<'a> Ctx<'a> {
             sentinel: DriftSentinel::new(),
             resumed: AtomicUsize::new(0),
             repaired: AtomicUsize::new(0),
+            machine_hash: crate::hash::content_hash(&opts.machine).to_string(),
         })
     }
 
@@ -189,7 +194,8 @@ impl<'a> Ctx<'a> {
             config,
             self.opts.trials,
             self.opts.jitter_cycles,
-            &format!("{:?}", self.opts.schedule),
+            &self.opts.schedule.to_string(),
+            &self.machine_hash,
         )
     }
 

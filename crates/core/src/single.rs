@@ -70,9 +70,10 @@ impl SingleStudy {
 
 /// Simulate `trace` on `config` for `trials` trials through an arbitrary
 /// simulation function (the resilient driver passes a drift-checking
-/// wrapper; the plain driver passes [`simulate`]); returns (per-trial
+/// wrapper; the plain driver passes [`simulate`]; the serve daemon passes
+/// the plain engine on its own machine model); returns (per-trial
 /// cycles, counters of trial 0 — the quiet reference trial).
-pub(crate) fn run_trials_with(
+pub fn run_trials_with(
     opts: &StudyOptions,
     trace: &Arc<ProgramTrace>,
     config: &HwConfig,

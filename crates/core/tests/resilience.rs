@@ -46,7 +46,7 @@ fn report_bytes(s: &SingleStudy) -> String {
         "{}{}{}",
         fig3_text(s),
         table2_text(s),
-        serde_json::to_string(&single_to_json(s)).unwrap()
+        serde_json::to_string(&single_to_json(s).unwrap()).unwrap()
     )
 }
 

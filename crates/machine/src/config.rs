@@ -37,7 +37,7 @@ impl CacheGeometry {
 /// Full configuration of the simulated machine. Every latency is in cycles,
 /// every service interval is in cycles-per-64-byte-line, all sizes in bytes
 /// or entries. Fields are public so ablation studies can perturb them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// Core clock in GHz; only used to convert cycles to wall time in reports.
     pub freq_ghz: f64,

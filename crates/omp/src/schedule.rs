@@ -91,6 +91,52 @@ impl Schedule {
     }
 }
 
+/// Canonical OpenMP-style clause text: `static`, `static,4`, `dynamic,2`,
+/// `guided,8`. This is the wire/journal spelling — [`Schedule::from_str`]
+/// parses exactly what `Display` prints.
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Schedule::Static => f.write_str("static"),
+            Schedule::StaticChunk(c) => write!(f, "static,{c}"),
+            Schedule::Dynamic(c) => write!(f, "dynamic,{c}"),
+            Schedule::Guided(c) => write!(f, "guided,{c}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (kind, chunk) = match s.split_once(',') {
+            Some((k, c)) => (k.trim(), Some(c.trim())),
+            None => (s, None),
+        };
+        let chunk = |what: &str| -> Result<usize, String> {
+            let c = chunk
+                .ok_or_else(|| format!("schedule `{what}` needs a chunk size, e.g. `{what},4`"))?
+                .parse::<usize>()
+                .map_err(|_| format!("bad chunk size in schedule `{s}`"))?;
+            if c == 0 {
+                return Err(format!("schedule `{s}`: chunk size must be >= 1"));
+            }
+            Ok(c)
+        };
+        match kind.to_ascii_lowercase().as_str() {
+            "static" => match chunk("static") {
+                Ok(c) => Ok(Schedule::StaticChunk(c)),
+                Err(_) if s.eq_ignore_ascii_case("static") => Ok(Schedule::Static),
+                Err(e) => Err(e),
+            },
+            "dynamic" => chunk("dynamic").map(Schedule::Dynamic),
+            "guided" => chunk("guided").map(Schedule::Guided),
+            other => Err(format!("unknown schedule kind `{other}`")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +217,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn clause_text_roundtrips() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(4),
+            Schedule::Dynamic(2),
+            Schedule::Guided(8),
+        ] {
+            let text = s.to_string();
+            assert_eq!(text.parse::<Schedule>().unwrap(), s, "{text}");
+        }
+        assert_eq!("STATIC".parse::<Schedule>().unwrap(), Schedule::Static);
+        assert_eq!(
+            " dynamic , 3 ".parse::<Schedule>().unwrap(),
+            Schedule::Dynamic(3)
+        );
+        assert!("dynamic".parse::<Schedule>().is_err(), "chunk required");
+        assert!("static,0".parse::<Schedule>().is_err(), "zero chunk");
+        assert!("fair,2".parse::<Schedule>().is_err(), "unknown kind");
     }
 
     mod properties {

@@ -68,8 +68,17 @@ impl Csv {
         &self.out
     }
 
-    /// Write the document to a file; the error, if any, names the path.
+    /// Write the document to a file, creating any missing parent
+    /// directories; the error, if any, names the operation and the path.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("creating CSV directory {}: {e}", parent.display()),
+                )
+            })?;
+        }
         std::fs::write(path, &self.out).map_err(|e| {
             std::io::Error::new(e.kind(), format!("writing CSV to {}: {e}", path.display()))
         })
@@ -118,10 +127,28 @@ mod tests {
 
     #[test]
     fn write_error_names_the_path() {
+        // A parent that is a regular file defeats create_dir_all, so the
+        // error must carry the offending path.
+        let dir = std::env::temp_dir().join("paxsim_csv_blocked");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("not-a-dir"), b"x").unwrap();
         let c = Csv::new(&["a"]);
-        let bogus = std::path::Path::new("/nonexistent-dir-paxsim/out.csv");
-        let err = c.write_to(bogus).unwrap_err();
-        assert!(err.to_string().contains("nonexistent-dir-paxsim"), "{err}");
+        let err = c
+            .write_to(&dir.join("not-a-dir").join("out.csv"))
+            .unwrap_err();
+        assert!(err.to_string().contains("not-a-dir"), "{err}");
+    }
+
+    #[test]
+    fn write_to_creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join("paxsim_csv_parents");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("a").join("b").join("out.csv");
+        let mut c = Csv::new(&["k", "v"]);
+        c.row(&["x", "1"]);
+        c.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), c.as_str());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! `paxsim-cli` — command-line client for the paxsim-serve daemon.
+//!
+//! ```text
+//! paxsim-cli (--tcp ADDR | --unix PATH) simulate --kernel K --config C
+//!            [--class T] [--trials N] [--jitter N] [--schedule S]
+//!            [--deadline-ms N]
+//! paxsim-cli (--tcp ADDR | --unix PATH) stats
+//! paxsim-cli (--tcp ADDR | --unix PATH) raw '<json request line>'
+//! ```
+//!
+//! Prints the daemon's reply line verbatim on stdout; exits 0 on an
+//! `"ok":true` reply, 1 on an error reply, 2 on usage/connection
+//! problems.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use serde::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paxsim-cli (--tcp ADDR | --unix PATH) <command>\n\
+         commands:\n\
+         \x20 simulate --kernel K --config C [--class T] [--trials N]\n\
+         \x20          [--jitter N] [--schedule S] [--deadline-ms N]\n\
+         \x20 stats\n\
+         \x20 raw '<json>'"
+    );
+    std::process::exit(2);
+}
+
+fn roundtrip(conn: &str, line: &str) -> std::io::Result<String> {
+    let send = |mut w: Box<dyn ReadWrite>| -> std::io::Result<String> {
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()?;
+        let mut reply = String::new();
+        BufReader::new(w).read_line(&mut reply)?;
+        Ok(reply.trim_end().to_string())
+    };
+    if let Some(addr) = conn.strip_prefix("tcp:") {
+        send(Box::new(TcpStream::connect(addr)?))
+    } else {
+        send(Box::new(UnixStream::connect(
+            conn.strip_prefix("unix:").unwrap_or(conn),
+        )?))
+    }
+}
+
+trait ReadWrite: std::io::Read + Write {}
+impl ReadWrite for TcpStream {}
+impl ReadWrite for UnixStream {}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let mut conn: Option<String> = None;
+    let mut command: Option<String> = None;
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    let mut raw: Option<String> = None;
+    let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
+        it.next().cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => conn = Some(format!("tcp:{}", value(&mut it, "--tcp"))),
+            "--unix" => conn = Some(format!("unix:{}", value(&mut it, "--unix"))),
+            "simulate" | "stats" if command.is_none() => command = Some(arg.clone()),
+            "raw" if command.is_none() => {
+                command = Some(arg.clone());
+                raw = Some(value(&mut it, "raw"));
+            }
+            "--kernel" | "--config" | "--class" | "--schedule" => {
+                let key = arg.trim_start_matches("--").to_string();
+                fields.push((key, Value::String(value(&mut it, arg))));
+            }
+            "--trials" | "--jitter" | "--deadline-ms" => {
+                let key = arg.trim_start_matches("--").replace('-', "_");
+                let n: u64 = value(&mut it, arg).parse().unwrap_or_else(|_| {
+                    eprintln!("{arg} needs a number");
+                    usage()
+                });
+                fields.push((key, Value::UInt(n)));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let (Some(conn), Some(command)) = (conn, command) else {
+        usage();
+    };
+    let line = match command.as_str() {
+        "stats" => r#"{"op":"stats"}"#.to_string(),
+        "raw" => raw.expect("raw command captured its payload"),
+        "simulate" => {
+            let mut entries = vec![("op".to_string(), Value::String("simulate".into()))];
+            entries.extend(fields);
+            serde_json::to_string(&Value::Object(entries)).expect("request renders infallibly")
+        }
+        _ => usage(),
+    };
+    match roundtrip(&conn, &line) {
+        Ok(reply) => {
+            println!("{reply}");
+            let ok = serde_json::parse(&reply)
+                .ok()
+                .and_then(|v| v["ok"].as_bool())
+                .unwrap_or(false);
+            std::process::exit(if ok { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("paxsim-cli: {conn}: {e}");
+            std::process::exit(2);
+        }
+    }
+}

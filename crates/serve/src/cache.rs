@@ -1,0 +1,289 @@
+//! The two-tier content-addressed result cache.
+//!
+//! Tier 1 is an in-memory LRU keyed by the request's
+//! [`ConfigHash`](paxsim_core::hash::ConfigHash); tier 2 is an on-disk
+//! [`Journal`](paxsim_core::journal::Journal) — the same CRC-per-record
+//! JSONL format the resilient sweep drivers checkpoint into, so results
+//! survive daemon restarts and every corruption mode the journal detects
+//! (bit rot, truncated tails) causes a recompute, never a wrong answer.
+//! Disk hits are promoted into the LRU; every put lands in both tiers
+//! (the journal flushes per append, so "flush the cache on drain" is a
+//! no-op by construction).
+//!
+//! Keys on disk are `serve|<16-hex content hash>`; duplicate keys are
+//! legal and last-record-wins, so a recompute after corruption simply
+//! appends a fresh record.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use paxsim_core::error::StudyResult;
+use paxsim_core::hash::ConfigHash;
+use paxsim_core::journal::{Journal, Record, SideRecord};
+
+/// On-disk journal file name inside the cache directory.
+pub const JOURNAL_FILE: &str = "results.jsonl";
+
+struct Lru {
+    cap: usize,
+    map: HashMap<u64, Record>,
+    /// Keys from coldest (front) to hottest (back).
+    order: VecDeque<u64>,
+}
+
+impl Lru {
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
+
+    fn get(&mut self, key: u64) -> Option<Record> {
+        let rec = self.map.get(&key).cloned()?;
+        self.touch(key);
+        Some(rec)
+    }
+
+    fn put(&mut self, key: u64, rec: Record) {
+        if self.cap == 0 {
+            return;
+        }
+        self.map.insert(key, rec);
+        self.touch(key);
+        while self.map.len() > self.cap {
+            let coldest = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&coldest);
+        }
+    }
+}
+
+/// The two-tier cache. Thread-safe; shared across every connection.
+pub struct ResultCache {
+    journal: Journal,
+    mem: Mutex<Lru>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+}
+
+fn lock(m: &Mutex<Lru>) -> MutexGuard<'_, Lru> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ResultCache {
+    /// Open the cache rooted at `dir` (created if absent), holding at
+    /// most `mem_cap` records in memory.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors opening or reading the on-disk tier.
+    pub fn open(dir: &Path, mem_cap: usize) -> StudyResult<ResultCache> {
+        let journal = Journal::open(&dir.join(JOURNAL_FILE))?;
+        Ok(ResultCache {
+            journal,
+            mem: Mutex::new(Lru {
+                cap: mem_cap,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    /// The on-disk journal key for a content hash.
+    pub fn key(hash: ConfigHash) -> String {
+        format!("serve|{hash}")
+    }
+
+    /// Look `hash` up: memory first, then disk (promoting a disk hit).
+    pub fn get(&self, hash: ConfigHash) -> Option<Record> {
+        if let Some(rec) = lock(&self.mem).get(hash.0) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(rec);
+        }
+        if let Some(rec) = self.journal.lookup(&Self::key(hash)) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            lock(&self.mem).put(hash.0, rec.clone());
+            return Some(rec);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store a computed result in both tiers; returns the stored record
+    /// (the exact value later hits will serve).
+    ///
+    /// # Errors
+    ///
+    /// Journal append failures (disk full, permissions). The memory tier
+    /// is *not* updated on a failed append — a result that cannot be made
+    /// durable stays a miss, so a restart never silently loses it.
+    pub fn put(&self, hash: ConfigHash, sides: Vec<SideRecord>) -> StudyResult<Record> {
+        let key = Self::key(hash);
+        self.journal.record(&key, sides)?;
+        let rec = self
+            .journal
+            .lookup(&key)
+            .expect("a just-recorded key is present");
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        lock(&self.mem).put(hash.0, rec.clone());
+        Ok(rec)
+    }
+
+    /// Memory-tier hits served.
+    pub fn mem_hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// Disk-tier hits served (each also promoted to memory).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits() + self.disk_hits()
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Results stored.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Records currently resident in the memory tier.
+    pub fn mem_len(&self) -> usize {
+        lock(&self.mem).map.len()
+    }
+
+    /// Distinct results durable on disk.
+    pub fn disk_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// On-disk records dropped at open because they failed CRC/parse.
+    pub fn corrupt_dropped(&self) -> usize {
+        self.journal.corrupt_records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxsim_machine::counters::Counters;
+    use paxsim_perfmon::stats::Summary;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("paxsim_serve_cache_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sides(tag: u64) -> Vec<SideRecord> {
+        vec![SideRecord {
+            bench: "ep".into(),
+            cycles: Summary::of(&[tag as f64, tag as f64 + 1.5]),
+            speedup: Summary::of(&[1.0]),
+            counters: Counters {
+                instructions: tag,
+                ..Counters::default()
+            },
+        }]
+    }
+
+    #[test]
+    fn miss_put_hit_roundtrip() {
+        let dir = tmp("roundtrip");
+        let c = ResultCache::open(&dir, 8).unwrap();
+        let h = ConfigHash(0xabc);
+        assert!(c.get(h).is_none());
+        assert_eq!(c.misses(), 1);
+        let stored = c.put(h, sides(7)).unwrap();
+        let hit = c.get(h).unwrap();
+        assert_eq!(hit.sides[0].counters.instructions, 7);
+        assert_eq!(
+            serde_json::to_string(&hit).unwrap(),
+            serde_json::to_string(&stored).unwrap(),
+            "hit must serve the exact stored record"
+        );
+        assert_eq!(c.mem_hits(), 1);
+        assert_eq!(c.disk_hits(), 0);
+    }
+
+    #[test]
+    fn disk_tier_survives_reopen_and_promotes() {
+        let dir = tmp("reopen");
+        let h = ConfigHash(0x11);
+        {
+            let c = ResultCache::open(&dir, 8).unwrap();
+            c.put(h, sides(3)).unwrap();
+        }
+        let c = ResultCache::open(&dir, 8).unwrap();
+        assert_eq!(c.mem_len(), 0, "memory tier starts cold");
+        assert_eq!(c.disk_len(), 1);
+        assert!(c.get(h).is_some());
+        assert_eq!(c.disk_hits(), 1);
+        // Promoted: the second lookup is a memory hit.
+        assert!(c.get(h).is_some());
+        assert_eq!(c.mem_hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_but_disk_retains() {
+        let dir = tmp("evict");
+        let c = ResultCache::open(&dir, 2).unwrap();
+        for i in 0..3u64 {
+            c.put(ConfigHash(i), sides(i)).unwrap();
+        }
+        assert_eq!(c.mem_len(), 2);
+        assert_eq!(c.disk_len(), 3);
+        // Key 0 was evicted from memory; it still hits via disk.
+        assert!(c.get(ConfigHash(0)).is_some());
+        assert_eq!(c.disk_hits(), 1);
+    }
+
+    #[test]
+    fn lru_touch_on_get_protects_hot_keys() {
+        let dir = tmp("touch");
+        let c = ResultCache::open(&dir, 2).unwrap();
+        c.put(ConfigHash(0), sides(0)).unwrap();
+        c.put(ConfigHash(1), sides(1)).unwrap();
+        c.get(ConfigHash(0)); // 0 is now hottest
+        c.put(ConfigHash(2), sides(2)).unwrap(); // evicts 1, not 0
+        let before = c.disk_hits();
+        assert!(c.get(ConfigHash(0)).is_some());
+        assert_eq!(c.disk_hits(), before, "0 must still be a memory hit");
+    }
+
+    #[test]
+    fn corrupt_disk_record_is_dropped_not_served() {
+        let dir = tmp("corrupt");
+        let h = ConfigHash(0xdead);
+        {
+            let c = ResultCache::open(&dir, 8).unwrap();
+            c.put(h, sides(9)).unwrap();
+        }
+        paxsim_core::faultinject::flip_bit(&dir.join(JOURNAL_FILE), 40).unwrap();
+        let c = ResultCache::open(&dir, 8).unwrap();
+        assert_eq!(c.corrupt_dropped(), 1);
+        assert!(c.get(h).is_none(), "corrupt record must read as a miss");
+        // A recompute appends a fresh record that serves again.
+        c.put(h, sides(10)).unwrap();
+        let c2 = ResultCache::open(&dir, 8).unwrap();
+        assert_eq!(c2.get(h).unwrap().sides[0].counters.instructions, 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # paxsim-serve
+//!
+//! A long-running simulation service over the paxsim experiment stack.
+//! Clients describe a simulation point — NAS kernel, problem class,
+//! Table 1 configuration (or a full machine model), trial count — as one
+//! line of JSON over TCP or a Unix socket; the daemon canonicalizes the
+//! request into a stable content hash ([`paxsim_core::hash`]) and answers
+//! from a two-tier content-addressed cache:
+//!
+//! * an in-memory LRU for the hot working set;
+//! * a CRC-checked on-disk journal (the same record format the resilient
+//!   sweep drivers checkpoint into), so results survive restarts and
+//!   corruption is *detected* — a bit-flipped entry recomputes, it is
+//!   never served.
+//!
+//! Misses are computed through the existing drivers on a shared
+//! [`TraceStore`](paxsim_core::store::TraceStore) and the bounded,
+//! panic-isolating [`pool`](paxsim_core::pool) executor. Identical
+//! concurrent requests collapse to one computation
+//! ([`Inflight`](paxsim_core::inflight::Inflight)); distinct requests pass
+//! an admission gate (bounded running set + bounded queue) and overload is
+//! a typed rejection, not a hung socket. `SIGTERM` drains gracefully:
+//! in-flight work finishes, the cache is already flushed per append, new
+//! work is refused.
+//!
+//! The wire protocol is documented in `DESIGN.md` §10; [`protocol`] is
+//! the single source of truth for parsing and rendering it.
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::ResultCache;
+pub use protocol::Request;
+pub use server::Server;
+pub use service::{ServeConfig, Service};

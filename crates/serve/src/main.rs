@@ -1,0 +1,155 @@
+//! The `paxsim-serve` daemon.
+//!
+//! ```text
+//! paxsim-serve [--tcp ADDR] [--unix PATH] [--cache DIR]
+//!              [--mem-cap N] [--max-running N] [--max-queue N]
+//!              [--deadline-ms N]
+//! ```
+//!
+//! Listens for newline-delimited JSON requests (protocol in DESIGN.md
+//! §10) until `SIGTERM`/`SIGINT`, then drains gracefully: in-flight work
+//! finishes, new computations are refused, and the process exits 0 once
+//! quiet. Fault injection via `PAXSIM_FAULTS` is honored exactly as in
+//! the sweep drivers — an injected cell panic is retried, never fatal to
+//! the daemon.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use paxsim_serve::{ServeConfig, Server, Service};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+fn install_term_handler() {
+    extern "C" {
+        // POSIX signal(2); declared directly so the daemon needs no
+        // external crate. Handler runs on the signal stack and only
+        // flips an atomic — async-signal-safe.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+struct Args {
+    tcp: Option<String>,
+    unix: Option<PathBuf>,
+    cfg: ServeConfig,
+    grace: Duration,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paxsim-serve [--tcp ADDR] [--unix PATH] [--cache DIR] \
+         [--mem-cap N] [--max-running N] [--max-queue N] [--deadline-ms N] \
+         [--grace-secs N]\n\
+         at least one of --tcp/--unix is required"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tcp: None,
+        unix: None,
+        cfg: ServeConfig::default(),
+        grace: Duration::from_secs(30),
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    let num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        value(it, flag).parse().unwrap_or_else(|_| {
+            eprintln!("{flag} needs a number");
+            usage()
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => args.tcp = Some(value(&mut it, "--tcp")),
+            "--unix" => args.unix = Some(PathBuf::from(value(&mut it, "--unix"))),
+            "--cache" => args.cfg.cache_dir = PathBuf::from(value(&mut it, "--cache")),
+            "--mem-cap" => args.cfg.mem_cap = num(&mut it, "--mem-cap") as usize,
+            "--max-running" => args.cfg.max_running = num(&mut it, "--max-running") as usize,
+            "--max-queue" => args.cfg.max_queue = num(&mut it, "--max-queue") as usize,
+            "--deadline-ms" => args.cfg.default_deadline_ms = Some(num(&mut it, "--deadline-ms")),
+            "--grace-secs" => args.grace = Duration::from_secs(num(&mut it, "--grace-secs")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if args.tcp.is_none() && args.unix.is_none() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    if paxsim_core::faultinject::init_from_env() {
+        eprintln!("paxsim-serve: PAXSIM_FAULTS plan active");
+    }
+    install_term_handler();
+    let service = match Service::open(args.cfg.clone()) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("paxsim-serve: cannot open cache: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start(service.clone(), args.tcp.as_deref(), args.unix.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("paxsim-serve: cannot listen: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        println!("paxsim-serve: listening on tcp {addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        println!("paxsim-serve: listening on unix {}", path.display());
+    }
+    println!(
+        "paxsim-serve: cache {} ({} on disk)",
+        args.cfg.cache_dir.display(),
+        service.cache().disk_len()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !TERM.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("paxsim-serve: term signal, draining…");
+    let drained = server.shutdown(args.grace);
+    eprintln!(
+        "paxsim-serve: {} (hits {} misses {} computed {})",
+        if drained {
+            "drained cleanly"
+        } else {
+            "grace period expired"
+        },
+        service.cache().hits(),
+        service.cache().misses(),
+        service.computed(),
+    );
+    std::process::exit(if drained { 0 } else { 1 });
+}

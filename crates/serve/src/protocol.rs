@@ -1,0 +1,298 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one reply per line; the connection stays open
+//! for any number of request/reply rounds. Requests are JSON objects
+//! dispatched on `"op"`:
+//!
+//! ```text
+//! {"op":"simulate","kernel":"ep","config":"CMP"}
+//! {"op":"simulate","kernel":"cg","config":"HT on -4-1","class":"T",
+//!  "trials":3,"jitter":2000,"schedule":"static","deadline_ms":30000,
+//!  "machine":{…full MachineConfig…}}
+//! {"op":"stats"}
+//! ```
+//!
+//! Unknown fields are rejected (a typo must not silently change the
+//! request's identity); omitted optional fields take the [`StudySpec`]
+//! defaults, so a request's content hash is the same whether defaults are
+//! spelled out or omitted. Replies are `{"ok":true,…}` or
+//! `{"ok":false,"error":"<category>","detail":"…"}` — categories are the
+//! closed set in [`error_category`] plus the service-level `overloaded`
+//! and `draining`.
+
+use paxsim_core::error::{StudyError, StudyResult};
+use paxsim_core::hash::{ConfigHash, StudySpec};
+use paxsim_core::journal::Record;
+use paxsim_machine::config::MachineConfig;
+use serde::{Serialize, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run (or serve from cache) one simulation point.
+    Simulate {
+        spec: Box<StudySpec>,
+        /// Per-request watchdog deadline for a cache miss's computation.
+        deadline_ms: Option<u64>,
+    },
+    /// Report daemon statistics.
+    Stats,
+}
+
+fn bad(field: &str, detail: impl Into<String>) -> StudyError {
+    StudyError::BadSpec {
+        field: field.to_string(),
+        detail: detail.into(),
+    }
+}
+
+fn str_field(v: &Value, key: &str) -> StudyResult<Option<String>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| bad(key, "must be a string")),
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> StudyResult<Option<u64>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(key, "must be a non-negative integer")),
+    }
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// [`StudyError::BadSpec`] naming the malformed field; the server maps
+/// this to a `bad-request` reply. Client input must never panic the
+/// daemon.
+pub fn parse_request(line: &str) -> StudyResult<Request> {
+    let v = serde_json::parse(line).map_err(|e| bad("request", format!("not JSON: {e}")))?;
+    let obj = match &v {
+        Value::Object(entries) => entries,
+        _ => return Err(bad("request", "must be a JSON object")),
+    };
+    let op = str_field(&v, "op")?.ok_or_else(|| bad("op", "missing (simulate or stats)"))?;
+    match op.as_str() {
+        "stats" => {
+            for (k, _) in obj {
+                if k != "op" {
+                    return Err(bad(k, "unknown field for op=stats"));
+                }
+            }
+            Ok(Request::Stats)
+        }
+        "simulate" => {
+            for (k, _) in obj {
+                match k.as_str() {
+                    "op" | "kernel" | "config" | "class" | "trials" | "jitter" | "schedule"
+                    | "machine" | "deadline_ms" => {}
+                    other => return Err(bad(other, "unknown field for op=simulate")),
+                }
+            }
+            let kernel = str_field(&v, "kernel")?.ok_or_else(|| bad("kernel", "missing"))?;
+            let config = str_field(&v, "config")?.ok_or_else(|| bad("config", "missing"))?;
+            let mut spec = StudySpec::new(&kernel, &config);
+            if let Some(class) = str_field(&v, "class")? {
+                spec.class = class;
+            }
+            if let Some(trials) = u64_field(&v, "trials")? {
+                spec.trials = trials as usize;
+            }
+            if let Some(jitter) = u64_field(&v, "jitter")? {
+                spec.jitter = jitter;
+            }
+            if let Some(schedule) = str_field(&v, "schedule")? {
+                spec.schedule = schedule;
+            }
+            if let Some(m) = v.get("machine") {
+                spec.machine = serde_json::from_value::<MachineConfig>(m)
+                    .map_err(|e| bad("machine", format!("not a full machine config: {e}")))?;
+            }
+            let deadline_ms = u64_field(&v, "deadline_ms")?;
+            Ok(Request::Simulate {
+                spec: Box::new(spec),
+                deadline_ms,
+            })
+        }
+        other => Err(bad("op", format!("unknown op `{other}`"))),
+    }
+}
+
+/// Render a successful simulation reply. Both the cold-miss and the
+/// cache-hit path call this with the *journal record* as the payload, so
+/// the two replies are byte-identical (the journal's JSON round-trip is
+/// bit-exact for every f64).
+pub fn render_result(hash: ConfigHash, spec: &StudySpec, record: &Record) -> String {
+    let v = Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("hash".to_string(), Value::String(hash.to_string())),
+        ("spec".to_string(), spec.to_value()),
+        ("result".to_string(), record.to_value()),
+    ]);
+    serde_json::to_string(&v).expect("value tree renders infallibly")
+}
+
+/// Render an error reply.
+pub fn render_error(category: &str, detail: &str) -> String {
+    let v = Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::String(category.to_string())),
+        ("detail".to_string(), Value::String(detail.to_string())),
+    ]);
+    serde_json::to_string(&v).expect("value tree renders infallibly")
+}
+
+/// The wire category for a computation-path error. Closed set:
+/// `bad-request`, `deadline`, `panic`, `build-failed`, `internal` (plus
+/// the service-level `overloaded` and `draining`).
+pub fn error_category(e: &StudyError) -> &'static str {
+    match e {
+        StudyError::BadSpec { .. } => "bad-request",
+        StudyError::CellTimedOut { .. } => "deadline",
+        StudyError::CellPanicked { .. } => "panic",
+        StudyError::BuildFailed { .. } => "build-failed",
+        StudyError::JournalIo { .. }
+        | StudyError::JournalCorrupt { .. }
+        | StudyError::Serialize { .. } => "internal",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_simulate_takes_defaults() {
+        let r = parse_request(r#"{"op":"simulate","kernel":"ep","config":"CMP"}"#).unwrap();
+        let Request::Simulate { spec, deadline_ms } = r else {
+            panic!("wrong op");
+        };
+        assert_eq!(*spec, StudySpec::new("ep", "CMP"));
+        assert_eq!(deadline_ms, None);
+        // Identity: defaults omitted == defaults spelled out.
+        let spelled = parse_request(
+            r#"{"op":"simulate","kernel":"ep","config":"CMP","class":"T",
+                "trials":1,"jitter":0,"schedule":"static"}"#,
+        )
+        .unwrap();
+        let Request::Simulate { spec: s2, .. } = spelled else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.content_hash(), s2.content_hash());
+    }
+
+    #[test]
+    fn full_simulate_roundtrips_every_field() {
+        let r = parse_request(
+            r#"{"op":"simulate","kernel":"cg","config":"CMT","class":"S",
+                "trials":4,"jitter":1500,"schedule":"dynamic,2","deadline_ms":9000}"#,
+        )
+        .unwrap();
+        let Request::Simulate { spec, deadline_ms } = r else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.kernel, "cg");
+        assert_eq!(spec.class, "S");
+        assert_eq!(spec.trials, 4);
+        assert_eq!(spec.jitter, 1500);
+        assert_eq!(spec.schedule, "dynamic,2");
+        assert_eq!(deadline_ms, Some(9000));
+    }
+
+    #[test]
+    fn machine_override_changes_identity() {
+        let mut m = MachineConfig::paxville_smp();
+        m.l2_lat += 5;
+        let line = format!(
+            r#"{{"op":"simulate","kernel":"ep","config":"CMP","machine":{}}}"#,
+            serde_json::to_string(&m).unwrap()
+        );
+        let Request::Simulate { spec, .. } = parse_request(&line).unwrap() else {
+            panic!("wrong op");
+        };
+        assert_eq!(spec.machine, m);
+        assert_ne!(
+            spec.content_hash(),
+            StudySpec::new("ep", "CMP").content_hash()
+        );
+    }
+
+    #[test]
+    fn malformed_requests_name_the_field() {
+        let field = |line: &str| match parse_request(line).unwrap_err() {
+            StudyError::BadSpec { field, .. } => field,
+            e => panic!("unexpected error {e}"),
+        };
+        assert_eq!(field("not json"), "request");
+        assert_eq!(field("[1,2]"), "request");
+        assert_eq!(field(r#"{"kernel":"ep"}"#), "op");
+        assert_eq!(field(r#"{"op":"fly"}"#), "op");
+        assert_eq!(field(r#"{"op":"simulate","config":"CMP"}"#), "kernel");
+        assert_eq!(field(r#"{"op":"simulate","kernel":"ep"}"#), "config");
+        assert_eq!(
+            field(r#"{"op":"simulate","kernel":"ep","config":"CMP","trials":"three"}"#),
+            "trials"
+        );
+        assert_eq!(
+            field(r#"{"op":"simulate","kernel":"ep","config":"CMP","kernell":"x"}"#),
+            "kernell"
+        );
+        assert_eq!(field(r#"{"op":"stats","extra":1}"#), "extra");
+        assert_eq!(
+            field(r#"{"op":"simulate","kernel":"ep","config":"CMP","machine":{"chips":2}}"#),
+            "machine"
+        );
+    }
+
+    #[test]
+    fn replies_are_wellformed_json() {
+        let rec = Record {
+            key: "serve|abc".into(),
+            sides: vec![],
+        };
+        let spec = StudySpec::new("ep", "CMP");
+        let ok = render_result(ConfigHash(0xfeed), &spec, &rec);
+        let v = serde_json::parse(&ok).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["hash"].as_str(), Some("000000000000feed"));
+        let err = render_error("overloaded", "queue full");
+        let v = serde_json::parse(&err).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"].as_str(), Some("overloaded"));
+        assert!(!ok.contains('\n') && !err.contains('\n'), "one line each");
+    }
+
+    #[test]
+    fn categories_cover_every_error() {
+        assert_eq!(
+            error_category(&StudyError::BadSpec {
+                field: "x".into(),
+                detail: String::new()
+            }),
+            "bad-request"
+        );
+        assert_eq!(
+            error_category(&StudyError::CellTimedOut {
+                index: 0,
+                elapsed_ms: 2,
+                deadline_ms: 1
+            }),
+            "deadline"
+        );
+        assert_eq!(
+            error_category(&StudyError::CellPanicked {
+                index: 0,
+                payload: String::new()
+            }),
+            "panic"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Socket front end: TCP and Unix-domain listeners, connection threads,
+//! and the graceful-drain state machine.
+//!
+//! ```text
+//! Running ──drain()──▶ Draining ──(in-flight = 0)──▶ Stopped
+//! ```
+//!
+//! * **Running** — both listeners accept; every request line is served.
+//! * **Draining** — listeners stop accepting (new connects are refused
+//!   by the closed socket), established connections keep their replies
+//!   coming but cache *misses* answer `{"error":"draining"}`; in-flight
+//!   computations run to completion and land in the cache.
+//! * **Stopped** — no request is mid-handle and no computation is
+//!   admitted; [`Server::shutdown`] returns and the process can exit
+//!   (closing any still-open idle connections). The on-disk cache needs
+//!   no final flush — the journal flushes every append.
+//!
+//! Accept loops poll non-blocking listeners so the drain flag is honored
+//! within one poll interval without any signal-handling dependency in
+//! the library layer (the daemon binary translates `SIGTERM` into
+//! [`Server::drain`]).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::service::Service;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A running daemon front end.
+pub struct Server {
+    service: Arc<Service>,
+    drain: Arc<AtomicBool>,
+    /// Request lines currently being handled (not idle connections).
+    active: Arc<AtomicUsize>,
+    accepters: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind the requested listeners and start accepting. At least one of
+    /// `tcp` (an address like `127.0.0.1:7077`; port 0 picks a free one)
+    /// or `unix` (a socket path, replaced if it already exists) must be
+    /// given.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures, or neither listener requested.
+    pub fn start(
+        service: Arc<Service>,
+        tcp: Option<&str>,
+        unix: Option<&Path>,
+    ) -> std::io::Result<Server> {
+        if tcp.is_none() && unix.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "need a TCP address or a Unix socket path to listen on",
+            ));
+        }
+        let drain = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut accepters = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let handler = handler_for::<TcpStream>(&service, &drain, &active);
+            let drain = drain.clone();
+            accepters.push(std::thread::spawn(move || {
+                accept_loop(&drain, || listener.accept().map(|(s, _)| s), handler);
+            }));
+        }
+        let mut unix_path = None;
+        if let Some(path) = unix {
+            // A stale socket file from a previous run refuses the bind.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.to_path_buf());
+            let handler = handler_for::<UnixStream>(&service, &drain, &active);
+            let drain = drain.clone();
+            accepters.push(std::thread::spawn(move || {
+                accept_loop(&drain, || listener.accept().map(|(s, _)| s), handler);
+            }));
+        }
+        Ok(Server {
+            service,
+            drain,
+            active,
+            accepters,
+            tcp_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address (with the actual port when 0 was requested).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path.
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// Enter the Draining state: stop accepting, refuse new computations,
+    /// let in-flight work finish.
+    pub fn drain(&self) {
+        self.service.set_draining();
+        self.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Request lines being handled right now.
+    pub fn active_requests(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Drain and wait (up to `grace`) for in-flight request lines and
+    /// admitted computations to finish, then reap the accept threads and
+    /// remove the Unix socket file. Returns `true` when everything
+    /// drained inside the grace period.
+    pub fn shutdown(self, grace: Duration) -> bool {
+        self.drain();
+        let deadline = Instant::now() + grace;
+        let drained = loop {
+            if self.active.load(Ordering::SeqCst) == 0 && self.service.busy() == 0 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        for h in self.accepters {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        drained
+    }
+}
+
+/// A `'static` per-connection handler owning its shared-state handles,
+/// cloneable once per accepted connection.
+fn handler_for<S: LineStream + TryCloneStream + Send + 'static>(
+    service: &Arc<Service>,
+    _drain: &Arc<AtomicBool>,
+    active: &Arc<AtomicUsize>,
+) -> impl Fn(S) + Send + Clone + 'static {
+    let (service, active) = (service.clone(), active.clone());
+    move |stream: S| serve_connection(stream, &service, &active)
+}
+
+/// Poll `accept` until the drain flag rises, spawning a handler thread
+/// per connection.
+fn accept_loop<S, A, H>(drain: &AtomicBool, accept: A, handle: H)
+where
+    S: Send + 'static,
+    A: Fn() -> std::io::Result<S>,
+    H: Fn(S) + Send + Clone + 'static,
+{
+    while !drain.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(stream) => {
+                let handle = handle.clone();
+                std::thread::spawn(move || handle(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+trait LineStream: std::io::Read + Write {
+    /// Bounded blocking so a silent client cannot pin the reader forever
+    /// once the daemon is told to exit.
+    fn set_timeout(&self, t: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl LineStream for TcpStream {
+    fn set_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(t)
+    }
+}
+
+impl LineStream for UnixStream {
+    fn set_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(t)
+    }
+}
+
+/// One connection: read request lines, write reply lines, until EOF (or
+/// process exit — draining never force-closes an established
+/// connection, so a client that sent a request before the drain always
+/// gets its reply).
+fn serve_connection<S: LineStream + TryCloneStream>(
+    stream: S,
+    service: &Service,
+    active: &AtomicUsize,
+) {
+    let _ = stream.set_timeout(Some(Duration::from_millis(200)));
+    let Ok(read_half) = stream.try_clone_stream() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF: client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let reply = service.handle_line(trimmed);
+                    let ok = writer
+                        .write_all(reply.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush());
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    if ok.is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll; `line` may hold a partial request the
+                // client is still typing — keep it and try again.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+trait TryCloneStream: Sized {
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+}
+
+impl TryCloneStream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+}
+
+impl TryCloneStream for UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+}

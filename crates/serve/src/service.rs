@@ -1,0 +1,628 @@
+//! Request handling: admission control, single-flight coalescing, the
+//! compute path, and daemon statistics.
+//!
+//! One [`Service`] is shared by every connection. A `simulate` request
+//! flows: parse → resolve/validate → content hash → cache lookup →
+//! (miss) drain check → admission gate → single-flight table → compute
+//! on the panic-isolating pool → cache put → reply. The serial baseline
+//! a parallel cell's speedup divides by is its *own* cached sub-request
+//! (hashed under the serial variant of the spec), fetched without
+//! re-entering the admission gate — a request that was admitted owns
+//! enough budget for its own denominator, and gating it again could
+//! deadlock a fully-loaded daemon.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use paxsim_core::error::{StudyError, StudyResult};
+use paxsim_core::hash::ResolvedSpec;
+use paxsim_core::inflight::Inflight;
+use paxsim_core::journal::{Record, SideRecord};
+use paxsim_core::pool::{self, CellPolicy};
+use paxsim_core::single::run_trials_with;
+use paxsim_core::store::{TraceKey, TraceStore};
+use paxsim_machine::sim::simulate;
+use paxsim_perfmon::stats::Summary;
+use serde::{Serialize, Value};
+
+use crate::cache::ResultCache;
+use crate::protocol::{self, Request};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory holding the on-disk cache tier.
+    pub cache_dir: std::path::PathBuf,
+    /// Memory-tier capacity in records.
+    pub mem_cap: usize,
+    /// Concurrent cache-miss computations admitted.
+    pub max_running: usize,
+    /// Computations allowed to queue behind the running set before the
+    /// daemon answers `overloaded`.
+    pub max_queue: usize,
+    /// Watchdog deadline applied to computations whose request did not
+    /// set `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            cache_dir: std::path::PathBuf::from("paxsim-serve-cache"),
+            mem_cap: 256,
+            max_running: cores,
+            max_queue: 2 * cores,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission gate.
+// ---------------------------------------------------------------------------
+
+struct GateState {
+    running: usize,
+    queued: usize,
+}
+
+/// Bounded running set plus bounded wait queue. Only cache-miss
+/// computations pass through here — hits and stats are always served.
+struct Gate {
+    max_running: usize,
+    max_queue: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+/// RAII running-set slot; dropping it wakes one queued waiter.
+struct Permit<'a>(&'a Gate);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        lock(&self.0.state).running -= 1;
+        self.0.cv.notify_one();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Gate {
+    fn new(max_running: usize, max_queue: usize) -> Gate {
+        Gate {
+            max_running: max_running.max(1),
+            max_queue,
+            state: Mutex::new(GateState {
+                running: 0,
+                queued: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claim a running slot, queueing if the running set is full.
+    /// Returns `Err((running, queued))` when the queue is also full.
+    fn admit(&self) -> Result<Permit<'_>, (usize, usize)> {
+        let mut s = lock(&self.state);
+        if s.running >= self.max_running {
+            if s.queued >= self.max_queue {
+                return Err((s.running, s.queued));
+            }
+            s.queued += 1;
+            while s.running >= self.max_running {
+                s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            }
+            s.queued -= 1;
+        }
+        s.running += 1;
+        Ok(Permit(self))
+    }
+
+    fn depth(&self) -> (usize, usize) {
+        let s = lock(&self.state);
+        (s.running, s.queued)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service.
+// ---------------------------------------------------------------------------
+
+/// How the admission gate disposed of a flight that never computed.
+/// Travels through the single-flight table so every rider of a rejected
+/// flight sees the same typed rejection.
+#[derive(Debug, Clone)]
+enum Gated {
+    Overloaded { running: usize, queued: usize },
+    Draining,
+}
+
+/// Everything a request touches, shared across connections.
+pub struct Service {
+    cfg: ServeConfig,
+    store: TraceStore,
+    cache: ResultCache,
+    /// Client-facing flights: one admission-gate pass per flight, shared
+    /// by every identical concurrent request.
+    inflight: Inflight<Result<Record, Gated>>,
+    /// Ungated flights for serial-baseline sub-requests. A separate
+    /// table: a gated flight can block in the admission queue, and a
+    /// permit-holding computation joining it there would deadlock.
+    sub_inflight: Inflight<Record>,
+    gate: Gate,
+    draining: AtomicBool,
+    started: Instant,
+    requests: AtomicU64,
+    computed: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_draining: AtomicU64,
+    /// Cold-miss compute latency in milliseconds, per kernel.
+    latencies: Mutex<HashMap<String, Vec<f64>>>,
+}
+
+impl Service {
+    /// Open the cache and stand the service up.
+    ///
+    /// # Errors
+    ///
+    /// Cache-journal I/O errors (unreadable directory, bad permissions).
+    pub fn open(cfg: ServeConfig) -> StudyResult<Service> {
+        let cache = ResultCache::open(&cfg.cache_dir, cfg.mem_cap)?;
+        let gate = Gate::new(cfg.max_running, cfg.max_queue);
+        Ok(Service {
+            cfg,
+            store: TraceStore::new(),
+            cache,
+            inflight: Inflight::new(),
+            sub_inflight: Inflight::new(),
+            gate,
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            latencies: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Handle one request line, returning one reply line (no trailing
+    /// newline). Never panics on client input.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match protocol::parse_request(line) {
+            Ok(Request::Stats) => self.stats_reply(),
+            Ok(Request::Simulate { spec, deadline_ms }) => {
+                let resolved = match spec.resolve() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return protocol::render_error(protocol::error_category(&e), &e.to_string())
+                    }
+                };
+                match self.simulate(&resolved, deadline_ms) {
+                    Ok(rec) => {
+                        protocol::render_result(resolved.content_hash(), &resolved.spec, &rec)
+                    }
+                    Err(Rejection::Overloaded { running, queued }) => protocol::render_error(
+                        "overloaded",
+                        &format!("{running} computations running, {queued} queued; try again"),
+                    ),
+                    Err(Rejection::Draining) => {
+                        protocol::render_error("draining", "daemon is shutting down")
+                    }
+                    Err(Rejection::Failed(e)) => {
+                        protocol::render_error(protocol::error_category(&e), &e.to_string())
+                    }
+                }
+            }
+            Err(e) => protocol::render_error(protocol::error_category(&e), &e.to_string()),
+        }
+    }
+
+    /// Serve one resolved simulation request: cache, then a coalesced
+    /// flight whose *leader* passes the drain check and admission gate —
+    /// identical concurrent requests cost one gate slot and one
+    /// computation no matter how many clients send them.
+    fn simulate(
+        &self,
+        resolved: &ResolvedSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<Record, Rejection> {
+        let hash = resolved.content_hash();
+        if let Some(rec) = self.cache.get(hash) {
+            return Ok(rec);
+        }
+        let (result, _flight) = self.inflight.run(hash.0, || {
+            // Double-check: a flight for this key may have landed (and
+            // cached) between the lookup above and this slot claim.
+            if let Some(rec) = self.cache.get(hash) {
+                return Ok(Ok(rec));
+            }
+            if self.draining() {
+                self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                return Ok(Err(Gated::Draining));
+            }
+            let _permit = match self.gate.admit() {
+                Ok(p) => p,
+                Err((running, queued)) => {
+                    self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Err(Gated::Overloaded { running, queued }));
+                }
+            };
+            self.compute_and_cache(resolved, deadline_ms).map(Ok)
+        });
+        match result {
+            Ok(Ok(rec)) => Ok(rec),
+            Ok(Err(Gated::Overloaded { running, queued })) => {
+                Err(Rejection::Overloaded { running, queued })
+            }
+            Ok(Err(Gated::Draining)) => Err(Rejection::Draining),
+            Err(e) => Err(Rejection::Failed(e)),
+        }
+    }
+
+    /// The serial-baseline sub-request: cache-or-compute with its own
+    /// single-flight table and *no* admission gate — the parallel
+    /// computation asking for it already owns a permit, and its budget
+    /// covers the denominator.
+    fn fetch_baseline(&self, resolved: &ResolvedSpec) -> StudyResult<Record> {
+        let hash = resolved.content_hash();
+        if let Some(rec) = self.cache.get(hash) {
+            return Ok(rec);
+        }
+        let (result, _flight) = self.sub_inflight.run(hash.0, || {
+            if let Some(rec) = self.cache.get(hash) {
+                return Ok(rec);
+            }
+            self.compute_and_cache(resolved, None)
+        });
+        result
+    }
+
+    /// Compute, store, and account one cold miss.
+    fn compute_and_cache(
+        &self,
+        resolved: &ResolvedSpec,
+        deadline_ms: Option<u64>,
+    ) -> StudyResult<Record> {
+        let t0 = Instant::now();
+        let sides = self.compute(resolved, deadline_ms)?;
+        let rec = self.cache.put(resolved.content_hash(), sides)?;
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        lock(&self.latencies)
+            .entry(resolved.spec.kernel.clone())
+            .or_default()
+            .push(t0.elapsed().as_secs_f64() * 1e3);
+        Ok(rec)
+    }
+
+    /// Run the simulation behind a one-cell fault-isolated sweep: a
+    /// panicking engine cell (injected or real) is caught and retried
+    /// with backoff instead of killing the connection thread, and the
+    /// watchdog deadline turns a runaway cell into a typed `deadline`
+    /// error.
+    fn compute(
+        &self,
+        resolved: &ResolvedSpec,
+        deadline_ms: Option<u64>,
+    ) -> StudyResult<Vec<SideRecord>> {
+        let policy = CellPolicy {
+            deadline: deadline_ms
+                .or(self.cfg.default_deadline_ms)
+                .map(Duration::from_millis),
+            ..CellPolicy::default()
+        };
+        let mut sweep = pool::map_indexed_isolated(1, &policy, |_| self.compute_cell(resolved));
+        sweep.results.pop().expect("one-cell sweep has one result")
+    }
+
+    /// The actual simulation: trace build (shared store), trials, and —
+    /// for parallel configurations — the serial-baseline sub-request that
+    /// the speedup divides by.
+    fn compute_cell(&self, resolved: &ResolvedSpec) -> StudyResult<Vec<SideRecord>> {
+        let opts = resolved.options();
+        let trace = self.store.try_get(TraceKey {
+            kernel: resolved.kernel,
+            class: resolved.class,
+            nthreads: resolved.config.threads,
+            schedule: resolved.schedule,
+        })?;
+        let (cycles, counters) = run_trials_with(&opts, &trace, &resolved.config, &|jobs| {
+            simulate(&opts.machine, jobs)
+        });
+        let speedups: Vec<f64> = if resolved.config.threads == 1 && resolved.config.group == 0 {
+            vec![1.0; opts.trials]
+        } else {
+            let serial = resolved.serial_variant().resolve()?;
+            let base = self.fetch_baseline(&serial)?;
+            let base_mean = base.sides[0].cycles.mean;
+            cycles.iter().map(|&c| base_mean / c).collect()
+        };
+        Ok(vec![SideRecord {
+            bench: resolved.spec.kernel.clone(),
+            cycles: Summary::of(&cycles),
+            speedup: Summary::of(&speedups),
+            counters,
+        }])
+    }
+
+    /// Render the `stats` reply.
+    fn stats_reply(&self) -> String {
+        let (running, queued) = self.gate.depth();
+        let latency: Vec<(String, Value)> = {
+            let lat = lock(&self.latencies);
+            let mut kernels: Vec<&String> = lat.keys().collect();
+            kernels.sort();
+            kernels
+                .into_iter()
+                .map(|k| (k.clone(), Summary::of(&lat[k]).to_value()))
+                .collect()
+        };
+        let obj = |entries: Vec<(&str, Value)>| {
+            Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let v = obj(vec![
+            ("ok", Value::Bool(true)),
+            (
+                "uptime_ms",
+                Value::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "requests",
+                Value::UInt(self.requests.load(Ordering::Relaxed)),
+            ),
+            ("draining", Value::Bool(self.draining())),
+            (
+                "cache",
+                obj(vec![
+                    ("mem_hits", Value::UInt(self.cache.mem_hits())),
+                    ("disk_hits", Value::UInt(self.cache.disk_hits())),
+                    ("misses", Value::UInt(self.cache.misses())),
+                    ("entries_mem", Value::UInt(self.cache.mem_len() as u64)),
+                    ("entries_disk", Value::UInt(self.cache.disk_len() as u64)),
+                    (
+                        "corrupt_dropped",
+                        Value::UInt(self.cache.corrupt_dropped() as u64),
+                    ),
+                ]),
+            ),
+            (
+                "inflight",
+                obj(vec![
+                    ("current", Value::UInt(self.inflight.in_flight() as u64)),
+                    ("led", Value::UInt(self.inflight.led())),
+                    ("joined", Value::UInt(self.inflight.joined())),
+                ]),
+            ),
+            (
+                "admission",
+                obj(vec![
+                    ("running", Value::UInt(running as u64)),
+                    ("queued", Value::UInt(queued as u64)),
+                    ("max_running", Value::UInt(self.cfg.max_running as u64)),
+                    ("max_queue", Value::UInt(self.cfg.max_queue as u64)),
+                    (
+                        "rejected_overload",
+                        Value::UInt(self.rejected_overload.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "rejected_draining",
+                        Value::UInt(self.rejected_draining.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "computed",
+                Value::UInt(self.computed.load(Ordering::Relaxed)),
+            ),
+            ("traces_built", Value::UInt(self.store.builds())),
+            ("latency_ms", Value::Object(latency)),
+        ]);
+        serde_json::to_string(&v).expect("value tree renders infallibly")
+    }
+
+    /// Stop admitting new computations (cache hits and stats still
+    /// serve). The journal flushes per append, so no separate cache
+    /// flush is needed.
+    pub fn set_draining(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Computations currently admitted (running or queued).
+    pub fn busy(&self) -> usize {
+        let (running, queued) = self.gate.depth();
+        running + queued
+    }
+
+    /// Cold-miss computations performed.
+    pub fn computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// The shared trace store (its `builds()` counter lets tests prove a
+    /// cache hit did zero engine work).
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// The result cache (hit/miss counters).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+}
+
+enum Rejection {
+    Overloaded { running: usize, queued: usize },
+    Draining,
+    Failed(StudyError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::Barrier;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("paxsim_serve_service_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn service(name: &str) -> Service {
+        Service::open(ServeConfig {
+            cache_dir: tmp(name),
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    const EP_CMP: &str = r#"{"op":"simulate","kernel":"ep","config":"CMP"}"#;
+
+    #[test]
+    fn miss_then_hit_is_byte_identical_with_no_new_engine_work() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("hit");
+        let cold = s.handle_line(EP_CMP);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        let builds = s.store().builds();
+        let computed = s.computed();
+        let hot = s.handle_line(EP_CMP);
+        assert_eq!(cold, hot, "cache hit must be byte-identical");
+        assert_eq!(s.store().builds(), builds, "hit built no traces");
+        assert_eq!(s.computed(), computed, "hit computed nothing");
+        assert!(s.cache().hits() >= 1);
+    }
+
+    #[test]
+    fn speedup_agrees_with_the_single_program_driver() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("parity");
+        let reply = s.handle_line(EP_CMP);
+        let v = serde_json::parse(&reply).unwrap();
+        let served = v["result"]["sides"][0]["speedup"]["mean"].as_f64().unwrap();
+        let opts = paxsim_core::study::StudyOptions::quick()
+            .with_benchmarks(vec![paxsim_nas::KernelId::Ep]);
+        let study =
+            paxsim_core::single::run_single_program(&opts, &paxsim_core::store::TraceStore::new());
+        let reference = study
+            .cell(paxsim_nas::KernelId::Ep, "CMP")
+            .unwrap()
+            .speedup
+            .mean;
+        assert_eq!(served, reference, "serve path must match the driver");
+    }
+
+    #[test]
+    fn serial_request_serves_unit_speedup_and_seeds_the_baseline() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("serial");
+        let reply = s.handle_line(r#"{"op":"simulate","kernel":"ep","config":"Serial"}"#);
+        let v = serde_json::parse(&reply).unwrap();
+        assert_eq!(
+            v["result"]["sides"][0]["speedup"]["mean"].as_f64(),
+            Some(1.0)
+        );
+        // The parallel request's denominator is now a cache hit: exactly
+        // one more computation happens, not two.
+        let computed = s.computed();
+        s.handle_line(EP_CMP);
+        assert_eq!(s.computed(), computed + 1);
+    }
+
+    #[test]
+    fn draining_refuses_misses_but_serves_hits_and_stats() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("drain");
+        let cold = s.handle_line(EP_CMP);
+        s.set_draining();
+        let hit = s.handle_line(EP_CMP);
+        assert_eq!(cold, hit, "hits still serve while draining");
+        let miss = s.handle_line(r#"{"op":"simulate","kernel":"cg","config":"CMP"}"#);
+        assert!(miss.contains("\"error\":\"draining\""), "{miss}");
+        let stats = s.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"draining\":true"), "{stats}");
+    }
+
+    #[test]
+    fn bad_requests_are_typed_not_fatal() {
+        let s = service("bad");
+        let r = s.handle_line(r#"{"op":"simulate","kernel":"zz","config":"CMP"}"#);
+        assert!(r.contains("\"error\":\"bad-request\""), "{r}");
+        assert!(r.contains("zz"), "{r}");
+        let r = s.handle_line("garbage");
+        assert!(r.contains("\"error\":\"bad-request\""), "{r}");
+    }
+
+    #[test]
+    fn gate_admits_bounded_and_rejects_typed() {
+        let g = Gate::new(1, 1);
+        let p0 = g.admit().unwrap();
+        // Running set full, queue empty: a queued waiter blocks, so test
+        // the reject path by filling the queue from another thread that
+        // never gets the slot until we drop p0.
+        let gate = &g;
+        let queued = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let qref = &queued;
+            let h = scope.spawn(move || {
+                qref.wait();
+                let _p = gate.admit().unwrap(); // queues, then runs
+            });
+            queued.wait();
+            // Wait for the spawned thread to be *queued*.
+            while gate.depth().1 == 0 {
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                gate.admit().err(),
+                Some((1, 1)),
+                "running and queue both full must reject"
+            );
+            drop(p0);
+            h.join().unwrap();
+        });
+        assert_eq!(g.depth(), (0, 0), "permits all returned");
+    }
+
+    #[test]
+    fn injected_cell_panic_is_retried_not_fatal() {
+        // One injected panic on the compute cell: the isolation layer
+        // retries and the client still gets a result.
+        paxsim_core::faultinject::with_plan("cell-panic:0:1", || {
+            let s = service("fault");
+            let r = s.handle_line(EP_CMP);
+            assert!(r.contains("\"ok\":true"), "{r}");
+        });
+    }
+
+    #[test]
+    fn deadline_maps_to_typed_reply() {
+        // A 1 ms deadline with an injected 60 ms stall: the watchdog
+        // flags the cell and the client sees a `deadline` error.
+        paxsim_core::faultinject::with_plan("cell-slow:0:60:1", || {
+            let s = service("deadline");
+            let r =
+                s.handle_line(r#"{"op":"simulate","kernel":"ep","config":"CMP","deadline_ms":1}"#);
+            assert!(r.contains("\"error\":\"deadline\""), "{r}");
+        });
+    }
+}

@@ -1,0 +1,268 @@
+//! End-to-end loopback tests: a real [`Server`] on real sockets, driven
+//! by concurrent TCP/Unix clients, proving the serving tentpole's four
+//! contracts — coalescing, byte-identical cache hits, typed overload +
+//! graceful drain, and corruption-triggered recompute.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use paxsim_serve::{ServeConfig, Server, Service};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("paxsim_serve_loopback")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(name: &str, cfg_mod: impl FnOnce(&mut ServeConfig)) -> (Arc<Service>, Server) {
+    let mut cfg = ServeConfig {
+        cache_dir: tmp(name),
+        ..ServeConfig::default()
+    };
+    cfg_mod(&mut cfg);
+    let service = Arc::new(Service::open(cfg).unwrap());
+    let server = Server::start(service.clone(), Some("127.0.0.1:0"), None).unwrap();
+    (service, server)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        assert!(reply.ends_with('\n'), "reply not terminated: {reply:?}");
+        reply.trim_end().to_string()
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn wait_until(what: &str, deadline: Duration, cond: impl Fn() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+const EP_CMP: &str = r#"{"op":"simulate","kernel":"ep","config":"CMP"}"#;
+
+#[test]
+fn concurrent_identical_requests_compute_exactly_once() {
+    let _quiet = paxsim_core::faultinject::quiesced();
+    let (service, server) = start("coalesce", |_| {});
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let server = &server;
+                scope.spawn(move || Client::connect(server).roundtrip(EP_CMP))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &replies {
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert_eq!(r, &replies[0], "coalesced replies must be identical");
+    }
+    // Exactly two computations happened: the request itself plus its
+    // serial-baseline sub-request — once each, despite four clients.
+    assert_eq!(service.computed(), 2);
+    // Two distinct traces built (1-thread serial, 2-thread CMP).
+    assert_eq!(service.store().builds(), 2);
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
+fn cache_hit_is_byte_identical_and_does_no_engine_work() {
+    let _quiet = paxsim_core::faultinject::quiesced();
+    let (service, server) = start("hit", |_| {});
+    let mut client = Client::connect(&server);
+    let cold = client.roundtrip(EP_CMP);
+    assert!(cold.contains("\"ok\":true"), "{cold}");
+    let builds = service.store().builds();
+    let computed = service.computed();
+    let hot = client.roundtrip(EP_CMP);
+    assert_eq!(cold, hot, "hit must be byte-identical to the cold miss");
+    assert_eq!(service.store().builds(), builds, "hit built zero traces");
+    assert_eq!(service.computed(), computed, "hit ran zero engine cells");
+    assert!(service.cache().hits() >= 1, "hit counter must increment");
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
+fn overload_rejects_typed_and_drain_finishes_in_flight() {
+    // One running slot, zero queue slots; the first computation is
+    // stalled 400 ms by an injected slow fault so the second distinct
+    // request meets a full daemon.
+    paxsim_core::faultinject::with_plan("cell-slow:0:400:1", || {
+        let (service, server) = start("overload", |cfg| {
+            cfg.max_running = 1;
+            cfg.max_queue = 0;
+        });
+        let mut slow = Client::connect(&server);
+        let mut fast = Client::connect(&server);
+        let mut late = Client::connect(&server);
+        slow.send(EP_CMP);
+        wait_until("slow request admitted", Duration::from_secs(5), || {
+            service.busy() > 0
+        });
+        let rejected = fast.roundtrip(r#"{"op":"simulate","kernel":"cg","config":"CMP"}"#);
+        assert!(
+            rejected.contains("\"error\":\"overloaded\""),
+            "full daemon must reject typed: {rejected}"
+        );
+        // Drain while the slow computation is still in flight: it must
+        // finish and reply; new misses must be refused.
+        server.drain();
+        let slow_reply = slow.recv();
+        assert!(
+            slow_reply.contains("\"ok\":true"),
+            "in-flight work must finish during drain: {slow_reply}"
+        );
+        let refused = late.roundtrip(r#"{"op":"simulate","kernel":"is","config":"CMP"}"#);
+        assert!(
+            refused.contains("\"error\":\"draining\""),
+            "draining daemon must refuse new work: {refused}"
+        );
+        let stats = late.roundtrip(r#"{"op":"stats"}"#);
+        assert!(stats.contains("\"draining\":true"), "{stats}");
+        assert!(stats.contains("\"rejected_overload\":1"), "{stats}");
+        assert!(
+            server.shutdown(Duration::from_secs(10)),
+            "drain must reach quiescence"
+        );
+    });
+}
+
+#[test]
+fn bitflipped_disk_entry_is_recomputed_not_served() {
+    let _quiet = paxsim_core::faultinject::quiesced();
+    let dir = tmp("bitflip");
+    let journal = dir.join(paxsim_serve::cache::JOURNAL_FILE);
+    let cold = {
+        let service = Arc::new(
+            Service::open(ServeConfig {
+                cache_dir: dir.clone(),
+                ..ServeConfig::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::start(service.clone(), Some("127.0.0.1:0"), None).unwrap();
+        let cold = Client::connect(&server).roundtrip(EP_CMP);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        assert!(server.shutdown(Duration::from_secs(10)));
+        cold
+    };
+    // Corrupt the *parallel* record (the last journal line); the serial
+    // baseline record stays intact.
+    let data = std::fs::read(&journal).unwrap();
+    let body = std::str::from_utf8(&data).unwrap().trim_end();
+    let last_line_start = body.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    paxsim_core::faultinject::flip_bit(&journal, last_line_start as u64 + 40).unwrap();
+    // Restart over the corrupted cache.
+    let service = Arc::new(
+        Service::open(ServeConfig {
+            cache_dir: dir,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    assert_eq!(
+        service.cache().corrupt_dropped(),
+        1,
+        "CRC must catch the flipped bit"
+    );
+    let server = Server::start(service.clone(), Some("127.0.0.1:0"), None).unwrap();
+    let recomputed = Client::connect(&server).roundtrip(EP_CMP);
+    assert_eq!(
+        recomputed, cold,
+        "recomputed result must match the original, never the corrupt record"
+    );
+    assert_eq!(
+        service.computed(),
+        1,
+        "exactly the corrupted cell recomputes"
+    );
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
+fn injected_cell_panic_does_not_drop_other_clients() {
+    paxsim_core::faultinject::with_plan("cell-panic:0:1", || {
+        let (_service, server) = start("panic", |_| {});
+        let kernels = ["ep", "cg", "is"];
+        let replies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = kernels
+                .iter()
+                .map(|k| {
+                    let server = &server;
+                    let line =
+                        format!(r#"{{"op":"simulate","kernel":"{k}","config":"HT on -2-1"}}"#);
+                    scope.spawn(move || Client::connect(server).roundtrip(&line))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (k, r) in kernels.iter().zip(&replies) {
+            assert!(
+                r.contains("\"ok\":true"),
+                "{k} client must survive the injected panic: {r}"
+            );
+        }
+        assert!(server.shutdown(Duration::from_secs(10)));
+    });
+}
+
+#[test]
+fn unix_socket_serves_the_same_protocol() {
+    let _quiet = paxsim_core::faultinject::quiesced();
+    let dir = tmp("unix");
+    let sock = dir.join("serve.sock");
+    std::fs::create_dir_all(&dir).unwrap();
+    let service = Arc::new(
+        Service::open(ServeConfig {
+            cache_dir: dir.join("cache"),
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let server = Server::start(service.clone(), None, Some(&sock)).unwrap();
+    let stream = std::os::unix::net::UnixStream::connect(&sock).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer.write_all(EP_CMP.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert!(server.shutdown(Duration::from_secs(10)));
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}

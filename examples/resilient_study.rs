@@ -47,9 +47,13 @@ fn main() {
     out.push_str(&table2_text(&single.study));
     out.push_str(&headlines_text(&headlines(&single.study)));
     out.push_str(&fig4_text(&multi.study));
-    out.push_str(&serde_json::to_string(&single_to_json(&single.study)).expect("single json"));
+    let single_json =
+        single_to_json(&single.study).unwrap_or_else(|e| panic!("single-program report: {e}"));
+    let multi_json =
+        multi_to_json(&multi.study).unwrap_or_else(|e| panic!("multi-program report: {e}"));
+    out.push_str(&serde_json::to_string(&single_json).expect("single json"));
     out.push('\n');
-    out.push_str(&serde_json::to_string(&multi_to_json(&multi.study)).expect("multi json"));
+    out.push_str(&serde_json::to_string(&multi_json).expect("multi json"));
     out.push('\n');
     if let Err(e) = std::fs::write(&report, &out) {
         panic!("writing report to {report}: {e}");
