@@ -64,12 +64,38 @@ echo "$STATS" | grep -q '"mem_hits":1' || {
     echo "hit counter did not increment: $STATS"
     exit 1
 }
+# Observability smoke: the daemon runs obs-on by default; a metrics
+# scrape must be Prometheus exposition text with a healthy series count,
+# and the request counter must be monotonic across scrapes.
+SCRAPE1=$("$CLI" --unix "$SERVE_SOCK" metrics)
+"$CLI" --unix "$SERVE_SOCK" simulate --kernel cg --config CMP > /dev/null
+SCRAPE2=$("$CLI" --unix "$SERVE_SOCK" metrics)
+SERIES=$(printf '%s\n' "$SCRAPE2" | grep -cv '^#')
+[ "$SERIES" -ge 20 ] || {
+    echo "metrics scrape too thin ($SERIES series):"
+    printf '%s\n' "$SCRAPE2"
+    exit 1
+}
+REQ1=$(printf '%s\n' "$SCRAPE1" | awk '$1 == "paxsim_serve_requests_total" { print $2 }')
+REQ2=$(printf '%s\n' "$SCRAPE2" | awk '$1 == "paxsim_serve_requests_total" { print $2 }')
+{ [ -n "$REQ1" ] && [ -n "$REQ2" ] && [ "$REQ2" -gt "$REQ1" ]; } || {
+    echo "paxsim_serve_requests_total not monotonic: '$REQ1' -> '$REQ2'"
+    exit 1
+}
+echo "obs smoke passed: $SERIES series, requests_total $REQ1 -> $REQ2"
 # SIGTERM must drain gracefully: exit 0, socket file removed.
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 SERVE_PID=""
 [ ! -e "$SERVE_SOCK" ] || { echo "socket file not removed on drain"; exit 1; }
 echo "serve smoke passed: byte-identical hit, counted, clean SIGTERM drain"
+
+echo "== differential drift check with observability hooks live =="
+# The whole-engine differential suite again, but with the obs layer (and
+# its per-region profiling hooks) enabled from process start: the fast
+# and reference engines must stay bit-identical with instrumentation on.
+PAXSIM_OBS=1 cargo test -q -p paxsim-core --release --test differential
+PAXSIM_OBS=1 cargo test -q -p paxsim-core --release --test obs_determinism
 
 echo "== engine throughput (quick, zero-drift check, memoization on) =="
 PAXSIM_BENCH_QUICK=1 cargo bench -p paxsim-bench --bench engine_throughput

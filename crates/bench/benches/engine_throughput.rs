@@ -83,7 +83,7 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     )
 }
 
-fn write_report(rows: &[Row], sweep_ms: Option<f64>) {
+fn write_report(rows: &[Row], sweep_ms: Option<f64>, obs_overhead: f64) {
     let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
     let workloads = Value::Array(
         rows.iter()
@@ -127,6 +127,10 @@ fn write_report(rows: &[Row], sweep_ms: Option<f64>) {
             ),
         ),
         ("geomean_speedup", Value::Float(geomean)),
+        // Fast engine with the obs layer enabled vs disabled (geomean
+        // wall-time ratio): the span/counter/profiling hooks must stay
+        // under a 3% tax.
+        ("obs_overhead", Value::Float(obs_overhead)),
         ("workloads", workloads),
     ];
     if let Some(ms) = sweep_ms {
@@ -210,6 +214,68 @@ fn bench(c: &mut Criterion) {
         rows.push(row);
     }
 
+    // Observability overhead: the metrics/span/profiling hooks must be
+    // effectively free on the engine hot path. Same fast engine, obs off
+    // vs on; outcomes are asserted bit-identical (the determinism
+    // contract) and the geomean slowdown is bounded — <3% in full mode.
+    // Quick mode keeps the drift check but only gates against gross
+    // pathology: CI hosts run this alongside the rest of the gate, and
+    // few-ms medians there jitter past any tight bound.
+    let mut obs_ratios = Vec::new();
+    for (kernel, cfg_name, jitter) in [
+        (KernelId::Cg, "HT off -4-2", 250),
+        (KernelId::Cg, "HT off -4-2", 0),
+    ] {
+        let cfg = config_by_name(cfg_name).unwrap();
+        let t = trace(&store, kernel, class, cfg.threads);
+        let spec = || {
+            let s = JobSpec::pinned(t.clone(), cfg.contexts.clone());
+            vec![if jitter > 0 {
+                s.with_jitter(jitter, 7)
+            } else {
+                s
+            }]
+        };
+        // Interleaved off/on pairs: host frequency and thermal drift on
+        // these few-ms workloads dwarfs the hooks' cost, and a
+        // sequential off-block/on-block measurement absorbs that drift
+        // straight into the ratio.
+        let obs_samples = if quick { 7 } else { 15 };
+        let mut offs = Vec::with_capacity(obs_samples);
+        let mut ons = Vec::with_capacity(obs_samples);
+        let mut pair = None;
+        simulate(&machine, spec()); // warmup
+        for _ in 0..obs_samples {
+            paxsim_obs::set_enabled(false);
+            let t0 = Instant::now();
+            let off_out = simulate(&machine, spec());
+            offs.push(t0.elapsed());
+            paxsim_obs::set_enabled(true);
+            let t0 = Instant::now();
+            let on_out = simulate(&machine, spec());
+            ons.push(t0.elapsed());
+            pair = Some((off_out, on_out));
+        }
+        paxsim_obs::set_enabled(false);
+        let (off_out, on_out) = pair.expect("at least one sample pair");
+        assert_no_drift(
+            &on_out,
+            &off_out,
+            &format!("{kernel}/{cfg_name} obs on vs off"),
+        );
+        offs.sort();
+        ons.sort();
+        obs_ratios.push(ons[ons.len() / 2].as_secs_f64() / offs[offs.len() / 2].as_secs_f64());
+    }
+    let obs_overhead =
+        (obs_ratios.iter().map(|r| r.ln()).sum::<f64>() / obs_ratios.len() as f64).exp();
+    println!("obs overhead: geomean {obs_overhead:.4}x (hooks enabled vs disabled)");
+    let obs_bound = if quick { 1.5 } else { 1.03 };
+    assert!(
+        obs_overhead < obs_bound,
+        "obs hooks slowed the engine {obs_overhead:.3}x (bound {obs_bound}x)"
+    );
+
     // A fig5-shaped sweep through the bounded pool (fast path only — the
     // sweep drivers have no reference variant; drift is already excluded
     // above and by the differential tests).
@@ -236,7 +302,7 @@ fn bench(c: &mut Criterion) {
     if quick {
         println!("quick mode: BENCH_engine.json left untouched");
     } else {
-        write_report(&rows, sweep_ms);
+        write_report(&rows, sweep_ms, obs_overhead);
     }
 
     let mut g = c.benchmark_group("engine_throughput");

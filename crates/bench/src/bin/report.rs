@@ -6,6 +6,12 @@
 //! SECTION ∈ { table1, platform, fig2, fig3, table2, headlines,
 //!             efficiency, phases, fig4, fig5, all }        (default: all)
 //! ```
+//!
+//! One extra section is opt-in only (never part of `all`): `profile`
+//! turns the observability layer on and prints per-region
+//! cycle/instruction/stall attribution from the engine's profiling
+//! hooks (`report profile --class S`); `--json DIR` also writes
+//! `profile.json`.
 
 use std::io::Write;
 
@@ -86,6 +92,73 @@ fn write_json(
             std::process::exit(1);
         }
     }
+}
+
+/// Render one benchmark's per-region attribution table.
+fn profile_text(title: &str, rows: &[paxsim_machine::profile::RegionRow]) -> String {
+    let total: u64 = rows.iter().map(|r| r.cycles()).sum();
+    let mut out = format!(
+        "Per-region attribution: {title}\n\
+         {:<16} {:>5} {:>7} {:>14} {:>6} {:>14} {:>6} {:>7}\n",
+        "region", "runs", "replays", "cycles", "%cyc", "instructions", "cpi", "%stall"
+    );
+    for r in rows {
+        let cycles = r.cycles();
+        let active = r.counters.ticks_active();
+        out.push_str(&format!(
+            "{:<16} {:>5} {:>7} {:>14} {:>5.1}% {:>14} {:>6.2} {:>6.1}%\n",
+            r.label,
+            r.executions,
+            r.memo_replays,
+            cycles,
+            100.0 * cycles as f64 / total.max(1) as f64,
+            r.counters.instructions,
+            cycles as f64 / (r.counters.instructions.max(1)) as f64,
+            100.0 * r.counters.ticks_stall() as f64 / active.max(1) as f64,
+        ));
+    }
+    out.push_str(&format!(
+        "{:<16} {:>5} {:>7} {:>14}\n",
+        "total", "", "", total
+    ));
+    out
+}
+
+/// The same attribution as a JSON tree for `--json DIR`.
+fn profile_json(
+    sections: &[(String, Vec<paxsim_machine::profile::RegionRow>)],
+) -> serde_json::Value {
+    use serde_json::Value;
+    Value::Object(
+        sections
+            .iter()
+            .map(|(bench, rows)| {
+                (
+                    bench.clone(),
+                    Value::Array(
+                        rows.iter()
+                            .map(|r| {
+                                Value::Object(vec![
+                                    ("label".to_string(), Value::String(r.label.clone())),
+                                    ("executions".to_string(), Value::UInt(r.executions)),
+                                    ("memo_replays".to_string(), Value::UInt(r.memo_replays)),
+                                    ("cycles".to_string(), Value::UInt(r.cycles())),
+                                    (
+                                        "instructions".to_string(),
+                                        Value::UInt(r.counters.instructions),
+                                    ),
+                                    (
+                                        "ticks_stall".to_string(),
+                                        Value::UInt(r.counters.ticks_stall()),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    )
 }
 
 fn main() {
@@ -191,6 +264,35 @@ fn main() {
                 phases_text(&format!("{bench} on {}", cfg.name), &out.jobs[0], 6)
             );
         }
+    }
+
+    // Explicit opt-in only: `all` must not silently flip the obs layer on.
+    if args.sections.iter().any(|s| s == "profile") {
+        use paxsim_machine::sim::{simulate, JobSpec};
+        use paxsim_omp::schedule::Schedule;
+        paxsim_obs::set_enabled(true);
+        let cfg = config_by_name("CMP-based SMP").unwrap();
+        let mut sections: Vec<(String, Vec<paxsim_machine::profile::RegionRow>)> = Vec::new();
+        for bench in &opts.benchmarks {
+            let trace = store.get(TraceKey {
+                kernel: *bench,
+                class: opts.class,
+                nthreads: cfg.threads,
+                schedule: Schedule::Static,
+            });
+            let _ = simulate(
+                &opts.machine,
+                vec![JobSpec::pinned(trace, cfg.contexts.clone())],
+            );
+            let rows = paxsim_machine::profile::take_last_run()
+                .expect("a profiled run publishes its region rows");
+            println!(
+                "{}",
+                profile_text(&format!("{bench} on {}", cfg.name), &rows)
+            );
+            sections.push((bench.to_string(), rows));
+        }
+        write_json(&args.json_dir, "profile", Ok(profile_json(&sections)));
     }
 
     if want(&args, "fig4") {

@@ -100,10 +100,14 @@ impl<V: Clone> Inflight<V> {
                         cv: Condvar::new(),
                     });
                     map.insert(key, slot.clone());
+                    // Count the led flight while still holding the map
+                    // lock: joiners bump `joined` under this same lock, so
+                    // a concurrent stats scrape can never observe a flight
+                    // that has joiners but no leader.
+                    self.led.fetch_add(1, Ordering::Relaxed);
                     drop(map);
                     // Leader path: compute outside every lock, publish,
                     // clear the key, wake the waiters.
-                    self.led.fetch_add(1, Ordering::Relaxed);
                     let result = compute();
                     *lock(&slot.state) = SlotState::Done(clone_result(&result));
                     lock(&self.map).remove(&key);

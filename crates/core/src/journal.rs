@@ -388,6 +388,33 @@ mod tests {
     }
 
     #[test]
+    fn mid_file_bitflip_recovers_valid_tail() {
+        // A CRC-corrupt record in the *middle* of the journal must drop
+        // only itself: every well-framed record after it (and before it)
+        // still loads, and the drop is counted, never silent.
+        let path = tmp("midflip.jsonl");
+        let j = Journal::open(&path).unwrap();
+        j.record("k1", sample_sides()).unwrap();
+        j.record("k2", sample_sides()).unwrap();
+        j.record("k3", sample_sides()).unwrap();
+        drop(j);
+        // Flip a bit inside the *second* line's payload: past its CRC
+        // prefix (9 bytes) but well before its newline.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let second_line_start = text.find('\n').unwrap() as u64 + 1;
+        crate::faultinject::flip_bit(&path, second_line_start + 20).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.corrupt_records(), 1, "exactly the flipped record");
+        assert_eq!(j.len(), 2, "the valid tail must survive");
+        assert!(j.lookup("k1").is_some());
+        assert!(j.lookup("k2").is_none(), "corrupt record must not load");
+        assert!(
+            j.lookup("k3").is_some(),
+            "records after the corrupt one must still load"
+        );
+    }
+
+    #[test]
     fn append_after_corruption_keeps_working() {
         let path = tmp("heal.jsonl");
         let j = Journal::open(&path).unwrap();

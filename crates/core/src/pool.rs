@@ -180,17 +180,25 @@ where
     T: Send,
     F: Fn(usize) -> Result<T, StudyError> + Sync,
 {
+    static CELLS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("core.pool.cells");
+    static RETRIES: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("core.pool.retries");
+    static TIMEOUTS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("core.pool.timeouts");
+    static CELL_SECONDS: paxsim_obs::LazyHistogram =
+        paxsim_obs::LazyHistogram::new("core.pool.cell_seconds");
+    CELLS.add(n as u64);
     let retries = AtomicU32::new(0);
     let timeouts = AtomicU32::new(0);
     let run_one = |i: usize| -> Result<T, StudyError> {
         let mut attempt = 0u32;
         loop {
+            let _span = paxsim_obs::span!("sweep.cell", index = i, attempt = attempt);
             let start = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 faultinject::cell_hook(i);
                 f(i)
             }));
             let elapsed = start.elapsed();
+            CELL_SECONDS.observe(elapsed.as_secs_f64());
             let result = match outcome {
                 Ok(r) => r,
                 Err(payload) => Err(StudyError::CellPanicked {
@@ -226,10 +234,14 @@ where
     // `run_one` never panics, so the fail-fast path of `map_indexed`
     // cannot trigger; it is purely the scheduler here.
     let results = map_indexed(n, run_one);
+    let retries = retries.into_inner();
+    let timeouts = timeouts.into_inner();
+    RETRIES.add(retries as u64);
+    TIMEOUTS.add(timeouts as u64);
     IsolatedSweep {
         results,
-        retries: retries.into_inner(),
-        timeouts: timeouts.into_inner(),
+        retries,
+        timeouts,
     }
 }
 

@@ -99,11 +99,15 @@ impl TraceStore {
     /// a failed verification invalidates every experiment using this
     /// trace, so it is never silent, but it no longer panics the sweep.
     pub fn try_get(&self, key: TraceKey) -> StudyResult<Arc<ProgramTrace>> {
+        static HITS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("core.store.hits");
         loop {
             let pending = {
                 let mut map = lock(&self.map);
                 match map.get(&key) {
-                    Some(Entry::Ready(t)) => return Ok(t.clone()),
+                    Some(Entry::Ready(t)) => {
+                        HITS.inc();
+                        return Ok(t.clone());
+                    }
                     Some(Entry::Building(p)) => p.clone(),
                     None => {
                         let p = Arc::new(Pending::default());
@@ -175,6 +179,14 @@ impl TraceStore {
         prior_attempts: u32,
     ) -> StudyResult<Arc<ProgramTrace>> {
         self.builds.fetch_add(1, Ordering::Relaxed);
+        static BUILDS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("core.store.builds");
+        BUILDS.inc();
+        let _span = paxsim_obs::span!(
+            "store.build",
+            kernel = key.kernel.name(),
+            nthreads = key.nthreads,
+            attempt = prior_attempts + 1
+        );
         let built = catch_unwind(AssertUnwindSafe(|| {
             faultinject::build_hook(key.kernel.name());
             let built = key.kernel.build(key.class, key.nthreads, key.schedule);

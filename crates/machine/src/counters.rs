@@ -67,18 +67,20 @@ pub struct Counters {
 
 impl Counters {
     /// Sum of all hardware stall ticks (excludes synchronization wait).
+    /// Saturating: a pathological block near `u64::MAX` must clamp, not
+    /// wrap (or panic in debug) — derived metrics stay finite either way.
     pub fn ticks_stall(&self) -> u64 {
         self.ticks_stall_mem
-            + self.ticks_stall_branch
-            + self.ticks_stall_tc
-            + self.ticks_stall_tlb
-            + self.ticks_stall_wb
-            + self.ticks_stall_issue
+            .saturating_add(self.ticks_stall_branch)
+            .saturating_add(self.ticks_stall_tc)
+            .saturating_add(self.ticks_stall_tlb)
+            .saturating_add(self.ticks_stall_wb)
+            .saturating_add(self.ticks_stall_issue)
     }
 
-    /// Active execution ticks: issue plus hardware stalls.
+    /// Active execution ticks: issue plus hardware stalls (saturating).
     pub fn ticks_active(&self) -> u64 {
-        self.ticks_issue + self.ticks_stall()
+        self.ticks_issue.saturating_add(self.ticks_stall())
     }
 
     pub fn stall_cycles(&self) -> u64 {
@@ -93,14 +95,16 @@ impl Counters {
         to_cycles(self.ticks_sync)
     }
 
-    /// Total DTLB misses (loads + stores).
+    /// Total DTLB misses (loads + stores, saturating).
     pub fn dtlb_miss(&self) -> u64 {
-        self.dtlb_miss_load + self.dtlb_miss_store
+        self.dtlb_miss_load.saturating_add(self.dtlb_miss_store)
     }
 
-    /// Total bus transactions.
+    /// Total bus transactions (saturating).
     pub fn bus_total(&self) -> u64 {
-        self.bus_demand_read + self.bus_write + self.bus_prefetch
+        self.bus_demand_read
+            .saturating_add(self.bus_write)
+            .saturating_add(self.bus_prefetch)
     }
 
     /// Accumulate another counter block into this one.

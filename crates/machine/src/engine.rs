@@ -245,6 +245,13 @@ fn run_impl(cfg: &MachineConfig, specs: &[JobSpec], fast: bool) -> EngineOutcome
 
     let tpu = TPC / cfg.issue_width; // ticks per uop
     let mut memo_stats = MemoStats::default();
+    // Arm the per-region profiling collector (side channel: it only reads
+    // values the engine already computed, never feeds back into timing).
+    let profiling = paxsim_obs::enabled();
+    if profiling {
+        let starts: Vec<u64> = jobs.iter().map(|j| j.start).collect();
+        crate::profile::begin(&starts);
+    }
     // Steady-state region memoization applies to a single quiet (jitter-
     // free) job: its whole team then sits at one common clock at every
     // region boundary, which is what makes a region's evolution a pure
@@ -359,6 +366,10 @@ fn run_impl(cfg: &MachineConfig, specs: &[JobSpec], fast: bool) -> EngineOutcome
                 handle_arrival(cfg, ci, &mut ctxs, &mut jobs);
             }
         }
+    }
+
+    if profiling {
+        crate::profile::finish();
     }
 
     EngineOutcome {
@@ -482,6 +493,16 @@ fn run_memoized(
             }
             if done {
                 jobs[0].finish = release;
+            }
+            if paxsim_obs::enabled() {
+                crate::profile::on_region(
+                    0,
+                    key,
+                    &jobs[0].trace.regions[r].label,
+                    release,
+                    &jobs[0].counters,
+                    true,
+                );
             }
             cur = Some(Rc::clone(&e.post));
             live = false;
@@ -1114,6 +1135,17 @@ fn handle_arrival(cfg: &MachineConfig, ci: usize, ctxs: &mut [Ctx], jobs: &mut [
     }
     if done {
         jobs[ji].finish = release;
+    }
+    if paxsim_obs::enabled() {
+        let r = next_region - 1;
+        crate::profile::on_region(
+            ji,
+            Arc::as_ptr(&jobs[ji].trace.regions[r]) as *const () as usize,
+            &jobs[ji].trace.regions[r].label,
+            release,
+            &jobs[ji].counters,
+            false,
+        );
     }
     true
 }

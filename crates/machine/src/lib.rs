@@ -60,6 +60,7 @@ pub mod engine;
 pub mod memo;
 pub mod op;
 pub mod prefetch;
+pub mod profile;
 pub mod sim;
 pub mod tlb;
 pub mod topology;

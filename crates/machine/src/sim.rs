@@ -95,7 +95,21 @@ pub struct SimOutcome {
 /// context outside the configured topology, or two jobs share a context.
 pub fn simulate(cfg: &MachineConfig, jobs: Vec<JobSpec>) -> SimOutcome {
     validate(cfg, &jobs);
-    shape_outcome(engine::run(cfg, &jobs), &jobs)
+    let out = shape_outcome(engine::run(cfg, &jobs), &jobs);
+    record_run_metrics(&out);
+    out
+}
+
+/// Post-run observability counters (no-ops while the obs layer is off;
+/// recorded *after* the outcome is fully shaped, so they cannot feed back
+/// into simulated state).
+fn record_run_metrics(out: &SimOutcome) {
+    static RUNS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("machine.sim.runs");
+    static PROBES: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("machine.memo.probes");
+    static HITS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("machine.memo.hits");
+    RUNS.inc();
+    PROBES.add(out.memo.probes);
+    HITS.add(out.memo.hits);
 }
 
 /// Run `jobs` through the seed-shaped reference engine: linear context

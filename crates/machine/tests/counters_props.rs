@@ -1,0 +1,78 @@
+//! Property tests for derived counter metrics: no `Counters` value —
+//! including adversarial blocks near `u64::MAX` or with inverted
+//! relationships (mispredicts > branches, misses > accesses) — may
+//! produce a non-finite derived metric or panic while deriving it.
+
+use proptest::prelude::*;
+
+use paxsim_machine::prelude::*;
+
+/// Strategy: a u64 biased toward the interesting extremes (0, small,
+/// `u64::MAX`) while still covering the full range.
+fn extreme_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        0u64..1_000_000,
+        0u64..=u64::MAX,
+    ]
+}
+
+fn arb_counters() -> impl Strategy<Value = Counters> {
+    proptest::collection::vec(extreme_u64(), 26).prop_map(|v| Counters {
+        instructions: v[0],
+        l1d_access: v[1],
+        l1d_miss: v[2],
+        l2_access: v[3],
+        l2_miss: v[4],
+        tc_access: v[5],
+        tc_miss: v[6],
+        itlb_access: v[7],
+        itlb_miss: v[8],
+        dtlb_access: v[9],
+        dtlb_miss_load: v[10],
+        dtlb_miss_store: v[11],
+        branches: v[12],
+        branch_mispredict: v[13],
+        coherence_invalidations: v[14],
+        bus_demand_read: v[15],
+        bus_write: v[16],
+        bus_prefetch: v[17],
+        ticks_issue: v[18],
+        ticks_stall_mem: v[19],
+        ticks_stall_branch: v[20],
+        ticks_stall_tc: v[21],
+        ticks_stall_tlb: v[22],
+        ticks_stall_wb: v[23],
+        ticks_stall_issue: v[24],
+        ticks_sync: v[25],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn derived_metrics_always_finite(c in arb_counters()) {
+        // The saturating sums must not wrap or panic...
+        let _ = c.ticks_stall();
+        let _ = c.ticks_active();
+        let _ = c.dtlb_miss();
+        let _ = c.bus_total();
+        let _ = c.stall_cycles();
+        let _ = c.active_cycles();
+        let _ = c.sync_cycles();
+        // ...and every derived ratio must be finite, never NaN/±inf.
+        let m = c.metrics();
+        for (name, v) in Metrics::NAMES.iter().zip(m.values()) {
+            prop_assert!(v.is_finite(), "{} = {} for {:?}", name, v, c);
+        }
+        // Rates are fractions of their denominators; with saturating
+        // numerators they stay within [0, 1].
+        prop_assert!((0.0..=1.0).contains(&m.l1_miss_rate) || c.l1d_miss > c.l1d_access);
+        prop_assert!((0.0..=1.0).contains(&m.branch_prediction_rate));
+        prop_assert!((0.0..=1.0).contains(&m.pct_stalled));
+        prop_assert!((0.0..=1.0).contains(&m.pct_prefetch_bus));
+    }
+}

@@ -5,12 +5,14 @@
 //!            [--class T] [--trials N] [--jitter N] [--schedule S]
 //!            [--deadline-ms N]
 //! paxsim-cli (--tcp ADDR | --unix PATH) stats
+//! paxsim-cli (--tcp ADDR | --unix PATH) metrics
 //! paxsim-cli (--tcp ADDR | --unix PATH) raw '<json request line>'
 //! ```
 //!
-//! Prints the daemon's reply line verbatim on stdout; exits 0 on an
-//! `"ok":true` reply, 1 on an error reply, 2 on usage/connection
-//! problems.
+//! Prints the daemon's reply line verbatim on stdout — except `metrics`,
+//! which unpacks the reply's Prometheus exposition text so the output can
+//! be piped straight to a scrape file. Exits 0 on an `"ok":true` reply,
+//! 1 on an error reply, 2 on usage/connection problems.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -25,6 +27,7 @@ fn usage() -> ! {
          \x20 simulate --kernel K --config C [--class T] [--trials N]\n\
          \x20          [--jitter N] [--schedule S] [--deadline-ms N]\n\
          \x20 stats\n\
+         \x20 metrics\n\
          \x20 raw '<json>'"
     );
     std::process::exit(2);
@@ -69,7 +72,7 @@ fn main() {
         match arg.as_str() {
             "--tcp" => conn = Some(format!("tcp:{}", value(&mut it, "--tcp"))),
             "--unix" => conn = Some(format!("unix:{}", value(&mut it, "--unix"))),
-            "simulate" | "stats" if command.is_none() => command = Some(arg.clone()),
+            "simulate" | "stats" | "metrics" if command.is_none() => command = Some(arg.clone()),
             "raw" if command.is_none() => {
                 command = Some(arg.clone());
                 raw = Some(value(&mut it, "raw"));
@@ -98,6 +101,7 @@ fn main() {
     };
     let line = match command.as_str() {
         "stats" => r#"{"op":"stats"}"#.to_string(),
+        "metrics" => r#"{"op":"metrics"}"#.to_string(),
         "raw" => raw.expect("raw command captured its payload"),
         "simulate" => {
             let mut entries = vec![("op".to_string(), Value::String("simulate".into()))];
@@ -108,11 +112,20 @@ fn main() {
     };
     match roundtrip(&conn, &line) {
         Ok(reply) => {
-            println!("{reply}");
-            let ok = serde_json::parse(&reply)
-                .ok()
+            let parsed = serde_json::parse(&reply).ok();
+            let ok = parsed
+                .as_ref()
                 .and_then(|v| v["ok"].as_bool())
                 .unwrap_or(false);
+            // `metrics` unwraps the exposition text (real newlines) for
+            // scrapers; everything else prints the reply line verbatim.
+            match parsed
+                .filter(|_| ok && command == "metrics")
+                .and_then(|v| v["prometheus"].as_str().map(str::to_string))
+            {
+                Some(text) => print!("{text}"),
+                None => println!("{reply}"),
+            }
             std::process::exit(if ok { 0 } else { 1 });
         }
         Err(e) => {

@@ -47,6 +47,11 @@ impl Lru {
         Some(rec)
     }
 
+    /// Non-mutating lookup: no recency touch, no promotion.
+    fn peek(&self, key: u64) -> Option<Record> {
+        self.map.get(&key).cloned()
+    }
+
     fn put(&mut self, key: u64, rec: Record) {
         if self.cap == 0 {
             return;
@@ -103,18 +108,43 @@ impl ResultCache {
     }
 
     /// Look `hash` up: memory first, then disk (promoting a disk hit).
+    ///
+    /// Exactly one tier counter moves per call (mem hit, disk hit, or
+    /// miss), so `hits() + misses()` equals the number of `get` calls —
+    /// the conservation law the loopback stats tests assert. Lookups that
+    /// must not perturb the stats (a flight's double-check) use
+    /// [`ResultCache::peek`].
     pub fn get(&self, hash: ConfigHash) -> Option<Record> {
+        static MEM: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.mem_hits");
+        static DISK: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.cache.disk_hits");
+        static MISS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.misses");
         if let Some(rec) = lock(&self.mem).get(hash.0) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            MEM.inc();
             return Some(rec);
         }
         if let Some(rec) = self.journal.lookup(&Self::key(hash)) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            DISK.inc();
             lock(&self.mem).put(hash.0, rec.clone());
             return Some(rec);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        MISS.inc();
         None
+    }
+
+    /// Silent lookup: serves from either tier without touching recency,
+    /// promotion, or any hit/miss counter. This is the double-check a
+    /// coalesced flight performs after winning the leadership race — the
+    /// request already charged its one tier counter in the outer
+    /// [`ResultCache::get`], so counting the re-check would double-book.
+    pub fn peek(&self, hash: ConfigHash) -> Option<Record> {
+        if let Some(rec) = lock(&self.mem).peek(hash.0) {
+            return Some(rec);
+        }
+        self.journal.lookup(&Self::key(hash))
     }
 
     /// Store a computed result in both tiers; returns the stored record
@@ -133,6 +163,8 @@ impl ResultCache {
             .lookup(&key)
             .expect("a just-recorded key is present");
         self.puts.fetch_add(1, Ordering::Relaxed);
+        static PUTS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.puts");
+        PUTS.inc();
         lock(&self.mem).put(hash.0, rec.clone());
         Ok(rec)
     }
@@ -267,6 +299,90 @@ mod tests {
         let before = c.disk_hits();
         assert!(c.get(ConfigHash(0)).is_some());
         assert_eq!(c.disk_hits(), before, "0 must still be a memory hit");
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        // Regression (LRU recency audit): `get` must move the key to the
+        // hot end of `order`, otherwise a steadily re-read key gets
+        // evicted as if it were cold.
+        let dir = tmp("get_refreshes");
+        let c = ResultCache::open(&dir, 2).unwrap();
+        c.put(ConfigHash(0), sides(0)).unwrap();
+        c.put(ConfigHash(1), sides(1)).unwrap();
+        // Re-read 0: it must now outrank 1 in recency.
+        assert!(c.get(ConfigHash(0)).is_some());
+        {
+            let lru = lock(&c.mem);
+            assert_eq!(lru.order.back(), Some(&0), "get must refresh recency");
+        }
+        c.put(ConfigHash(2), sides(2)).unwrap();
+        let mem_hits_before = c.mem_hits();
+        assert!(c.get(ConfigHash(0)).is_some());
+        assert_eq!(
+            c.mem_hits(),
+            mem_hits_before + 1,
+            "hot key 0 must survive the eviction (1 was coldest)"
+        );
+        let lru = lock(&c.mem);
+        assert!(!lru.map.contains_key(&1), "1 was the eviction victim");
+    }
+
+    #[test]
+    fn double_put_then_evict() {
+        // Regression (LRU reinsert audit): re-`put` of a resident key must
+        // not leave a stale duplicate in `order` — the next eviction would
+        // pop the duplicate and remove the wrong key (or nothing), letting
+        // `map` outgrow `cap` and desynchronizing the two structures.
+        let dir = tmp("double_put");
+        let c = ResultCache::open(&dir, 2).unwrap();
+        c.put(ConfigHash(0), sides(0)).unwrap();
+        c.put(ConfigHash(1), sides(1)).unwrap();
+        c.put(ConfigHash(0), sides(99)).unwrap(); // reinsert, now hottest
+        {
+            let lru = lock(&c.mem);
+            assert_eq!(
+                lru.order.len(),
+                lru.map.len(),
+                "reinsert must not duplicate the key in order"
+            );
+        }
+        c.put(ConfigHash(2), sides(2)).unwrap(); // must evict 1, the coldest
+        let lru = lock(&c.mem);
+        assert_eq!(lru.map.len(), 2, "cap respected after reinsert");
+        assert_eq!(lru.order.len(), 2);
+        assert!(lru.map.contains_key(&0), "reinserted key stays resident");
+        assert!(lru.map.contains_key(&2));
+        assert!(!lru.map.contains_key(&1));
+        assert_eq!(
+            lru.peek(0).unwrap().sides[0].counters.instructions,
+            99,
+            "reinsert serves the newest value"
+        );
+    }
+
+    #[test]
+    fn peek_serves_both_tiers_without_stats_or_recency() {
+        let dir = tmp("peek");
+        let c = ResultCache::open(&dir, 2).unwrap();
+        c.put(ConfigHash(0), sides(0)).unwrap();
+        c.put(ConfigHash(1), sides(1)).unwrap();
+        // Memory peek: no counter, no recency change.
+        assert!(c.peek(ConfigHash(0)).is_some());
+        assert_eq!(c.hits() + c.misses(), 0, "peek must not book stats");
+        {
+            let lru = lock(&c.mem);
+            assert_eq!(lru.order.back(), Some(&1), "peek must not touch");
+        }
+        // Disk peek: 0 evicted from memory still peeks via the journal,
+        // without promotion.
+        c.put(ConfigHash(2), sides(2)).unwrap(); // evicts 0
+        assert!(c.peek(ConfigHash(0)).is_some());
+        assert_eq!(c.disk_hits(), 0);
+        assert_eq!(c.mem_len(), 2, "no promotion on peek");
+        // Absent key: still no stats.
+        assert!(c.peek(ConfigHash(0xffff)).is_none());
+        assert_eq!(c.hits() + c.misses(), 0);
     }
 
     #[test]

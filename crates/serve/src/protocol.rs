@@ -37,6 +37,9 @@ pub enum Request {
     },
     /// Report daemon statistics.
     Stats,
+    /// Scrape the observability metrics snapshot (Prometheus text plus
+    /// structured JSON).
+    Metrics,
 }
 
 fn bad(field: &str, detail: impl Into<String>) -> StudyError {
@@ -79,7 +82,8 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
         Value::Object(entries) => entries,
         _ => return Err(bad("request", "must be a JSON object")),
     };
-    let op = str_field(&v, "op")?.ok_or_else(|| bad("op", "missing (simulate or stats)"))?;
+    let op =
+        str_field(&v, "op")?.ok_or_else(|| bad("op", "missing (simulate, stats or metrics)"))?;
     match op.as_str() {
         "stats" => {
             for (k, _) in obj {
@@ -88,6 +92,14 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
                 }
             }
             Ok(Request::Stats)
+        }
+        "metrics" => {
+            for (k, _) in obj {
+                if k != "op" {
+                    return Err(bad(k, "unknown field for op=metrics"));
+                }
+            }
+            Ok(Request::Metrics)
         }
         "simulate" => {
             for (k, _) in obj {
@@ -190,6 +202,14 @@ mod tests {
     }
 
     #[test]
+    fn metrics_op_parses() {
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        ));
+    }
+
+    #[test]
     fn full_simulate_roundtrips_every_field() {
         let r = parse_request(
             r#"{"op":"simulate","kernel":"cg","config":"CMT","class":"S",
@@ -246,6 +266,7 @@ mod tests {
             "kernell"
         );
         assert_eq!(field(r#"{"op":"stats","extra":1}"#), "extra");
+        assert_eq!(field(r#"{"op":"metrics","extra":1}"#), "extra");
         assert_eq!(
             field(r#"{"op":"simulate","kernel":"ep","config":"CMP","machine":{"chips":2}}"#),
             "machine"

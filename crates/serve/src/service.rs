@@ -163,6 +163,9 @@ pub struct Service {
     computed: AtomicU64,
     rejected_overload: AtomicU64,
     rejected_draining: AtomicU64,
+    /// Serial-baseline sub-requests performed (each books exactly one
+    /// cache-tier counter, like every client request — conservation).
+    baseline_fetches: AtomicU64,
     /// Cold-miss compute latency in milliseconds, per kernel.
     latencies: Mutex<HashMap<String, Vec<f64>>>,
 }
@@ -174,6 +177,13 @@ impl Service {
     ///
     /// Cache-journal I/O errors (unreadable directory, bad permissions).
     pub fn open(cfg: ServeConfig) -> StudyResult<Service> {
+        // The daemon runs with observability on unless explicitly opted
+        // out (PAXSIM_OBS=0): a `metrics` scrape against a fresh daemon
+        // must work without extra environment plumbing. Replies are
+        // cache-journal records either way, so determinism is untouched.
+        if std::env::var_os("PAXSIM_OBS").is_none_or(|v| v != "0") {
+            paxsim_obs::set_enabled(true);
+        }
         let cache = ResultCache::open(&cfg.cache_dir, cfg.mem_cap)?;
         let gate = Gate::new(cfg.max_running, cfg.max_queue);
         Ok(Service {
@@ -189,6 +199,7 @@ impl Service {
             computed: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
+            baseline_fetches: AtomicU64::new(0),
             latencies: Mutex::new(HashMap::new()),
         })
     }
@@ -197,8 +208,12 @@ impl Service {
     /// newline). Never panics on client input.
     pub fn handle_line(&self, line: &str) -> String {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        static REQUESTS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.requests");
+        REQUESTS.inc();
+        let _span = paxsim_obs::span!("serve.request");
         match protocol::parse_request(line) {
             Ok(Request::Stats) => self.stats_reply(),
+            Ok(Request::Metrics) => self.metrics_reply(),
             Ok(Request::Simulate { spec, deadline_ms }) => {
                 let resolved = match spec.resolve() {
                     Ok(r) => r,
@@ -235,21 +250,35 @@ impl Service {
         resolved: &ResolvedSpec,
         deadline_ms: Option<u64>,
     ) -> Result<Record, Rejection> {
+        static LED: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.flight.led");
+        static JOINED: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.flight.joined");
         let hash = resolved.content_hash();
         if let Some(rec) = self.cache.get(hash) {
             return Ok(rec);
         }
-        let (result, _flight) = self.inflight.run(hash.0, || {
+        // The one cache-tier counter this request books moved above
+        // (a miss); everything below must stay counter-neutral so the
+        // conservation law `hits + misses == simulate requests +
+        // baseline fetches` holds even when a flight is cancelled by
+        // its deadline mid-coalesce.
+        let (result, flight) = self.inflight.run(hash.0, || {
+            let _span = paxsim_obs::span!("serve.flight", kernel = resolved.spec.kernel);
             // Double-check: a flight for this key may have landed (and
-            // cached) between the lookup above and this slot claim.
-            if let Some(rec) = self.cache.get(hash) {
+            // cached) between the lookup above and this slot claim. A
+            // `peek`, not a `get` — this request already booked its miss.
+            if let Some(rec) = self.cache.peek(hash) {
                 return Ok(Ok(rec));
             }
             if self.draining() {
                 self.rejected_draining.fetch_add(1, Ordering::Relaxed);
                 return Ok(Err(Gated::Draining));
             }
-            let _permit = match self.gate.admit() {
+            let admitted = {
+                let _span = paxsim_obs::span!("serve.admission");
+                self.gate.admit()
+            };
+            let _permit = match admitted {
                 Ok(p) => p,
                 Err((running, queued)) => {
                     self.rejected_overload.fetch_add(1, Ordering::Relaxed);
@@ -258,6 +287,10 @@ impl Service {
             };
             self.compute_and_cache(resolved, deadline_ms).map(Ok)
         });
+        match flight {
+            paxsim_core::inflight::Flight::Led => LED.inc(),
+            paxsim_core::inflight::Flight::Joined => JOINED.inc(),
+        }
         match result {
             Ok(Ok(rec)) => Ok(rec),
             Ok(Err(Gated::Overloaded { running, queued })) => {
@@ -273,12 +306,16 @@ impl Service {
     /// computation asking for it already owns a permit, and its budget
     /// covers the denominator.
     fn fetch_baseline(&self, resolved: &ResolvedSpec) -> StudyResult<Record> {
+        self.baseline_fetches.fetch_add(1, Ordering::Relaxed);
         let hash = resolved.content_hash();
         if let Some(rec) = self.cache.get(hash) {
             return Ok(rec);
         }
         let (result, _flight) = self.sub_inflight.run(hash.0, || {
-            if let Some(rec) = self.cache.get(hash) {
+            // `peek`, not `get`: the fetch booked its one tier counter
+            // in the lookup above (see the conservation note in
+            // `simulate`).
+            if let Some(rec) = self.cache.peek(hash) {
                 return Ok(rec);
             }
             self.compute_and_cache(resolved, None)
@@ -292,14 +329,27 @@ impl Service {
         resolved: &ResolvedSpec,
         deadline_ms: Option<u64>,
     ) -> StudyResult<Record> {
+        let _span = paxsim_obs::span!(
+            "serve.compute",
+            kernel = resolved.spec.kernel,
+            config = resolved.spec.config
+        );
         let t0 = Instant::now();
         let sides = self.compute(resolved, deadline_ms)?;
         let rec = self.cache.put(resolved.content_hash(), sides)?;
         self.computed.fetch_add(1, Ordering::Relaxed);
+        let elapsed = t0.elapsed().as_secs_f64();
+        if paxsim_obs::enabled() {
+            paxsim_obs::histogram_with(
+                "serve.compute_seconds",
+                &[("kernel", resolved.spec.kernel.as_str())],
+            )
+            .observe(elapsed);
+        }
         lock(&self.latencies)
             .entry(resolved.spec.kernel.clone())
             .or_default()
-            .push(t0.elapsed().as_secs_f64() * 1e3);
+            .push(elapsed * 1e3);
         Ok(rec)
     }
 
@@ -427,10 +477,48 @@ impl Service {
                 "computed",
                 Value::UInt(self.computed.load(Ordering::Relaxed)),
             ),
+            (
+                "baseline_fetches",
+                Value::UInt(self.baseline_fetches.load(Ordering::Relaxed)),
+            ),
             ("traces_built", Value::UInt(self.store.builds())),
             ("latency_ms", Value::Object(latency)),
         ]);
         serde_json::to_string(&v).expect("value tree renders infallibly")
+    }
+
+    /// Render the `metrics` reply: refresh the scrape-time gauges, then
+    /// ship the registry snapshot as both Prometheus exposition text and
+    /// structured JSON. Counters/histograms accumulate at their call
+    /// sites; only point-in-time state is sampled here.
+    fn metrics_reply(&self) -> String {
+        if paxsim_obs::enabled() {
+            let (running, queued) = self.gate.depth();
+            paxsim_obs::gauge("serve.admission.running").set(running as f64);
+            paxsim_obs::gauge("serve.admission.queued").set(queued as f64);
+            paxsim_obs::gauge("serve.cache.entries_mem").set(self.cache.mem_len() as f64);
+            paxsim_obs::gauge("serve.cache.entries_disk").set(self.cache.disk_len() as f64);
+            paxsim_obs::gauge("serve.inflight.current").set(self.inflight.in_flight() as f64);
+            paxsim_obs::gauge("serve.draining").set(f64::from(u8::from(self.draining())));
+            paxsim_obs::gauge("serve.uptime_seconds").set(self.started.elapsed().as_secs_f64());
+        }
+        let snap = paxsim_obs::snapshot();
+        let v = Value::Object(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            ("enabled".to_string(), Value::Bool(paxsim_obs::enabled())),
+            ("series".to_string(), Value::UInt(snap.series() as u64)),
+            (
+                "prometheus".to_string(),
+                Value::String(snap.to_prometheus()),
+            ),
+            ("snapshot".to_string(), snap.to_json()),
+        ]);
+        serde_json::to_string(&v).expect("value tree renders infallibly")
+    }
+
+    /// Serial-baseline sub-requests performed.
+    pub fn baseline_fetches(&self) -> u64 {
+        self.baseline_fetches.load(Ordering::Relaxed)
     }
 
     /// Stop admitting new computations (cache hits and stats still

@@ -214,6 +214,61 @@ fn bitflipped_disk_entry_is_recomputed_not_served() {
 }
 
 #[test]
+fn stats_counters_conserve_under_coalescing_and_deadline() {
+    // Every cache lookup books exactly one tier counter, so
+    // `hits + misses` must equal simulate requests plus serial-baseline
+    // sub-fetches — even when four clients coalesce onto one flight
+    // (riders re-check with the stats-neutral `peek`) and a watchdog
+    // deadline cancels a computation mid-flight.
+    paxsim_core::faultinject::with_plan("cell-slow:0:60:1", || {
+        let (service, server) = start("conserve", |_| {});
+        let mut client = Client::connect(&server);
+        // One simulate request whose computation the watchdog cancels.
+        let dead =
+            client.roundtrip(r#"{"op":"simulate","kernel":"cg","config":"CMP","deadline_ms":1}"#);
+        assert!(dead.contains("\"error\":\"deadline\""), "{dead}");
+        // Four identical cold requests race onto a coalesced flight.
+        let replies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let server = &server;
+                    scope.spawn(move || Client::connect(server).roundtrip(EP_CMP))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &replies {
+            assert!(r.contains("\"ok\":true"), "{r}");
+            assert_eq!(r, &replies[0], "coalesced replies must be identical");
+        }
+        // Two repeat requests served straight from cache.
+        assert_eq!(client.roundtrip(EP_CMP), replies[0]);
+        assert_eq!(client.roundtrip(EP_CMP), replies[0]);
+        let simulate_requests = 1 + 4 + 2;
+        // The cancelled cell's detached thread may still be mid-way
+        // through its own baseline fetch; conservation re-converges the
+        // moment both of its sides (fetch counter, cache lookup) settle.
+        wait_until("counter conservation", Duration::from_secs(5), || {
+            service.cache().hits() + service.cache().misses()
+                == simulate_requests + service.baseline_fetches()
+        });
+        let stats = client.roundtrip(r#"{"op":"stats"}"#);
+        let v = serde_json::parse(&stats).unwrap();
+        let led = v["inflight"]["led"].as_u64().unwrap();
+        let joined = v["inflight"]["joined"].as_u64().unwrap();
+        // Flights: the deadline request led one; the four coalesced
+        // requests account for at most four slots (a straggler that
+        // arrives after the flight lands hits the cache instead) and at
+        // least one leader — never more, or the double-check re-counted.
+        assert!(led >= 2, "{stats}");
+        assert!((2..=5).contains(&(led + joined)), "{stats}");
+        assert!(v["baseline_fetches"].as_u64().unwrap() >= 1, "{stats}");
+        assert!(service.cache().hits() >= 2, "repeats must hit: {stats}");
+        assert!(server.shutdown(Duration::from_secs(10)));
+    });
+}
+
+#[test]
 fn injected_cell_panic_does_not_drop_other_clients() {
     paxsim_core::faultinject::with_plan("cell-panic:0:1", || {
         let (_service, server) = start("panic", |_| {});
