@@ -90,6 +90,12 @@ SERVE_PID=""
 [ ! -e "$SERVE_SOCK" ] || { echo "socket file not removed on drain"; exit 1; }
 echo "serve smoke passed: byte-identical hit, counted, clean SIGTERM drain"
 
+echo "== differential drift check on the quad-core topology =="
+# The engine is data-driven over Topology; run the non-Table-1 quad-core
+# (and L3-backed) differential suite once so a topology-conditional bug
+# can't hide behind the dual-core default.
+cargo test -q -p paxsim-core --release --test topology_differential
+
 echo "== differential drift check with observability hooks live =="
 # The whole-engine differential suite again, but with the obs layer (and
 # its per-region profiling hooks) enabled from process start: the fast
@@ -106,5 +112,23 @@ echo "== engine throughput (quick, zero-drift check, memoization off) =="
 # disabled, so any divergence between the memoized and plain fast paths
 # shows up as drift against the shared reference.
 PAXSIM_BENCH_QUICK=1 PAXSIM_DISABLE_MEMO=1 cargo bench -p paxsim-bench --bench engine_throughput
+
+echo "== bench regression gate (fresh geomean vs committed) =="
+# Full-sample bench run; it rewrites BENCH_engine.json, so read the
+# committed trajectory first, compare, and always restore the committed
+# file — the recorded trajectory only moves by an intentional commit.
+COMMITTED_GEOMEAN=$(awk -F': ' '/"geomean_speedup"/ { gsub(/,/, "", $2); print $2 }' BENCH_engine.json)
+cargo bench -p paxsim-bench --bench engine_throughput
+FRESH_GEOMEAN=$(awk -F': ' '/"geomean_speedup"/ { gsub(/,/, "", $2); print $2 }' BENCH_engine.json)
+git checkout -- BENCH_engine.json
+echo "bench gate: fresh geomean ${FRESH_GEOMEAN} vs committed ${COMMITTED_GEOMEAN}"
+awk -v fresh="$FRESH_GEOMEAN" -v committed="$COMMITTED_GEOMEAN" 'BEGIN {
+    floor = committed * 0.95
+    if (fresh + 0 < floor) {
+        printf "bench gate FAILED: fresh geomean %.4f under floor %.4f (committed %.4f - 5%%)\n", fresh, floor, committed
+        exit 1
+    }
+    printf "bench gate passed: %.4f >= floor %.4f\n", fresh, floor
+}'
 
 echo "ci.sh: all gates passed"

@@ -72,6 +72,11 @@ struct Row {
     memo_probes: u64,
     memo_hits: u64,
     memo_hit_rate: f64,
+    /// Dispatches the event scheduler actually took for this workload.
+    events_scheduled: u64,
+    /// Simulated cycles the scheduler jumped over instead of stepping —
+    /// nonzero on every workload proves quiescent-skip engages.
+    cycles_skipped: u64,
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -104,6 +109,8 @@ fn write_report(rows: &[Row], sweep_ms: Option<f64>, obs_overhead: f64) {
                     ("memo_probes", Value::UInt(r.memo_probes)),
                     ("memo_hits", Value::UInt(r.memo_hits)),
                     ("memo_hit_rate", Value::Float(r.memo_hit_rate)),
+                    ("events_scheduled", Value::UInt(r.events_scheduled)),
+                    ("cycles_skipped", Value::UInt(r.cycles_skipped)),
                 ])
             })
             .collect(),
@@ -122,7 +129,10 @@ fn write_report(rows: &[Row], sweep_ms: Option<f64>, obs_overhead: f64) {
                  trace_bytes_unpacked the naive array-of-Op layout it replaced. '/quiet' \
                  rows run jitter-free, where the fast engine's steady-state region \
                  memoization engages (memo_hit_rate > 0); the reference engine never \
-                 memoizes, so those rows stay drift-checked too."
+                 memoizes, so those rows stay drift-checked too. events_scheduled / \
+                 cycles_skipped are the discrete-event scheduler's dispatch count and \
+                 the simulated cycles it jumped instead of stepping (quiescent-skip); \
+                 cycles_skipped > 0 on every row proves the skip engages."
                     .into(),
             ),
         ),
@@ -162,6 +172,8 @@ fn bench(c: &mut Criterion) {
         (KernelId::Cg, "HT on -8-2", 250),
         (KernelId::Cg, "Serial", 0),
         (KernelId::Cg, "HT off -4-2", 0),
+        (KernelId::Ep, "Serial", 0),
+        (KernelId::Ep, "HT off -4-2", 0),
     ] {
         let cfg = config_by_name(cfg_name).unwrap();
         let t = trace(&store, kernel, class, cfg.threads);
@@ -196,10 +208,12 @@ fn bench(c: &mut Criterion) {
             memo_probes: fast_out.memo.probes,
             memo_hits: fast_out.memo.hits,
             memo_hit_rate: fast_out.memo.hit_rate(),
+            events_scheduled: fast_out.sched.events_scheduled,
+            cycles_skipped: fast_out.sched.cycles_skipped,
         };
         println!(
             "{}: fast {:.2} ms, reference {:.2} ms, speedup {:.2}x, {:.1} Muops/s, \
-             trace {} -> {} B ({:.2}x), memo {}/{}",
+             trace {} -> {} B ({:.2}x), memo {}/{}, {} events / {} cycles skipped",
             row.label,
             row.fast_ms,
             row.reference_ms,
@@ -210,6 +224,8 @@ fn bench(c: &mut Criterion) {
             row.trace_bytes_unpacked as f64 / row.trace_bytes_packed as f64,
             row.memo_hits,
             row.memo_probes,
+            row.events_scheduled,
+            row.cycles_skipped,
         );
         rows.push(row);
     }

@@ -115,6 +115,34 @@ pub fn all_configs() -> Vec<HwConfig> {
     v
 }
 
+/// Configurations for the quad-core single-chip topology
+/// (`MachineConfig::quad_core_smp`): serial baseline first, then the
+/// HT-off four-core and HT-on eight-context shapes. Not part of Table 1 —
+/// these drive the same engine and sweep machinery over a different
+/// [`paxsim_machine::topology::Topology`].
+pub fn quad_core_configs() -> Vec<HwConfig> {
+    let core = |core: u8, ctx: u8| Lcpu::new(0, core, ctx);
+    vec![
+        HwConfig::new("Quad Serial", "Quad Serial", false, 1, vec![core(0, 0)], 0),
+        HwConfig::new(
+            "Quad HT off -4-1",
+            "Quad CMP",
+            false,
+            1,
+            (0..4).map(|c| core(c, 0)).collect(),
+            1,
+        ),
+        HwConfig::new(
+            "Quad HT on -8-1",
+            "Quad CMT",
+            true,
+            1,
+            (0..4).flat_map(|c| [core(c, 0), core(c, 1)]).collect(),
+            2,
+        ),
+    ]
+}
+
 /// Look up a configuration by its paper name or architecture label.
 pub fn config_by_name(name: &str) -> Option<HwConfig> {
     all_configs()

@@ -45,7 +45,9 @@ pub mod study;
 
 pub mod prelude {
     pub use crate::calibrate::{calibrate, CalibrationReport, PAPER_PLATFORM};
-    pub use crate::configs::{all_configs, config_by_name, parallel_configs, serial, HwConfig};
+    pub use crate::configs::{
+        all_configs, config_by_name, parallel_configs, quad_core_configs, serial, HwConfig,
+    };
     pub use crate::cross::{all_pairs, run_cross_product, CrossStudy};
     pub use crate::efficiency::{efficiency, efficiency_text, most_efficient_per_chip};
     pub use crate::error::{StudyError, StudyResult};
@@ -64,7 +66,7 @@ pub mod prelude {
         Resilience, ResilienceOptions, Resilient,
     };
     pub use crate::sentinel::DriftSentinel;
-    pub use crate::single::{run_single_program, SingleStudy};
+    pub use crate::single::{run_single_program, run_single_program_on, SingleStudy};
     pub use crate::store::{TraceKey, TraceStore};
     pub use crate::study::{Cell, StudyOptions};
 }

@@ -111,6 +111,24 @@ pub fn run_single_program(opts: &StudyOptions, store: &TraceStore) -> SingleStud
         v.extend(parallel_configs());
         v
     };
+    run_single_program_on(opts, store, configs)
+}
+
+/// Run the single-program study over an arbitrary configuration list —
+/// `configs[0]` is the serial baseline the speedups divide by, and every
+/// context named must exist on `opts.machine`'s topology. This is how the
+/// same sweep machinery drives non-Table-1 machines (the quad-core and
+/// L3-backed topologies).
+pub fn run_single_program_on(
+    opts: &StudyOptions,
+    store: &TraceStore,
+    configs: Vec<HwConfig>,
+) -> SingleStudy {
+    assert!(!configs.is_empty(), "need at least a serial baseline");
+    assert_eq!(
+        configs[0].threads, 1,
+        "configs[0] is the serial baseline the speedups divide by"
+    );
 
     // Phase 1: serial baselines, one pool item per benchmark (the parallel
     // cells' speedups divide by these).

@@ -62,6 +62,13 @@ impl StudyOptions {
         self.trials = t;
         self
     }
+
+    /// Builder: replace the machine model (e.g. the quad-core or
+    /// L3-backed topology).
+    pub fn with_machine(mut self, m: MachineConfig) -> Self {
+        self.machine = m;
+        self
+    }
 }
 
 /// Measurements of one (program, configuration) data point.

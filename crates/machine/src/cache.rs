@@ -8,7 +8,19 @@
 
 use crate::config::CacheGeometry;
 
-const INVALID: u64 = u64::MAX;
+/// Internal tag encoding: a stored tag is `line + 1`, so the all-zeros
+/// allocation `vec![0; n]` (serviced by calloc as untouched, lazily-zeroed
+/// pages) already means "every way empty". Machines are built per
+/// `simulate()` call, and eagerly memsetting a sentinel over the L2 tag
+/// arrays of every core used to dominate short runs' wall time.
+const EMPTY: u64 = 0;
+
+/// Encode a line address for tag storage (`EMPTY` is unreachable: line
+/// addresses are byte addresses shifted right, far below `u64::MAX`).
+#[inline(always)]
+fn enc(line: u64) -> u64 {
+    line + 1
+}
 
 /// Result of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +47,7 @@ pub struct SetAssoc {
     sets: usize,
     ways: usize,
     line_shift: u32,
-    /// `sets × ways` line addresses (INVALID = empty).
+    /// `sets × ways` encoded line addresses (`enc(line)`; `EMPTY` = empty).
     tags: Vec<u64>,
     /// LRU stamps parallel to `tags`.
     stamp: Vec<u64>,
@@ -61,7 +73,7 @@ impl SetAssoc {
             sets,
             ways: geom.ways,
             line_shift: geom.line.trailing_zeros(),
-            tags: vec![INVALID; n],
+            tags: vec![EMPTY; n],
             stamp: vec![0; n],
             dirty: vec![false; n],
             ready: vec![0; n],
@@ -86,12 +98,13 @@ impl SetAssoc {
     pub fn access(&mut self, line: u64, write: bool) -> Lookup {
         let set = self.set_of(line);
         let base = set * self.ways;
+        let t = enc(line);
         self.clock += 1;
         // Way-predicted fast path: one compare against the set's MRU way
         // catches the dominant repeated-hit case. The side effects are
         // exactly those of the scan below finding the same way.
         let p = base + self.mru_way[set] as usize;
-        if self.tags[p] == line {
+        if self.tags[p] == t {
             self.stamp[p] = self.clock;
             if write {
                 self.dirty[p] = true;
@@ -102,7 +115,7 @@ impl SetAssoc {
         }
         for w in 0..self.ways {
             let i = base + w;
-            if self.tags[i] == line {
+            if self.tags[i] == t {
                 self.mru_way[set] = w as u32;
                 self.stamp[i] = self.clock;
                 if write {
@@ -121,13 +134,14 @@ impl SetAssoc {
     pub fn install(&mut self, line: u64, dirty: bool, ready_at: u64) -> Option<Evicted> {
         let set = self.set_of(line);
         let base = set * self.ways;
+        let t = enc(line);
         self.clock += 1;
         // Prefer an empty way; otherwise evict the LRU way.
         let mut victim = base;
         let mut oldest = u64::MAX;
         for w in 0..self.ways {
             let i = base + w;
-            if self.tags[i] == line {
+            if self.tags[i] == t {
                 // Already present (racing prefetch/demand): refresh.
                 self.mru_way[set] = w as u32;
                 self.stamp[i] = self.clock;
@@ -135,7 +149,7 @@ impl SetAssoc {
                 self.ready[i] = self.ready[i].min(ready_at);
                 return None;
             }
-            if self.tags[i] == INVALID {
+            if self.tags[i] == EMPTY {
                 victim = i;
                 oldest = 0;
             } else if oldest != 0 && self.stamp[i] < oldest {
@@ -143,12 +157,12 @@ impl SetAssoc {
                 oldest = self.stamp[i];
             }
         }
-        let evicted = (self.tags[victim] != INVALID).then(|| Evicted {
-            line: self.tags[victim],
+        let evicted = (self.tags[victim] != EMPTY).then(|| Evicted {
+            line: self.tags[victim] - 1,
             dirty: self.dirty[victim],
         });
         self.mru_way[set] = (victim - base) as u32;
-        self.tags[victim] = line;
+        self.tags[victim] = t;
         self.stamp[victim] = self.clock;
         self.dirty[victim] = dirty;
         self.ready[victim] = ready_at;
@@ -160,10 +174,11 @@ impl SetAssoc {
     /// ownership.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         let base = self.set_of(line) * self.ways;
+        let t = enc(line);
         for w in 0..self.ways {
             let i = base + w;
-            if self.tags[i] == line {
-                self.tags[i] = INVALID;
+            if self.tags[i] == t {
+                self.tags[i] = EMPTY;
                 let dirty = self.dirty[i];
                 self.dirty[i] = false;
                 return Some(dirty);
@@ -175,12 +190,12 @@ impl SetAssoc {
     /// Is `line` currently resident (without touching LRU state)?
     pub fn contains(&self, line: u64) -> bool {
         let base = self.set_of(line) * self.ways;
-        (0..self.ways).any(|w| self.tags[base + w] == line)
+        (0..self.ways).any(|w| self.tags[base + w] == enc(line))
     }
 
     /// Number of resident lines (for occupancy diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != INVALID).count()
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
     }
 
     pub fn sets(&self) -> usize {
@@ -219,7 +234,7 @@ impl SetAssoc {
         for set in 0..self.sets {
             let first = set * self.ways;
             order.clear();
-            order.extend((first..first + self.ways).filter(|&i| self.tags[i] != INVALID));
+            order.extend((first..first + self.ways).filter(|&i| self.tags[i] != EMPTY));
             order.sort_by_key(|&i| self.stamp[i]);
             for &i in &order {
                 lines.push((
@@ -237,7 +252,7 @@ impl SetAssoc {
     /// Lines land in each set's first ways, oldest first — one definite
     /// representative of the way-permutation equivalence class.
     pub(crate) fn restore(&mut self, c: &SetAssocCanon, base: u64) {
-        self.tags.fill(INVALID);
+        self.tags.fill(EMPTY);
         self.stamp.fill(0);
         self.dirty.fill(false);
         self.ready.fill(0);
@@ -259,10 +274,15 @@ impl SetAssoc {
     }
 }
 
+/// Caches are quiescent [`Component`](crate::component::Component)s:
+/// per-line `ready` timestamps are lazily compared against request ticks,
+/// so a cache never schedules an event of its own.
+impl crate::component::Component for SetAssoc {}
+
 /// See [`SetAssoc::canon`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct SetAssocCanon {
-    /// Occupied lines in (set, recency) order: `(set, tag, dirty,
+    /// Occupied lines in (set, recency) order: `(set, encoded tag, dirty,
     /// ready − base clamped to 0)`.
     lines: Vec<(u32, u64, bool, u64)>,
 }

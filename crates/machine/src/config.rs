@@ -34,6 +34,17 @@ impl CacheGeometry {
     }
 }
 
+/// An optional chip-level shared L3 between the private L2s and the bus
+/// (absent on the paper's Paxville Xeons; present on the Broadwell-style
+/// hierarchies of the follow-up HPC-benchmark study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L3Config {
+    /// Geometry of the shared L3.
+    pub geom: CacheGeometry,
+    /// L3 hit latency in cycles.
+    pub lat: u64,
+}
+
 /// Full configuration of the simulated machine. Every latency is in cycles,
 /// every service interval is in cycles-per-64-byte-line, all sizes in bytes
 /// or entries. Fields are public so ablation studies can perturb them.
@@ -80,6 +91,10 @@ pub struct MachineConfig {
     pub l1_lat: u64,
     /// L2 hit latency in cycles.
     pub l2_lat: u64,
+    /// Optional chip-shared L3 between the private L2s and the bus.
+    /// `None` reproduces the paper's Paxville hierarchy exactly.
+    #[serde(default)]
+    pub l3: Option<L3Config>,
 
     /// Trace-cache capacity in uops (12 Kuop on Netburst).
     pub tc_uops: u64,
@@ -164,6 +179,7 @@ impl MachineConfig {
             l2: CacheGeometry::new(2 * 1024 * 1024, 8, 64),
             l1_lat: 4,
             l2_lat: 28,
+            l3: None,
             tc_uops: 12 * 1024,
             tc_refill: 24,
             itlb_entries: 64,
@@ -186,6 +202,33 @@ impl MachineConfig {
             pf_bus_headroom: 420,
             barrier_lat: 600,
             quantum: 8 * crate::TPC,
+        }
+    }
+
+    /// A quad-core variant: one chip, four Hyper-Threaded Paxville-class
+    /// cores behind a single front-side bus — same core microarchitecture,
+    /// different topology, no engine edits required.
+    pub fn quad_core_smp() -> Self {
+        Self {
+            chips: 1,
+            cores_per_chip: 4,
+            ..Self::paxville_smp()
+        }
+    }
+
+    /// A Broadwell-style hierarchy: one chip, four cores, small private
+    /// 256 KB L2s backed by a shared 8 MB L3 — the deeper L2/L3 shape the
+    /// follow-up HPC-benchmark study models (PAPERS.md).
+    pub fn broadwell_l3() -> Self {
+        Self {
+            chips: 1,
+            cores_per_chip: 4,
+            l2: CacheGeometry::new(256 * 1024, 8, 64),
+            l3: Some(L3Config {
+                geom: CacheGeometry::new(8 * 1024 * 1024, 16, 64),
+                lat: 50,
+            }),
+            ..Self::paxville_smp()
         }
     }
 
@@ -270,5 +313,45 @@ mod tests {
         let s = serde_json::to_string(&c).unwrap();
         let d: MachineConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(format!("{c:?}"), format!("{d:?}"));
+    }
+
+    #[test]
+    fn dual_core_xeon_topology_roundtrips_unchanged() {
+        // The paper's topology must survive serialization exactly,
+        // including the derived Topology description.
+        let c = MachineConfig::paxville_smp();
+        let s = serde_json::to_string(&c).unwrap();
+        let d: MachineConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, d);
+        let t = crate::topology::Topology::of(&c);
+        assert_eq!(t, crate::topology::Topology::of(&d));
+        let ts = serde_json::to_string(&t).unwrap();
+        assert_eq!(t, serde_json::from_str(&ts).unwrap());
+    }
+
+    #[test]
+    fn l3_field_defaults_to_absent_for_old_configs() {
+        // Configs serialized before the l3 field existed still load.
+        let mut v = serde::Serialize::to_value(&MachineConfig::paxville_smp());
+        if let serde::Value::Object(m) = &mut v {
+            m.retain(|(k, _)| k != "l3");
+        }
+        let d: MachineConfig = serde_json::from_value(&v).unwrap();
+        assert_eq!(d.l3, None);
+        assert_eq!(d, MachineConfig::paxville_smp());
+    }
+
+    #[test]
+    fn alternate_topologies() {
+        let q = MachineConfig::quad_core_smp();
+        assert_eq!(q.chips, 1);
+        assert_eq!(q.cores(), 4);
+        assert_eq!(q.logical_cpus(), 8);
+        assert_eq!(q.l3, None);
+        let b = MachineConfig::broadwell_l3();
+        assert_eq!(b.cores(), 4);
+        let l3 = b.l3.unwrap();
+        assert_eq!(l3.geom.sets(), 8192);
+        assert!(b.l2.bytes < MachineConfig::paxville_smp().l2.bytes);
     }
 }

@@ -23,6 +23,12 @@ pub struct Counters {
     /// L2 accesses and misses (demand, both loads and write-through stores).
     pub l2_access: u64,
     pub l2_miss: u64,
+    /// Shared-L3 accesses and misses (zero on topologies without an L3,
+    /// such as the paper's Paxville hierarchy).
+    #[serde(default)]
+    pub l3_access: u64,
+    #[serde(default)]
+    pub l3_miss: u64,
     /// Trace-cache (front-end) accesses and misses.
     pub tc_access: u64,
     pub tc_miss: u64,
@@ -114,6 +120,8 @@ impl Counters {
         self.l1d_miss += o.l1d_miss;
         self.l2_access += o.l2_access;
         self.l2_miss += o.l2_miss;
+        self.l3_access += o.l3_access;
+        self.l3_miss += o.l3_miss;
         self.tc_access += o.tc_access;
         self.tc_miss += o.tc_miss;
         self.itlb_access += o.itlb_access;
@@ -147,6 +155,8 @@ impl Counters {
             l1d_miss: self.l1d_miss - earlier.l1d_miss,
             l2_access: self.l2_access - earlier.l2_access,
             l2_miss: self.l2_miss - earlier.l2_miss,
+            l3_access: self.l3_access - earlier.l3_access,
+            l3_miss: self.l3_miss - earlier.l3_miss,
             tc_access: self.tc_access - earlier.tc_access,
             tc_miss: self.tc_miss - earlier.tc_miss,
             itlb_access: self.itlb_access - earlier.itlb_access,
@@ -264,6 +274,8 @@ mod tests {
             l1d_miss: 40,
             l2_access: 50,
             l2_miss: 10,
+            l3_access: 10,
+            l3_miss: 6,
             tc_access: 100,
             tc_miss: 5,
             itlb_access: 100,

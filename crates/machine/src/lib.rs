@@ -54,6 +54,7 @@
 pub mod branch;
 pub mod bus;
 pub mod cache;
+pub mod component;
 pub mod config;
 pub mod counters;
 pub mod engine;
@@ -85,6 +86,7 @@ pub const fn to_cycles(t: u64) -> u64 {
 
 pub mod prelude {
     //! The commonly used surface of the simulator.
+    pub use crate::component::{Component, SchedStats, QUIESCENT};
     pub use crate::config::MachineConfig;
     pub use crate::counters::{Counters, Metrics};
     pub use crate::memo::MemoStats;
@@ -92,7 +94,7 @@ pub mod prelude {
     pub use crate::sim::{
         simulate, simulate_reference, JobOutcome, JobSpec, RegionSpan, SimOutcome,
     };
-    pub use crate::topology::Lcpu;
+    pub use crate::topology::{Lcpu, Topology};
     pub use crate::trace::{ProgramTrace, RegionTrace, TraceBuf};
     pub use crate::{cycles, to_cycles, TPC};
 }

@@ -29,16 +29,30 @@
 //! tests in `paxsim-core` assert bit-identical `SimOutcome`s against the
 //! reference engine with memoization active.
 //!
+//! Recorded executions are additionally shared *across* `simulate()`
+//! calls through a process-global table (see [`GlobalEntry`]): repeated
+//! runs of the same quiet workload — bench samples, sweep trials, served
+//! requests — replay whole regions from the first run instead of
+//! re-simulating them. A cross-run hit matches on machine config, region
+//! identity, team placement and the full canonical pre-state, so it is
+//! exact for the same reason an intra-run hit is.
+//!
 //! Set `PAXSIM_DISABLE_MEMO=1` to turn memoization off (used by `ci.sh`
 //! for an explicit on-vs-off drift check).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use crate::branch::Gshare;
 use crate::cache::SetAssocCanon;
+use crate::config::MachineConfig;
 use crate::counters::Counters;
 use crate::prefetch::PrefetcherCanon;
 use crate::tlb::TlbCanon;
+use crate::topology::Lcpu;
+use crate::trace::RegionTrace;
 use crate::trace_cache::TraceCacheCanon;
 
 /// Memoization telemetry for one simulation run.
@@ -93,6 +107,8 @@ pub(crate) struct CoreSnap {
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct MachineSnap {
     pub cores: Vec<CoreSnap>,
+    /// Chip-shared L3 canons (empty on topologies without an L3).
+    pub l3s: Vec<SetAssocCanon>,
     pub fsb_offs: Vec<u64>,
     pub mem_off: u64,
 }
@@ -110,6 +126,103 @@ pub(crate) struct MemoEntry {
     pub post: std::rc::Rc<MachineSnap>,
     pub dt: u64,
     pub dcounters: Counters,
+}
+
+/// One region execution shared across `simulate()` calls: the same
+/// steady-state region reached with the same canonical machine state on
+/// the same machine/placement replays from any earlier run in this
+/// process, not just earlier boundaries of the current run. Everything a
+/// region's evolution can depend on is part of the match: the machine
+/// configuration (outer key), the region's op stream (pointer key, see
+/// `_pin`), the team placement, and the full canonical pre-state — all
+/// compared exactly, so a cross-run hit is exact for the same reason an
+/// intra-run hit is.
+pub(crate) struct GlobalEntry {
+    /// Held clone of the region the pointer key names. The table is keyed
+    /// by `Arc<RegionTrace>` address; pinning the allocation here makes
+    /// that sound across runs — the address cannot be recycled for a
+    /// different region while the entry lives.
+    #[allow(dead_code)]
+    pub pin: Arc<RegionTrace>,
+    pub placement: Vec<Lcpu>,
+    pub pre: Arc<MachineSnap>,
+    pub post: Arc<MachineSnap>,
+    pub dt: u64,
+    pub dcounters: Counters,
+}
+
+/// Recorded executions for one machine config, keyed by interned region
+/// pointer.
+type RegionBuckets = HashMap<usize, Vec<Arc<GlobalEntry>>>;
+
+/// Process-wide memo table: a handful of machine configs (compared
+/// structurally — `MachineConfig` holds floats, so no hashing), each
+/// mapping region pointers to their recorded executions.
+struct GlobalMemo {
+    per_cfg: Vec<(MachineConfig, RegionBuckets)>,
+    entries: usize,
+}
+
+/// Hard cap on retained entries: snapshots are working-set sized, and the
+/// cap only bounds memory — a full table stops learning, never changes a
+/// result.
+const GLOBAL_CAP: usize = 1024;
+
+fn global() -> &'static Mutex<GlobalMemo> {
+    static G: OnceLock<Mutex<GlobalMemo>> = OnceLock::new();
+    G.get_or_init(|| {
+        Mutex::new(GlobalMemo {
+            per_cfg: Vec::new(),
+            entries: 0,
+        })
+    })
+}
+
+/// Cross-run probe: find a recorded execution of region `key` on `cfg`
+/// with this `placement` whose canonical pre-state equals `pre`. The
+/// bucket is cloned out under the lock (cheap `Arc`s) and the deep
+/// state compares run unlocked.
+pub(crate) fn global_find(
+    cfg: &MachineConfig,
+    key: usize,
+    placement: &[Lcpu],
+    pre: &MachineSnap,
+) -> Option<Arc<GlobalEntry>> {
+    let bucket: Vec<Arc<GlobalEntry>> = {
+        let g = global().lock().unwrap_or_else(|e| e.into_inner());
+        let (_, m) = g.per_cfg.iter().find(|(c, _)| c == cfg)?;
+        m.get(&key)?.clone()
+    };
+    bucket
+        .into_iter()
+        .find(|e| e.placement == placement && *e.pre == *pre)
+}
+
+/// Record one simulated region execution for future runs. `entry.pin`
+/// must be the region whose address `key` names.
+pub(crate) fn global_record(cfg: &MachineConfig, key: usize, entry: GlobalEntry) {
+    debug_assert_eq!(Arc::as_ptr(&entry.pin) as *const () as usize, key);
+    let mut g = global().lock().unwrap_or_else(|e| e.into_inner());
+    if g.entries >= GLOBAL_CAP {
+        return;
+    }
+    let gm = &mut *g;
+    let m = match gm.per_cfg.iter_mut().position(|(c, _)| c == cfg) {
+        Some(i) => &mut gm.per_cfg[i].1,
+        None => {
+            gm.per_cfg.push((cfg.clone(), HashMap::new()));
+            &mut gm.per_cfg.last_mut().unwrap().1
+        }
+    };
+    let bucket = m.entry(key).or_default();
+    if bucket
+        .iter()
+        .any(|e| e.placement == entry.placement && *e.pre == *entry.pre)
+    {
+        return;
+    }
+    bucket.push(Arc::new(entry));
+    gm.entries += 1;
 }
 
 #[cfg(test)]

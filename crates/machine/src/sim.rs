@@ -84,6 +84,10 @@ pub struct SimOutcome {
     /// Region-memoization telemetry (all zeros for the reference engine,
     /// multi-job or jittered runs, where memoization never engages).
     pub memo: crate::memo::MemoStats,
+    /// Event-scheduler telemetry: dispatches taken and idle ticks skipped
+    /// by quiescent-skip (all zeros for the reference engine, which scans
+    /// contexts linearly instead of scheduling events).
+    pub sched: crate::component::SchedStats,
 }
 
 /// Run `jobs` concurrently on a machine configured by `cfg` until all
@@ -107,9 +111,15 @@ fn record_run_metrics(out: &SimOutcome) {
     static RUNS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("machine.sim.runs");
     static PROBES: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("machine.memo.probes");
     static HITS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("machine.memo.hits");
+    static EVENTS: paxsim_obs::LazyCounter =
+        paxsim_obs::LazyCounter::new("machine.sched.events_scheduled");
+    static SKIPPED: paxsim_obs::LazyCounter =
+        paxsim_obs::LazyCounter::new("machine.sched.cycles_skipped");
     RUNS.inc();
     PROBES.add(out.memo.probes);
     HITS.add(out.memo.hits);
+    EVENTS.add(out.sched.events_scheduled);
+    SKIPPED.add(out.sched.cycles_skipped);
 }
 
 /// Run `jobs` through the seed-shaped reference engine: linear context
@@ -156,6 +166,7 @@ fn shape_outcome(out: engine::EngineOutcome, jobs: &[JobSpec]) -> SimOutcome {
         jobs: results,
         total,
         memo: out.memo,
+        sched: out.sched,
     }
 }
 

@@ -90,6 +90,162 @@ impl std::fmt::Display for Lcpu {
     }
 }
 
+/// Data-driven machine shape: how many chips, cores and SMT contexts the
+/// engine instantiates and how they wire into the cache/bus hierarchy.
+/// The paper's dual-core Xeon, a quad-core variant and an L3-backed
+/// Broadwell-style hierarchy are all just values of this type — the engine
+/// itself has no topology constants (the `Lcpu::A*`/`B*` helpers above
+/// remain as Figure 1 *naming* for the paper's machine only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    pub chips: usize,
+    pub cores_per_chip: usize,
+    /// SMT contexts per core (1 or 2; the engine models sibling pressure
+    /// pairwise).
+    pub contexts_per_core: usize,
+    /// Does each chip interpose a shared L3 between its cores' private L2s
+    /// and the front-side bus?
+    pub shared_l3: bool,
+}
+
+/// One unit of the component graph a [`Topology`] wires up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// A hardware SMT context (active component).
+    Ctx(Lcpu),
+    /// A core: issue/FP servers, L1D, private L2, TLBs, predictor,
+    /// trace cache, prefetcher.
+    Core { chip: u8, core: u8 },
+    /// A chip's shared L3 (only in `shared_l3` topologies).
+    L3 { chip: u8 },
+    /// A chip's front-side bus.
+    Fsb { chip: u8 },
+    /// The machine-wide memory controller (the root of the graph).
+    MemCtl,
+}
+
+/// A directed wire in the component graph: `from`'s single upstream port
+/// connects to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wire {
+    pub from: Unit,
+    pub to: Unit,
+}
+
+impl Topology {
+    /// The shape described by a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate shapes (zero-sized axes, or more than two SMT
+    /// contexts per core — sibling pressure is modeled pairwise).
+    pub fn of(cfg: &crate::config::MachineConfig) -> Self {
+        let t = Self {
+            chips: cfg.chips,
+            cores_per_chip: cfg.cores_per_chip,
+            contexts_per_core: cfg.contexts_per_core,
+            shared_l3: cfg.l3.is_some(),
+        };
+        assert!(
+            t.chips >= 1 && t.cores_per_chip >= 1,
+            "topology needs at least one core: {t:?}"
+        );
+        assert!(
+            (1..=2).contains(&t.contexts_per_core),
+            "SMT is modeled pairwise: contexts_per_core must be 1 or 2, got {}",
+            t.contexts_per_core
+        );
+        t
+    }
+
+    pub fn logical_cpus(&self) -> usize {
+        self.chips * self.cores_per_chip * self.contexts_per_core
+    }
+
+    pub fn cores(&self) -> usize {
+        self.chips * self.cores_per_chip
+    }
+
+    /// Is `l` a context of this topology?
+    pub fn contains(&self, l: Lcpu) -> bool {
+        (l.chip as usize) < self.chips
+            && (l.core as usize) < self.cores_per_chip
+            && (l.ctx as usize) < self.contexts_per_core
+    }
+
+    /// Flat machine-wide context index: chips-major, then cores, then
+    /// contexts. Coincides with [`Lcpu::index`] on the paper's 2×2×2
+    /// machine.
+    pub fn index(&self, l: Lcpu) -> usize {
+        debug_assert!(self.contains(l), "{l} outside {self:?}");
+        ((l.chip as usize) * self.cores_per_chip + l.core as usize) * self.contexts_per_core
+            + l.ctx as usize
+    }
+
+    /// Flat machine-wide core index.
+    pub fn core_index(&self, l: Lcpu) -> usize {
+        (l.chip as usize) * self.cores_per_chip + l.core as usize
+    }
+
+    /// The SMT sibling sharing `l`'s core, when the topology has one.
+    pub fn sibling(&self, l: Lcpu) -> Option<Lcpu> {
+        (self.contexts_per_core == 2).then(|| Lcpu::new(l.chip, l.core, 1 - l.ctx))
+    }
+
+    /// Every context, in [`Topology::index`] order.
+    pub fn lcpus(&self) -> Vec<Lcpu> {
+        let mut v = Vec::with_capacity(self.logical_cpus());
+        for chip in 0..self.chips {
+            for core in 0..self.cores_per_chip {
+                for ctx in 0..self.contexts_per_core {
+                    v.push(Lcpu::new(chip as u8, core as u8, ctx as u8));
+                }
+            }
+        }
+        v
+    }
+
+    /// The component graph's wiring: each non-root unit's single upstream
+    /// port, connected exactly once. Contexts feed their core; cores feed
+    /// the chip's L3 when present, else the chip's FSB; each L3 feeds its
+    /// FSB; each FSB feeds the shared memory controller.
+    pub fn wiring(&self) -> Vec<Wire> {
+        let mut w = Vec::new();
+        for l in self.lcpus() {
+            w.push(Wire {
+                from: Unit::Ctx(l),
+                to: Unit::Core {
+                    chip: l.chip,
+                    core: l.core,
+                },
+            });
+        }
+        for chip in 0..self.chips as u8 {
+            for core in 0..self.cores_per_chip as u8 {
+                w.push(Wire {
+                    from: Unit::Core { chip, core },
+                    to: if self.shared_l3 {
+                        Unit::L3 { chip }
+                    } else {
+                        Unit::Fsb { chip }
+                    },
+                });
+            }
+            if self.shared_l3 {
+                w.push(Wire {
+                    from: Unit::L3 { chip },
+                    to: Unit::Fsb { chip },
+                });
+            }
+            w.push(Wire {
+                from: Unit::Fsb { chip },
+                to: Unit::MemCtl,
+            });
+        }
+        w
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +283,121 @@ mod tests {
         assert_eq!(Lcpu::A3.core_index(), 1);
         assert_eq!(Lcpu::A4.core_index(), 2);
         assert_eq!(Lcpu::A7.core_index(), 3);
+    }
+
+    #[test]
+    fn paxville_topology_matches_figure1_math() {
+        let t = Topology::of(&crate::config::MachineConfig::paxville_smp());
+        assert_eq!(t.logical_cpus(), 8);
+        assert_eq!(t.cores(), 4);
+        assert!(!t.shared_l3);
+        for l in Lcpu::all() {
+            // The data-driven index agrees with the paper's hardcoded one.
+            assert_eq!(t.index(l), l.index());
+            assert_eq!(t.core_index(l), l.core_index());
+            assert_eq!(t.sibling(l), Some(l.sibling()));
+            assert!(t.contains(l));
+        }
+        assert_eq!(t.lcpus(), Lcpu::all().to_vec());
+    }
+
+    #[test]
+    fn quad_and_l3_shapes() {
+        let q = Topology::of(&crate::config::MachineConfig::quad_core_smp());
+        assert_eq!(q.cores(), 4);
+        assert_eq!(q.logical_cpus(), 8);
+        assert!(q.contains(Lcpu::new(0, 3, 1)));
+        assert!(!q.contains(Lcpu::new(1, 0, 0)));
+        let b = Topology::of(&crate::config::MachineConfig::broadwell_l3());
+        assert!(b.shared_l3);
+        assert!(b.wiring().iter().any(|w| w.to == Unit::L3 { chip: 0 }));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashSet;
+
+        fn topo() -> impl Strategy<Value = Topology> {
+            (1usize..=3, 1usize..=4, 1usize..=2, proptest::bool::ANY).prop_map(
+                |(chips, cores_per_chip, contexts_per_core, shared_l3)| Topology {
+                    chips,
+                    cores_per_chip,
+                    contexts_per_core,
+                    shared_l3,
+                },
+            )
+        }
+
+        proptest! {
+            /// Any valid topology builds a consistent component graph:
+            /// every non-root unit's upstream port is connected exactly
+            /// once, every wire's endpoint exists, and the graph reaches
+            /// the memory controller from every context.
+            #[test]
+            fn wiring_connects_every_port_exactly_once(t in topo()) {
+                let wires = t.wiring();
+                // All units that must appear in the graph.
+                let mut expected: HashSet<Unit> = HashSet::new();
+                for l in t.lcpus() {
+                    expected.insert(Unit::Ctx(l));
+                }
+                for chip in 0..t.chips as u8 {
+                    for core in 0..t.cores_per_chip as u8 {
+                        expected.insert(Unit::Core { chip, core });
+                    }
+                    if t.shared_l3 {
+                        expected.insert(Unit::L3 { chip });
+                    }
+                    expected.insert(Unit::Fsb { chip });
+                }
+                // Each non-root unit is a wire source exactly once.
+                let mut sources: Vec<Unit> = wires.iter().map(|w| w.from).collect();
+                let n = sources.len();
+                sources.sort_by_key(|u| format!("{u:?}"));
+                sources.dedup();
+                prop_assert_eq!(sources.len(), n, "a port is connected more than once");
+                let sources: HashSet<Unit> = sources.into_iter().collect();
+                prop_assert_eq!(&sources, &expected, "sources != non-root units");
+                // Every destination is a real unit (or the root).
+                for w in &wires {
+                    prop_assert!(
+                        w.to == Unit::MemCtl || expected.contains(&w.to),
+                        "wire into nonexistent unit {:?}", w.to
+                    );
+                }
+                // Every context reaches the memory controller.
+                let step = |u: Unit| wires.iter().find(|w| w.from == u).map(|w| w.to);
+                for l in t.lcpus() {
+                    let mut u = Unit::Ctx(l);
+                    let mut hops = 0;
+                    while u != Unit::MemCtl {
+                        u = step(u).expect("dangling unit");
+                        hops += 1;
+                        prop_assert!(hops <= 4, "cycle or over-deep path");
+                    }
+                }
+            }
+
+            /// The flat context index is a bijection onto 0..logical_cpus.
+            #[test]
+            fn index_is_a_bijection(t in topo()) {
+                let ls = t.lcpus();
+                prop_assert_eq!(ls.len(), t.logical_cpus());
+                let idxs: HashSet<usize> = ls.iter().map(|&l| t.index(l)).collect();
+                prop_assert_eq!(idxs.len(), t.logical_cpus());
+                prop_assert!(idxs.iter().all(|&i| i < t.logical_cpus()));
+                // Siblings share a core and pair up symmetrically.
+                for &l in &ls {
+                    match t.sibling(l) {
+                        Some(s) => {
+                            prop_assert_eq!(t.core_index(s), t.core_index(l));
+                            prop_assert_eq!(t.sibling(s), Some(l));
+                        }
+                        None => prop_assert_eq!(t.contexts_per_core, 1),
+                    }
+                }
+            }
+        }
     }
 }

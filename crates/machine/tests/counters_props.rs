@@ -20,12 +20,14 @@ fn extreme_u64() -> impl Strategy<Value = u64> {
 }
 
 fn arb_counters() -> impl Strategy<Value = Counters> {
-    proptest::collection::vec(extreme_u64(), 26).prop_map(|v| Counters {
+    proptest::collection::vec(extreme_u64(), 28).prop_map(|v| Counters {
         instructions: v[0],
         l1d_access: v[1],
         l1d_miss: v[2],
         l2_access: v[3],
         l2_miss: v[4],
+        l3_access: v[26],
+        l3_miss: v[27],
         tc_access: v[5],
         tc_miss: v[6],
         itlb_access: v[7],

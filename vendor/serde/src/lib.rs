@@ -7,8 +7,9 @@
 //! `serde_json` (also vendored) renders and parses that tree.
 //!
 //! This is intentionally *not* the full serde data model — no zero-copy,
-//! no custom serializers, no attributes — just enough to keep the repo's
-//! reports and config round-trips working hermetically.
+//! no custom serializers, and only the `#[serde(default)]` field
+//! attribute — just enough to keep the repo's reports and config
+//! round-trips working hermetically.
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -6,14 +6,34 @@
 //! shapes this workspace uses:
 //!
 //! * structs with named fields (no generics),
-//! * enums whose variants are unit or single-field tuple variants.
+//! * enums whose variants are unit or single-field tuple variants,
+//! * the `#[serde(default)]` field attribute: a field absent from the
+//!   input deserializes to `Default::default()` (forward compatibility
+//!   for configs serialized before the field existed).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The parsed shape of the deriving item.
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    /// Fields are `(name, has_serde_default)`.
+    Struct { name: String, fields: Vec<(String, bool)> },
     Enum { name: String, variants: Vec<(String, bool)> }, // (name, has_payload)
+}
+
+/// Does this attribute group body (the `[...]` contents) spell
+/// `serde(default)`?
+fn is_serde_default(g: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -74,15 +94,21 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Extract field names from a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Extract `(field_name, has_serde_default)` pairs from a named-field
+/// struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, bool)> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
+    let mut defaulted = false;
     let mut i = 0;
     while i < tokens.len() {
-        // Skip attributes and visibility before the field name.
+        // Skip attributes and visibility before the field name, noting
+        // whether a `#[serde(default)]` applies to the upcoming field.
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    defaulted |= is_serde_default(g);
+                }
                 i += 2;
                 continue;
             }
@@ -96,7 +122,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                 continue;
             }
             TokenTree::Ident(id) => {
-                fields.push(id.to_string());
+                fields.push((id.to_string(), std::mem::take(&mut defaulted)));
                 i += 1;
                 // Expect ':', then skip the type until a top-level ','.
                 match tokens.get(i) {
@@ -182,13 +208,13 @@ fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
     variants
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let code = match parse_item(input) {
         Item::Struct { name, fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!(
                         "__m.push(({f:?}.to_string(), \
                          ::serde::Serialize::to_value(&self.{f})));\n"
@@ -232,16 +258,27 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("serde_derive: generated code must parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse_item(input) {
         Item::Struct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(__v.field_or_err({f:?})?)?,\n"
-                    )
+                .map(|(f, defaulted)| {
+                    if *defaulted {
+                        format!(
+                            "{f}: match __v.get({f:?}) {{\n\
+                                 ::std::option::Option::Some(__fv) => \
+                                     ::serde::Deserialize::from_value(__fv)?,\n\
+                                 ::std::option::Option::None => \
+                                     ::std::default::Default::default(),\n\
+                             }},\n"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(__v.field_or_err({f:?})?)?,\n"
+                        )
+                    }
                 })
                 .collect();
             format!(
