@@ -90,6 +90,15 @@ SERVE_PID=""
 [ ! -e "$SERVE_SOCK" ] || { echo "socket file not removed on drain"; exit 1; }
 echo "serve smoke passed: byte-identical hit, counted, clean SIGTERM drain"
 
+echo "== serve load smoke (reactor + batching + sharded cache, quick) =="
+# The load generator self-asserts the scaling invariants — batch merging
+# actually happened, per-shard hits + misses add up to requests +
+# baseline fetches, more than one shard is populated, and the graceful
+# drain flushed and joined everything — and exits nonzero on any
+# violation. Quick mode shrinks the run and leaves BENCH_serve.json
+# untouched.
+target/release/paxsim-loadgen --quick
+
 echo "== differential drift check on the quad-core topology =="
 # The engine is data-driven over Topology; run the non-Table-1 quad-core
 # (and L3-backed) differential suite once so a topology-conditional bug
@@ -129,6 +138,29 @@ awk -v fresh="$FRESH_GEOMEAN" -v committed="$COMMITTED_GEOMEAN" 'BEGIN {
         exit 1
     }
     printf "bench gate passed: %.4f >= floor %.4f\n", fresh, floor
+}'
+
+echo "== serve throughput gate (fresh load run vs committed BENCH_serve.json) =="
+# Full-size loopback load run; it rewrites BENCH_serve.json, so read the
+# committed throughput first, compare, and always restore the committed
+# file — same discipline as the engine gate above. Two floors: the
+# absolute 10k coalesced-req/s acceptance line, and half the committed
+# number (a hot-path regression halves throughput long before host noise
+# does, so 50% tolerates a shared box without masking real damage).
+COMMITTED_RPS=$(awk -F': ' '/"rps"/ { gsub(/,/, "", $2); print $2; exit }' BENCH_serve.json)
+cp BENCH_serve.json "$SERVE_TMP/BENCH_serve.committed.json"
+target/release/paxsim-loadgen
+FRESH_RPS=$(awk -F': ' '/"rps"/ { gsub(/,/, "", $2); print $2; exit }' BENCH_serve.json)
+cp "$SERVE_TMP/BENCH_serve.committed.json" BENCH_serve.json
+echo "serve gate: fresh ${FRESH_RPS} req/s vs committed ${COMMITTED_RPS}"
+awk -v fresh="$FRESH_RPS" -v committed="$COMMITTED_RPS" 'BEGIN {
+    floor = committed * 0.5
+    if (floor < 10000) floor = 10000
+    if (fresh + 0 < floor) {
+        printf "serve gate FAILED: fresh %.0f req/s under floor %.0f (committed %.0f)\n", fresh, floor, committed
+        exit 1
+    }
+    printf "serve gate passed: %.0f req/s >= floor %.0f\n", fresh, floor
 }'
 
 echo "ci.sh: all gates passed"

@@ -228,6 +228,13 @@ impl Journal {
         Ok(())
     }
 
+    /// Every resumable record, in unspecified order. The serve cache uses
+    /// this to migrate a legacy single-file journal into its per-shard
+    /// files; sweeps never need it (they look cells up by key).
+    pub fn records(&self) -> Vec<Record> {
+        lock(&self.inner).cells.values().cloned().collect()
+    }
+
     /// Number of distinct keys currently resumable.
     pub fn len(&self) -> usize {
         lock(&self.inner).cells.len()

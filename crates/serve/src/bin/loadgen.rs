@@ -1,0 +1,350 @@
+//! `paxsim-loadgen` — loopback load generator and scaling benchmark for
+//! the paxsim-serve daemon.
+//!
+//! ```text
+//! paxsim-loadgen [--connections N] [--requests N] [--quick]
+//! ```
+//!
+//! Stands a full in-process server up (reactor front end, worker pool,
+//! batcher, sharded cache) on a loopback TCP port and drives it through
+//! two phases:
+//!
+//! 1. **Cold / batching** — a grid of compatible simulate requests
+//!    (kernels × configurations, identical study parameters) fired
+//!    concurrently from one connection per spec, with a nonzero gather
+//!    window. Compatible misses must merge into shared sweeps
+//!    (`merged > 0`).
+//! 2. **Hot / throughput** — the now-cached grid round-robined over
+//!    `--connections` persistent pipelined connections for `--requests`
+//!    total requests, measuring sustained coalesced requests/sec with
+//!    p50/p99 latency.
+//!
+//! Afterwards it scrapes `op=stats`, checks the cross-shard conservation
+//! law (`Σ shard hits + Σ shard misses == simulate requests + baseline
+//! fetches`), drains the server gracefully, and — outside `--quick` —
+//! writes `BENCH_serve.json` at the workspace root so successive PRs
+//! compare like for like. Any violated invariant (reply not ok, zero
+//! merges, broken conservation, failed drain) exits nonzero, which lets
+//! `ci.sh` use `--quick` as the serve load smoke.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use paxsim_serve::{ServeConfig, Server, Service};
+use serde::Value;
+
+/// The request grid: every pair is compatible with every other (same
+/// class, trials, jitter, schedule, machine, no deadline), so the cold
+/// phase can merge across the full grid.
+const KERNELS: [&str; 4] = ["ep", "is", "cg", "bt"];
+const CONFIGS: [&str; 3] = ["Serial", "CMP", "CMT"];
+
+fn usage() -> ! {
+    eprintln!("usage: paxsim-loadgen [--connections N] [--requests N] [--quick]");
+    std::process::exit(2);
+}
+
+fn grid() -> Vec<String> {
+    let mut lines = Vec::new();
+    for k in KERNELS {
+        for c in CONFIGS {
+            lines.push(format!(
+                r#"{{"op":"simulate","kernel":"{k}","config":"{c}"}}"#
+            ));
+        }
+    }
+    lines
+}
+
+/// One blocking round trip on a fresh connection.
+fn roundtrip(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    Ok(reply.trim_end().to_string())
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Cold phase: one connection per grid spec, all fired as close to
+/// simultaneously as the OS allows. Returns wall ms.
+fn cold_phase(addr: &str, lines: &[String]) -> f64 {
+    let barrier = std::sync::Barrier::new(lines.len());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for line in lines {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let reply = roundtrip(addr, line).expect("cold request I/O");
+                assert!(
+                    reply.contains("\"ok\":true"),
+                    "cold reply must be ok: {reply}"
+                );
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Hot phase: `connections` persistent connections, each sending its
+/// share of `total` requests round-robined over the (now cached) grid.
+/// Returns (sorted latencies ms, wall seconds).
+fn hot_phase(addr: &str, lines: &[String], connections: usize, total: usize) -> (Vec<f64>, f64) {
+    let per = total / connections;
+    let extra = total % connections;
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let count = per + usize::from(c < extra);
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("hot connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(stream);
+                    let mut lat = Vec::with_capacity(count);
+                    let mut reply = String::new();
+                    for i in 0..count {
+                        let line = &lines[(c + i) % lines.len()];
+                        let t = Instant::now();
+                        reader.get_mut().write_all(line.as_bytes()).expect("write");
+                        reader.get_mut().write_all(b"\n").expect("write");
+                        reply.clear();
+                        reader.read_line(&mut reply).expect("read");
+                        lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert!(
+                            reply.contains("\"ok\":true"),
+                            "hot reply must be ok: {reply}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("hot client"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    (latencies, wall)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let mut connections: usize = 16;
+    let mut requests: usize = 60_000;
+    let mut quick = std::env::var_os("PAXSIM_BENCH_QUICK").is_some_and(|v| v != "0");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> usize {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} needs a number");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--connections" => connections = num("--connections").max(1),
+            "--requests" => requests = num("--requests").max(1),
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if quick {
+        connections = connections.min(8);
+        requests = requests.min(6_000);
+    }
+    let _quiesced = paxsim_core::faultinject::quiesced();
+
+    let cache_dir: PathBuf =
+        std::env::temp_dir().join(format!("paxsim_loadgen_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let service = Arc::new(
+        Service::open(ServeConfig {
+            cache_dir: cache_dir.clone(),
+            // Wide enough that the barrier-released cold grid lands in
+            // one gather window even on a loaded CI host.
+            batch_window_ms: 50,
+            ..ServeConfig::default()
+        })
+        .expect("open service"),
+    );
+    let server = Server::start(service.clone(), Some("127.0.0.1:0"), None).expect("start server");
+    let addr = server.tcp_addr().expect("tcp bound").to_string();
+
+    let lines = grid();
+    eprintln!(
+        "loadgen: {} specs cold (window 50 ms), then {requests} requests over {connections} connections",
+        lines.len()
+    );
+
+    // Phase 1: cold grid, concurrent, must merge.
+    let cold_ms = cold_phase(&addr, &lines);
+    let batches = service.batches();
+    let merged = service.batch_merged();
+    let merge_rate = merged as f64 / lines.len() as f64;
+    eprintln!(
+        "loadgen: cold grid in {cold_ms:.1} ms — {batches} batches, {merged} merged ({:.0}% of requests rode a shared sweep)",
+        merge_rate * 100.0
+    );
+    assert!(
+        merged > 0,
+        "compatible concurrent cold misses must merge (batches = {batches})"
+    );
+
+    // Phase 2: hot sustained throughput.
+    let (latencies, wall) = hot_phase(&addr, &lines, connections, requests);
+    let rps = latencies.len() as f64 / wall;
+    let p50 = percentile(&latencies, 0.5);
+    let p99 = percentile(&latencies, 0.99);
+    eprintln!(
+        "loadgen: hot {} requests in {wall:.2} s — {rps:.0} req/s, p50 {p50:.3} ms, p99 {p99:.3} ms",
+        latencies.len()
+    );
+
+    // Conservation across shards, scraped over the wire like any client.
+    let stats_line = roundtrip(&addr, r#"{"op":"stats"}"#).expect("stats I/O");
+    let stats = serde_json::parse(&stats_line).expect("stats parses");
+    let shards = match &stats["cache"]["shards"] {
+        Value::Array(a) => a.clone(),
+        other => panic!("stats.cache.shards must be an array, got {other:?}"),
+    };
+    let field = |v: &Value, k: &str| v[k].as_u64().unwrap_or(0);
+    let shard_hits: u64 = shards
+        .iter()
+        .map(|s| field(s, "mem_hits") + field(s, "disk_hits"))
+        .sum();
+    let shard_misses: u64 = shards.iter().map(|s| field(s, "misses")).sum();
+    let baseline_fetches = stats["baseline_fetches"].as_u64().unwrap_or(0);
+    let simulate_requests = (lines.len() + requests) as u64;
+    let conserved = shard_hits + shard_misses == simulate_requests + baseline_fetches;
+    eprintln!(
+        "loadgen: conservation {} — Σ shard hits {shard_hits} + misses {shard_misses} \
+         vs requests {simulate_requests} + baselines {baseline_fetches}",
+        if conserved { "holds" } else { "VIOLATED" }
+    );
+    assert!(
+        conserved,
+        "cross-shard conservation: {shard_hits} + {shard_misses} != {simulate_requests} + {baseline_fetches}"
+    );
+    let populated = shards
+        .iter()
+        .filter(|s| field(s, "mem_hits") + field(s, "disk_hits") + field(s, "misses") > 0)
+        .count();
+    assert!(
+        populated > 1,
+        "the grid must spread over more than one shard (got {populated})"
+    );
+
+    // Graceful drain: every reply flushed, every thread joined.
+    let drained = server.shutdown(Duration::from_secs(30));
+    assert!(drained, "server must drain cleanly inside the grace period");
+    eprintln!("loadgen: drained cleanly");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    if quick {
+        eprintln!("loadgen: quick mode, BENCH_serve.json left untouched");
+        return;
+    }
+
+    let per_shard = Value::Array(
+        shards
+            .iter()
+            .map(|s| {
+                let hits = field(s, "mem_hits") + field(s, "disk_hits");
+                let total = hits + field(s, "misses");
+                obj(vec![
+                    ("hits", Value::UInt(hits)),
+                    ("misses", Value::UInt(field(s, "misses"))),
+                    ("entries_disk", Value::UInt(field(s, "entries_disk"))),
+                    (
+                        "hit_rate",
+                        Value::Float(if total > 0 {
+                            hits as f64 / total as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let report = obj(vec![
+        ("bench", Value::String("serve_load".into())),
+        (
+            "notes",
+            Value::String(
+                "Loopback TCP against the in-process reactor server. Cold phase: the \
+                 kernels x configs grid fired concurrently through a 50 ms gather window \
+                 (merged = requests that rode another request's sweep). Hot phase: the \
+                 cached grid round-robined over persistent pipelined connections; rps is \
+                 coalesced requests per second of wall clock. Conservation: sum of \
+                 per-shard (hits + misses) equals simulate requests + baseline fetches, \
+                 checked before every run of this report. drained = graceful shutdown \
+                 flushed every reply and joined every thread inside the grace period."
+                    .into(),
+            ),
+        ),
+        ("connections", Value::UInt(connections as u64)),
+        (
+            "cold",
+            obj(vec![
+                ("specs", Value::UInt(lines.len() as u64)),
+                ("wall_ms", Value::Float(cold_ms)),
+                ("batches", Value::UInt(batches)),
+                ("merged", Value::UInt(merged)),
+                ("merge_rate", Value::Float(merge_rate)),
+            ]),
+        ),
+        (
+            "hot",
+            obj(vec![
+                ("requests", Value::UInt(latencies.len() as u64)),
+                ("wall_s", Value::Float(wall)),
+                ("rps", Value::Float(rps)),
+                ("p50_ms", Value::Float(p50)),
+                ("p99_ms", Value::Float(p99)),
+            ]),
+        ),
+        (
+            "conservation",
+            obj(vec![
+                ("shard_hits", Value::UInt(shard_hits)),
+                ("shard_misses", Value::UInt(shard_misses)),
+                ("simulate_requests", Value::UInt(simulate_requests)),
+                ("baseline_fetches", Value::UInt(baseline_fetches)),
+                ("holds", Value::Bool(conserved)),
+            ]),
+        ),
+        ("shards", per_shard),
+        ("drained", Value::Bool(drained)),
+    ]);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

@@ -3,16 +3,26 @@
 //! ```text
 //! paxsim-cli (--tcp ADDR | --unix PATH) simulate --kernel K --config C
 //!            [--class T] [--trials N] [--jitter N] [--schedule S]
-//!            [--deadline-ms N]
+//!            [--deadline-ms N] [--concurrency N] [--repeat N]
 //! paxsim-cli (--tcp ADDR | --unix PATH) stats
 //! paxsim-cli (--tcp ADDR | --unix PATH) metrics
-//! paxsim-cli (--tcp ADDR | --unix PATH) raw '<json request line>'
+//! paxsim-cli (--tcp ADDR | --unix PATH) raw '<json>' [--concurrency N]
+//!            [--repeat N]
 //! ```
 //!
 //! Prints the daemon's reply line verbatim on stdout — except `metrics`,
 //! which unpacks the reply's Prometheus exposition text so the output can
 //! be piped straight to a scrape file. Exits 0 on an `"ok":true` reply,
 //! 1 on an error reply, 2 on usage/connection problems.
+//!
+//! With `--concurrency N` (persistent connections) and/or `--repeat N`
+//! (total request count, round-robined over the connections) the CLI
+//! turns into a minimal load driver: identical concurrent requests
+//! exercise the daemon's single-flight path the first time and the cache
+//! thereafter, and a *set* of CLIs with different kernels exercises the
+//! batching path. The reply mode then prints one summary JSON line —
+//! request count, ok/error split, wall time, requests/sec, and latency
+//! percentiles — and exits 0 only if every reply was `"ok":true`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -26,9 +36,10 @@ fn usage() -> ! {
          commands:\n\
          \x20 simulate --kernel K --config C [--class T] [--trials N]\n\
          \x20          [--jitter N] [--schedule S] [--deadline-ms N]\n\
+         \x20          [--concurrency N] [--repeat N]\n\
          \x20 stats\n\
          \x20 metrics\n\
-         \x20 raw '<json>'"
+         \x20 raw '<json>' [--concurrency N] [--repeat N]"
     );
     std::process::exit(2);
 }
@@ -55,6 +66,118 @@ trait ReadWrite: std::io::Read + Write {}
 impl ReadWrite for TcpStream {}
 impl ReadWrite for UnixStream {}
 
+/// One persistent load-driver connection: send/recv `line` `count` times,
+/// returning per-request latencies (ms) and the ok-reply count.
+fn drive(conn: &str, line: &str, count: usize) -> std::io::Result<(Vec<f64>, usize)> {
+    let stream: Box<dyn ReadWrite> = if let Some(addr) = conn.strip_prefix("tcp:") {
+        Box::new(TcpStream::connect(addr)?)
+    } else {
+        Box::new(UnixStream::connect(
+            conn.strip_prefix("unix:").unwrap_or(conn),
+        )?)
+    };
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(count);
+    let mut ok = 0usize;
+    let mut reply = String::new();
+    for _ in 0..count {
+        let t0 = std::time::Instant::now();
+        reader.get_mut().write_all(line.as_bytes())?;
+        reader.get_mut().write_all(b"\n")?;
+        reader.get_mut().flush()?;
+        reply.clear();
+        reader.read_line(&mut reply)?;
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        if reply.contains("\"ok\":true") {
+            ok += 1;
+        }
+    }
+    Ok((latencies, ok))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Fan `line` out over `concurrency` persistent connections, `repeat`
+/// total requests; print a one-line JSON summary. Exit 0 iff every reply
+/// was ok.
+fn run_load(conn: &str, line: &str, concurrency: usize, repeat: usize) -> ! {
+    let concurrency = concurrency.max(1);
+    let repeat = repeat.max(1).max(concurrency);
+    let per = repeat / concurrency;
+    let extra = repeat % concurrency;
+    let t0 = std::time::Instant::now();
+    let results: Vec<std::io::Result<(Vec<f64>, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|i| {
+                let count = per + usize::from(i < extra);
+                scope.spawn(move || drive(conn, line, count))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let mut ok = 0usize;
+    let mut io_errors = 0usize;
+    for r in results {
+        match r {
+            Ok((lat, n_ok)) => {
+                ok += n_ok;
+                latencies.extend(lat);
+            }
+            Err(_) => io_errors += 1,
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let requests = latencies.len();
+    let summary = Value::Object(vec![
+        (
+            "ok".to_string(),
+            Value::Bool(ok == requests && io_errors == 0),
+        ),
+        ("requests".to_string(), Value::UInt(requests as u64)),
+        ("ok_replies".to_string(), Value::UInt(ok as u64)),
+        (
+            "error_replies".to_string(),
+            Value::UInt((requests - ok) as u64),
+        ),
+        ("io_errors".to_string(), Value::UInt(io_errors as u64)),
+        ("concurrency".to_string(), Value::UInt(concurrency as u64)),
+        ("wall_s".to_string(), Value::Float(wall)),
+        (
+            "rps".to_string(),
+            Value::Float(if wall > 0.0 {
+                requests as f64 / wall
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "p50_ms".to_string(),
+            Value::Float(percentile(&latencies, 0.5)),
+        ),
+        (
+            "p99_ms".to_string(),
+            Value::Float(percentile(&latencies, 0.99)),
+        ),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string(&summary).expect("summary renders infallibly")
+    );
+    std::process::exit(if ok == requests && io_errors == 0 {
+        0
+    } else {
+        1
+    });
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -62,6 +185,8 @@ fn main() {
     let mut command: Option<String> = None;
     let mut fields: Vec<(String, Value)> = Vec::new();
     let mut raw: Option<String> = None;
+    let mut concurrency: usize = 1;
+    let mut repeat: usize = 1;
     let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
         it.next().cloned().unwrap_or_else(|| {
             eprintln!("{flag} needs a value");
@@ -80,6 +205,17 @@ fn main() {
             "--kernel" | "--config" | "--class" | "--schedule" => {
                 let key = arg.trim_start_matches("--").to_string();
                 fields.push((key, Value::String(value(&mut it, arg))));
+            }
+            "--concurrency" | "--repeat" => {
+                let n: usize = value(&mut it, arg).parse().unwrap_or_else(|_| {
+                    eprintln!("{arg} needs a number");
+                    usage()
+                });
+                if arg == "--concurrency" {
+                    concurrency = n;
+                } else {
+                    repeat = n;
+                }
             }
             "--trials" | "--jitter" | "--deadline-ms" => {
                 let key = arg.trim_start_matches("--").replace('-', "_");
@@ -110,6 +246,13 @@ fn main() {
         }
         _ => usage(),
     };
+    if concurrency > 1 || repeat > 1 {
+        if command != "simulate" && command != "raw" {
+            eprintln!("--concurrency/--repeat apply to simulate and raw only");
+            usage();
+        }
+        run_load(&conn, &line, concurrency, repeat);
+    }
     match roundtrip(&conn, &line) {
         Ok(reply) => {
             let parsed = serde_json::parse(&reply).ok();

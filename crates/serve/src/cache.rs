@@ -1,30 +1,110 @@
-//! The two-tier content-addressed result cache.
+//! The sharded, two-tier, content-addressed result cache.
 //!
-//! Tier 1 is an in-memory LRU keyed by the request's
-//! [`ConfigHash`](paxsim_core::hash::ConfigHash); tier 2 is an on-disk
-//! [`Journal`](paxsim_core::journal::Journal) — the same CRC-per-record
-//! JSONL format the resilient sweep drivers checkpoint into, so results
-//! survive daemon restarts and every corruption mode the journal detects
-//! (bit rot, truncated tails) causes a recompute, never a wrong answer.
-//! Disk hits are promoted into the LRU; every put lands in both tiers
-//! (the journal flushes per append, so "flush the cache on drain" is a
-//! no-op by construction).
+//! The PR-4 cache was one LRU behind one mutex over one journal file —
+//! correct, but every hit on every connection serialized on that lock.
+//! The cache is now **N independent shards**: each shard owns its own
+//! in-memory LRU (its own mutex) and its own on-disk
+//! [`Journal`](paxsim_core::journal::Journal) (`shard-<i>.jsonl`), so
+//! lookups for different keys proceed in parallel and a put never blocks
+//! an unrelated get. Within a shard the PR-4 semantics are unchanged:
+//! tier 1 is an LRU keyed by the request's
+//! [`ConfigHash`](paxsim_core::hash::ConfigHash); tier 2 is the same
+//! CRC-per-record JSONL format the resilient sweep drivers checkpoint
+//! into, so results survive daemon restarts and every corruption mode the
+//! journal detects (bit rot, truncated tails) causes a recompute, never a
+//! wrong answer. Disk hits are promoted into the shard's LRU; every put
+//! lands in both tiers; duplicate keys are legal and last-record-wins.
 //!
-//! Keys on disk are `serve|<16-hex content hash>`; duplicate keys are
-//! legal and last-record-wins, so a recompute after corruption simply
-//! appends a fresh record.
+//! **Shard selection** is consistent hashing over the `ConfigHash`: each
+//! shard contributes [`VNODES`] points to a ring of FNV-1a digests of
+//! `"shard-<i>/vnode-<v>"`, and a key belongs to the first point at or
+//! clockwise-after its hash ([`Ring::select`]). The canonical-JSON key is
+//! already location-independent, so re-sharding (changing N) only *moves*
+//! entries — a moved entry misses once and recomputes; it is never served
+//! wrong — and consistent hashing keeps those moves to ~1/N of the
+//! keyspace. The same function is exported ([`shard_index`]) so tests,
+//! the load generator, and (eventually) a multi-node router agree with
+//! the daemon about key placement.
+//!
+//! **Conservation** holds shard-locally and therefore globally: every
+//! `get` books exactly one tier counter (mem hit, disk hit, or miss) in
+//! exactly one shard, so `Σ hits + Σ misses == get calls` across any mix
+//! of shards.
+//!
+//! A legacy single-file `results.jsonl` from a pre-shard daemon is
+//! migrated at open: every valid record is appended into its owning
+//! shard's journal and the legacy file is renamed to
+//! `results.jsonl.migrated`, so an upgrade never recomputes a result it
+//! already paid for.
 
 use std::collections::{HashMap, VecDeque};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use paxsim_core::error::StudyResult;
-use paxsim_core::hash::ConfigHash;
+use paxsim_core::hash::{fnv1a, ConfigHash};
 use paxsim_core::journal::{Journal, Record, SideRecord};
 
-/// On-disk journal file name inside the cache directory.
+/// Legacy (pre-shard) on-disk journal file name inside the cache
+/// directory; present only in caches written by older daemons, migrated
+/// on open.
 pub const JOURNAL_FILE: &str = "results.jsonl";
+
+/// Default shard count. Eight shards cut lock contention by ~8x while
+/// keeping the cache directory readable; tune with `--shards`.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Virtual nodes per shard on the consistent-hash ring. 16 points per
+/// shard keeps the keyspace split within a few percent of even.
+pub const VNODES: usize = 16;
+
+/// On-disk journal file name for one shard.
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index}.jsonl")
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring.
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash ring mapping `ConfigHash` points to shard indices.
+pub struct Ring {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Build the ring for `shards` shards ([`VNODES`] points each).
+    pub fn new(shards: usize) -> Ring {
+        let shards = shards.max(1);
+        let mut points: Vec<(u64, usize)> = (0..shards)
+            .flat_map(|s| {
+                (0..VNODES).map(move |v| (fnv1a(format!("shard-{s}/vnode-{v}").as_bytes()), s))
+            })
+            .collect();
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The shard owning `hash`: the first ring point at or clockwise-after
+    /// it, wrapping to the first point past the top of the keyspace.
+    pub fn select(&self, hash: ConfigHash) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < hash.0);
+        self.points[i % self.points.len()].1
+    }
+}
+
+/// The shard a key lands in under an `n_shards`-way cache. Exported so
+/// tests and external routers can locate a key's journal file without a
+/// live cache instance.
+pub fn shard_index(hash: ConfigHash, n_shards: usize) -> usize {
+    Ring::new(n_shards).select(hash)
+}
+
+// ---------------------------------------------------------------------------
+// One shard: LRU over journal, exactly the PR-4 two-tier semantics.
+// ---------------------------------------------------------------------------
 
 struct Lru {
     cap: usize,
@@ -65,8 +145,9 @@ impl Lru {
     }
 }
 
-/// The two-tier cache. Thread-safe; shared across every connection.
-pub struct ResultCache {
+/// One independent cache shard: private LRU, private journal, private
+/// counters. No state is shared between shards, which is the whole point.
+struct Shard {
     journal: Journal,
     mem: Mutex<Lru>,
     mem_hits: AtomicU64,
@@ -79,55 +160,10 @@ fn lock(m: &Mutex<Lru>) -> MutexGuard<'_, Lru> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-impl ResultCache {
-    /// Open the cache rooted at `dir` (created if absent), holding at
-    /// most `mem_cap` records in memory.
-    ///
-    /// # Errors
-    ///
-    /// Journal I/O errors opening or reading the on-disk tier.
-    pub fn open(dir: &Path, mem_cap: usize) -> StudyResult<ResultCache> {
-        let journal = Journal::open(&dir.join(JOURNAL_FILE))?;
-        Ok(ResultCache {
-            journal,
-            mem: Mutex::new(Lru {
-                cap: mem_cap,
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
-            mem_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            puts: AtomicU64::new(0),
-        })
-    }
-
-    /// The on-disk journal key for a content hash.
-    pub fn key(hash: ConfigHash) -> String {
-        format!("serve|{hash}")
-    }
-
-    /// Look `hash` up: memory first, then disk (promoting a disk hit).
-    ///
-    /// Exactly one tier counter moves per call (mem hit, disk hit, or
-    /// miss), so `hits() + misses()` equals the number of `get` calls —
-    /// the conservation law the loopback stats tests assert. Lookups that
-    /// must not perturb the stats (a flight's double-check) use
-    /// [`ResultCache::peek`].
-    pub fn get(&self, hash: ConfigHash) -> Option<Record> {
-        static MEM: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.mem_hits");
-        static DISK: paxsim_obs::LazyCounter =
-            paxsim_obs::LazyCounter::new("serve.cache.disk_hits");
+impl Shard {
+    fn get(&self, hash: ConfigHash) -> Option<Record> {
         static MISS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.misses");
-        if let Some(rec) = lock(&self.mem).get(hash.0) {
-            self.mem_hits.fetch_add(1, Ordering::Relaxed);
-            MEM.inc();
-            return Some(rec);
-        }
-        if let Some(rec) = self.journal.lookup(&Self::key(hash)) {
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            DISK.inc();
-            lock(&self.mem).put(hash.0, rec.clone());
+        if let Some(rec) = self.probe(hash) {
             return Some(rec);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -135,28 +171,38 @@ impl ResultCache {
         None
     }
 
-    /// Silent lookup: serves from either tier without touching recency,
-    /// promotion, or any hit/miss counter. This is the double-check a
-    /// coalesced flight performs after winning the leadership race — the
-    /// request already charged its one tier counter in the outer
-    /// [`ResultCache::get`], so counting the re-check would double-book.
-    pub fn peek(&self, hash: ConfigHash) -> Option<Record> {
+    /// `get` minus the miss booking: a hit books its tier counter (and
+    /// promotes, like `get`), a miss books *nothing* — the caller is
+    /// expected to fall through to the slow path, whose own `get` books
+    /// the miss. This is what lets the reactor's inline-hit fast path
+    /// attempt a lookup without double-counting the misses it passes on.
+    fn probe(&self, hash: ConfigHash) -> Option<Record> {
+        static MEM: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.mem_hits");
+        static DISK: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.cache.disk_hits");
+        if let Some(rec) = lock(&self.mem).get(hash.0) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            MEM.inc();
+            return Some(rec);
+        }
+        if let Some(rec) = self.journal.lookup(&ResultCache::key(hash)) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            DISK.inc();
+            lock(&self.mem).put(hash.0, rec.clone());
+            return Some(rec);
+        }
+        None
+    }
+
+    fn peek(&self, hash: ConfigHash) -> Option<Record> {
         if let Some(rec) = lock(&self.mem).peek(hash.0) {
             return Some(rec);
         }
-        self.journal.lookup(&Self::key(hash))
+        self.journal.lookup(&ResultCache::key(hash))
     }
 
-    /// Store a computed result in both tiers; returns the stored record
-    /// (the exact value later hits will serve).
-    ///
-    /// # Errors
-    ///
-    /// Journal append failures (disk full, permissions). The memory tier
-    /// is *not* updated on a failed append — a result that cannot be made
-    /// durable stays a miss, so a restart never silently loses it.
-    pub fn put(&self, hash: ConfigHash, sides: Vec<SideRecord>) -> StudyResult<Record> {
-        let key = Self::key(hash);
+    fn put(&self, hash: ConfigHash, sides: Vec<SideRecord>) -> StudyResult<Record> {
+        let key = ResultCache::key(hash);
         self.journal.record(&key, sides)?;
         let rec = self
             .journal
@@ -168,46 +214,256 @@ impl ResultCache {
         lock(&self.mem).put(hash.0, rec.clone());
         Ok(rec)
     }
+}
 
-    /// Memory-tier hits served.
+// ---------------------------------------------------------------------------
+// The sharded cache facade.
+// ---------------------------------------------------------------------------
+
+/// Point-in-time per-shard statistics, for `op=stats` / `op=metrics`.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    pub mem_hits: u64,
+    pub disk_hits: u64,
+    pub misses: u64,
+    pub puts: u64,
+    pub entries_mem: usize,
+    pub entries_disk: usize,
+    pub corrupt_dropped: usize,
+}
+
+/// The sharded two-tier cache. Thread-safe; shared across every
+/// connection; shard selection is consistent hashing on the key.
+pub struct ResultCache {
+    ring: Ring,
+    shards: Vec<Shard>,
+    /// Legacy records migrated into shards at open.
+    migrated: usize,
+}
+
+impl ResultCache {
+    /// Open the cache rooted at `dir` (created if absent) with `shards`
+    /// shards, each holding at most `mem_cap / shards` records in memory
+    /// (minimum one). A legacy single-file journal is migrated into the
+    /// shard files before the shards load.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors opening, reading, or migrating the disk tier.
+    pub fn open(dir: &Path, mem_cap: usize, shards: usize) -> StudyResult<ResultCache> {
+        let n = shards.max(1);
+        let ring = Ring::new(n);
+        let migrated = migrate_legacy(dir, &ring, n)?;
+        let per_shard_cap = if mem_cap == 0 {
+            0
+        } else {
+            (mem_cap / n).max(1)
+        };
+        let shards = (0..n)
+            .map(|i| {
+                let journal = Journal::open(&dir.join(shard_file_name(i)))?;
+                Ok(Shard {
+                    journal,
+                    mem: Mutex::new(Lru {
+                        cap: per_shard_cap,
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    }),
+                    mem_hits: AtomicU64::new(0),
+                    disk_hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    puts: AtomicU64::new(0),
+                })
+            })
+            .collect::<StudyResult<Vec<Shard>>>()?;
+        Ok(ResultCache {
+            ring,
+            shards,
+            migrated,
+        })
+    }
+
+    /// The on-disk journal key for a content hash (same spelling in every
+    /// shard and in the legacy file).
+    pub fn key(hash: ConfigHash) -> String {
+        format!("serve|{hash}")
+    }
+
+    /// The shard `hash` lives in.
+    pub fn shard_for(&self, hash: ConfigHash) -> usize {
+        self.ring.select(hash)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Legacy records migrated into shard journals at open.
+    pub fn migrated(&self) -> usize {
+        self.migrated
+    }
+
+    /// Look `hash` up in its shard: memory first, then disk (promoting a
+    /// disk hit).
+    ///
+    /// Exactly one tier counter moves in exactly one shard per call, so
+    /// `hits() + misses()` equals the number of `get` calls — the
+    /// conservation law the loopback stats tests assert, now summed
+    /// across shards. Lookups that must not perturb the stats (a flight's
+    /// double-check) use [`ResultCache::peek`].
+    pub fn get(&self, hash: ConfigHash) -> Option<Record> {
+        self.shards[self.ring.select(hash)].get(hash)
+    }
+
+    /// Hit-or-nothing lookup: behaves exactly like [`ResultCache::get`]
+    /// on a hit (tier counter booked, recency touched, disk hits
+    /// promoted) but books **no** counter on a miss. The reactor's
+    /// inline fast path uses this to try serving a request without
+    /// leaving the I/O thread; when it returns `None` the request takes
+    /// the worker path, whose `get` books the one miss the conservation
+    /// law expects.
+    pub fn probe(&self, hash: ConfigHash) -> Option<Record> {
+        self.shards[self.ring.select(hash)].probe(hash)
+    }
+
+    /// Silent lookup: serves from either tier of the owning shard without
+    /// touching recency, promotion, or any hit/miss counter. This is the
+    /// double-check a coalesced flight performs after winning the
+    /// leadership race — the request already charged its one tier counter
+    /// in the outer [`ResultCache::get`].
+    pub fn peek(&self, hash: ConfigHash) -> Option<Record> {
+        self.shards[self.ring.select(hash)].peek(hash)
+    }
+
+    /// Store a computed result in both tiers of the owning shard; returns
+    /// the stored record (the exact value later hits will serve).
+    ///
+    /// # Errors
+    ///
+    /// Journal append failures (disk full, permissions). The memory tier
+    /// is *not* updated on a failed append — a result that cannot be made
+    /// durable stays a miss, so a restart never silently loses it.
+    pub fn put(&self, hash: ConfigHash, sides: Vec<SideRecord>) -> StudyResult<Record> {
+        self.shards[self.ring.select(hash)].put(hash, sides)
+    }
+
+    /// Memory-tier hits served, summed across shards.
     pub fn mem_hits(&self) -> u64 {
-        self.mem_hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.mem_hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Disk-tier hits served (each also promoted to memory).
+    /// Disk-tier hits served (each also promoted), summed across shards.
     pub fn disk_hits(&self) -> u64 {
-        self.disk_hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.disk_hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Total hits across both tiers.
+    /// Total hits across both tiers and all shards.
     pub fn hits(&self) -> u64 {
         self.mem_hits() + self.disk_hits()
     }
 
-    /// Lookups that found nothing.
+    /// Lookups that found nothing, summed across shards.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Results stored.
+    /// Results stored, summed across shards.
     pub fn puts(&self) -> u64 {
-        self.puts.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.puts.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Records currently resident in the memory tier.
+    /// Records currently resident in memory, summed across shards.
     pub fn mem_len(&self) -> usize {
-        lock(&self.mem).map.len()
+        self.shards.iter().map(|s| lock(&s.mem).map.len()).sum()
     }
 
-    /// Distinct results durable on disk.
+    /// Distinct results durable on disk, summed across shards.
     pub fn disk_len(&self) -> usize {
-        self.journal.len()
+        self.shards.iter().map(|s| s.journal.len()).sum()
     }
 
-    /// On-disk records dropped at open because they failed CRC/parse.
+    /// On-disk records dropped at open because they failed CRC/parse,
+    /// summed across shards (plus any dropped during legacy migration).
     pub fn corrupt_dropped(&self) -> usize {
-        self.journal.corrupt_records()
+        self.shards
+            .iter()
+            .map(|s| s.journal.corrupt_records())
+            .sum()
     }
+
+    /// Per-shard counters, index-aligned with the ring's shard numbers.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                mem_hits: s.mem_hits.load(Ordering::Relaxed),
+                disk_hits: s.disk_hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                puts: s.puts.load(Ordering::Relaxed),
+                entries_mem: lock(&s.mem).map.len(),
+                entries_disk: s.journal.len(),
+                corrupt_dropped: s.journal.corrupt_records(),
+            })
+            .collect()
+    }
+}
+
+/// Migrate a legacy single-file journal into per-shard files. Returns the
+/// number of records moved. Idempotent: the legacy file is renamed to
+/// `<name>.migrated` afterward, so a second open finds nothing to do.
+fn migrate_legacy(dir: &Path, ring: &Ring, n: usize) -> StudyResult<usize> {
+    let legacy_path: PathBuf = dir.join(JOURNAL_FILE);
+    if !legacy_path.exists() {
+        return Ok(0);
+    }
+    let legacy = Journal::open(&legacy_path)?;
+    let records = legacy.records();
+    let mut shard_journals: Vec<Option<Journal>> = (0..n).map(|_| None).collect();
+    let mut moved = 0;
+    for rec in records {
+        // Keys are `serve|<16 hex digits>`; anything else is not ours to
+        // place and is left behind in the renamed file.
+        let Some(hex) = rec.key.strip_prefix("serve|") else {
+            continue;
+        };
+        let Ok(raw) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        let shard = ring.select(ConfigHash(raw));
+        let journal = match &mut shard_journals[shard] {
+            Some(j) => j,
+            none => none.insert(Journal::open(&dir.join(shard_file_name(shard)))?),
+        };
+        // Last-record-wins journals make re-appending over an existing
+        // key harmless, so a migration killed partway through simply
+        // re-migrates on the next open.
+        if journal.lookup(&rec.key).is_none() {
+            journal.record(&rec.key, rec.sides)?;
+            moved += 1;
+        }
+    }
+    let renamed = legacy_path.with_extension("jsonl.migrated");
+    std::fs::rename(&legacy_path, &renamed).map_err(|e| {
+        paxsim_core::error::StudyError::JournalIo {
+            path: legacy_path.display().to_string(),
+            op: "rename-migrated",
+            detail: e.to_string(),
+        }
+    })?;
+    Ok(moved)
 }
 
 #[cfg(test)]
@@ -237,10 +493,14 @@ mod tests {
         }]
     }
 
+    fn open(dir: &Path, mem_cap: usize, shards: usize) -> ResultCache {
+        ResultCache::open(dir, mem_cap, shards).unwrap()
+    }
+
     #[test]
     fn miss_put_hit_roundtrip() {
         let dir = tmp("roundtrip");
-        let c = ResultCache::open(&dir, 8).unwrap();
+        let c = open(&dir, 8, 4);
         let h = ConfigHash(0xabc);
         assert!(c.get(h).is_none());
         assert_eq!(c.misses(), 1);
@@ -257,14 +517,85 @@ mod tests {
     }
 
     #[test]
+    fn ring_is_deterministic_total_and_stable() {
+        let ring = Ring::new(8);
+        for raw in [0u64, 1, 0xdead_beef, u64::MAX, 0x8000_0000_0000_0000] {
+            let s = ring.select(ConfigHash(raw));
+            assert!(s < 8);
+            // Stable: a fresh ring and the exported helper agree.
+            assert_eq!(s, Ring::new(8).select(ConfigHash(raw)));
+            assert_eq!(s, shard_index(ConfigHash(raw), 8));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_every_shard() {
+        let ring = Ring::new(8);
+        let mut counts = [0usize; 8];
+        for i in 0..4096u64 {
+            counts[ring.select(ConfigHash(fnv1a(&i.to_le_bytes())))] += 1;
+        }
+        for (s, &n) in counts.iter().enumerate() {
+            assert!(n > 0, "shard {s} owns no keys");
+        }
+    }
+
+    #[test]
+    fn resharding_moves_a_minority_of_keys() {
+        // Consistent hashing: growing 8 -> 9 shards must relocate roughly
+        // 1/9 of the keyspace, not reshuffle everything (a modulo scheme
+        // moves ~8/9).
+        let before = Ring::new(8);
+        let after = Ring::new(9);
+        let total = 4096u64;
+        let moved = (0..total)
+            .filter(|i| {
+                let h = ConfigHash(fnv1a(&i.to_le_bytes()));
+                before.select(h) != after.select(h)
+            })
+            .count();
+        assert!(
+            moved < total as usize / 3,
+            "resharding moved {moved}/{total} keys — not consistent"
+        );
+        assert!(moved > 0, "growing the ring must move some keys");
+    }
+
+    #[test]
+    fn puts_and_gets_route_to_the_same_shard() {
+        let dir = tmp("routing");
+        let c = open(&dir, 64, 8);
+        for raw in 0..64u64 {
+            let h = ConfigHash(fnv1a(&raw.to_le_bytes()));
+            c.put(h, sides(raw)).unwrap();
+        }
+        // Every key hits — from the shard that stored it.
+        for raw in 0..64u64 {
+            let h = ConfigHash(fnv1a(&raw.to_le_bytes()));
+            assert_eq!(c.get(h).unwrap().sides[0].counters.instructions, raw);
+        }
+        assert_eq!(c.hits(), 64);
+        assert_eq!(c.misses(), 0);
+        // The shard files partition the records.
+        let per_shard: usize = c.shard_stats().iter().map(|s| s.entries_disk).sum();
+        assert_eq!(per_shard, 64);
+        let populated = c
+            .shard_stats()
+            .iter()
+            .filter(|s| s.entries_disk > 0)
+            .count();
+        assert!(populated >= 4, "64 keys landed in only {populated} shards");
+    }
+
+    #[test]
     fn disk_tier_survives_reopen_and_promotes() {
         let dir = tmp("reopen");
         let h = ConfigHash(0x11);
         {
-            let c = ResultCache::open(&dir, 8).unwrap();
+            let c = open(&dir, 8, 4);
             c.put(h, sides(3)).unwrap();
         }
-        let c = ResultCache::open(&dir, 8).unwrap();
+        let c = open(&dir, 8, 4);
         assert_eq!(c.mem_len(), 0, "memory tier starts cold");
         assert_eq!(c.disk_len(), 1);
         assert!(c.get(h).is_some());
@@ -275,9 +606,40 @@ mod tests {
     }
 
     #[test]
-    fn lru_evicts_coldest_but_disk_retains() {
+    fn legacy_journal_migrates_into_shards() {
+        let dir = tmp("migrate");
+        // Write a legacy-format single-file cache by hand.
+        let legacy = Journal::open(&dir.join(JOURNAL_FILE)).unwrap();
+        let keys: Vec<ConfigHash> = (0..10u64)
+            .map(|i| ConfigHash(fnv1a(&i.to_le_bytes())))
+            .collect();
+        for (i, h) in keys.iter().enumerate() {
+            legacy
+                .record(&ResultCache::key(*h), sides(i as u64))
+                .unwrap();
+        }
+        drop(legacy);
+        let c = open(&dir, 64, 4);
+        assert_eq!(c.migrated(), 10, "every legacy record migrates");
+        assert!(!dir.join(JOURNAL_FILE).exists(), "legacy file renamed");
+        for (i, h) in keys.iter().enumerate() {
+            assert_eq!(
+                c.get(*h).unwrap().sides[0].counters.instructions,
+                i as u64,
+                "migrated record must serve from its shard"
+            );
+        }
+        // Idempotent: a reopen migrates nothing further.
+        drop(c);
+        let c = open(&dir, 64, 4);
+        assert_eq!(c.migrated(), 0);
+        assert_eq!(c.disk_len(), 10);
+    }
+
+    #[test]
+    fn single_shard_lru_evicts_coldest_but_disk_retains() {
         let dir = tmp("evict");
-        let c = ResultCache::open(&dir, 2).unwrap();
+        let c = open(&dir, 2, 1);
         for i in 0..3u64 {
             c.put(ConfigHash(i), sides(i)).unwrap();
         }
@@ -291,7 +653,7 @@ mod tests {
     #[test]
     fn lru_touch_on_get_protects_hot_keys() {
         let dir = tmp("touch");
-        let c = ResultCache::open(&dir, 2).unwrap();
+        let c = open(&dir, 2, 1);
         c.put(ConfigHash(0), sides(0)).unwrap();
         c.put(ConfigHash(1), sides(1)).unwrap();
         c.get(ConfigHash(0)); // 0 is now hottest
@@ -307,13 +669,13 @@ mod tests {
         // hot end of `order`, otherwise a steadily re-read key gets
         // evicted as if it were cold.
         let dir = tmp("get_refreshes");
-        let c = ResultCache::open(&dir, 2).unwrap();
+        let c = open(&dir, 2, 1);
         c.put(ConfigHash(0), sides(0)).unwrap();
         c.put(ConfigHash(1), sides(1)).unwrap();
         // Re-read 0: it must now outrank 1 in recency.
         assert!(c.get(ConfigHash(0)).is_some());
         {
-            let lru = lock(&c.mem);
+            let lru = lock(&c.shards[0].mem);
             assert_eq!(lru.order.back(), Some(&0), "get must refresh recency");
         }
         c.put(ConfigHash(2), sides(2)).unwrap();
@@ -324,7 +686,7 @@ mod tests {
             mem_hits_before + 1,
             "hot key 0 must survive the eviction (1 was coldest)"
         );
-        let lru = lock(&c.mem);
+        let lru = lock(&c.shards[0].mem);
         assert!(!lru.map.contains_key(&1), "1 was the eviction victim");
     }
 
@@ -335,12 +697,12 @@ mod tests {
         // pop the duplicate and remove the wrong key (or nothing), letting
         // `map` outgrow `cap` and desynchronizing the two structures.
         let dir = tmp("double_put");
-        let c = ResultCache::open(&dir, 2).unwrap();
+        let c = open(&dir, 2, 1);
         c.put(ConfigHash(0), sides(0)).unwrap();
         c.put(ConfigHash(1), sides(1)).unwrap();
         c.put(ConfigHash(0), sides(99)).unwrap(); // reinsert, now hottest
         {
-            let lru = lock(&c.mem);
+            let lru = lock(&c.shards[0].mem);
             assert_eq!(
                 lru.order.len(),
                 lru.map.len(),
@@ -348,7 +710,7 @@ mod tests {
             );
         }
         c.put(ConfigHash(2), sides(2)).unwrap(); // must evict 1, the coldest
-        let lru = lock(&c.mem);
+        let lru = lock(&c.shards[0].mem);
         assert_eq!(lru.map.len(), 2, "cap respected after reinsert");
         assert_eq!(lru.order.len(), 2);
         assert!(lru.map.contains_key(&0), "reinserted key stays resident");
@@ -364,14 +726,14 @@ mod tests {
     #[test]
     fn peek_serves_both_tiers_without_stats_or_recency() {
         let dir = tmp("peek");
-        let c = ResultCache::open(&dir, 2).unwrap();
+        let c = open(&dir, 2, 1);
         c.put(ConfigHash(0), sides(0)).unwrap();
         c.put(ConfigHash(1), sides(1)).unwrap();
         // Memory peek: no counter, no recency change.
         assert!(c.peek(ConfigHash(0)).is_some());
         assert_eq!(c.hits() + c.misses(), 0, "peek must not book stats");
         {
-            let lru = lock(&c.mem);
+            let lru = lock(&c.shards[0].mem);
             assert_eq!(lru.order.back(), Some(&1), "peek must not touch");
         }
         // Disk peek: 0 evicted from memory still peeks via the journal,
@@ -386,20 +748,50 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_record_is_dropped_not_served() {
+    fn corrupt_shard_record_is_dropped_not_served() {
         let dir = tmp("corrupt");
         let h = ConfigHash(0xdead);
+        let shard = shard_index(h, 4);
         {
-            let c = ResultCache::open(&dir, 8).unwrap();
+            let c = open(&dir, 8, 4);
             c.put(h, sides(9)).unwrap();
         }
-        paxsim_core::faultinject::flip_bit(&dir.join(JOURNAL_FILE), 40).unwrap();
-        let c = ResultCache::open(&dir, 8).unwrap();
+        paxsim_core::faultinject::flip_bit(&dir.join(shard_file_name(shard)), 40).unwrap();
+        let c = open(&dir, 8, 4);
         assert_eq!(c.corrupt_dropped(), 1);
         assert!(c.get(h).is_none(), "corrupt record must read as a miss");
         // A recompute appends a fresh record that serves again.
         c.put(h, sides(10)).unwrap();
-        let c2 = ResultCache::open(&dir, 8).unwrap();
+        let c2 = open(&dir, 8, 4);
         assert_eq!(c2.get(h).unwrap().sides[0].counters.instructions, 10);
+    }
+
+    #[test]
+    fn conservation_holds_across_shards() {
+        let dir = tmp("conserve");
+        let c = open(&dir, 32, 8);
+        let mut gets = 0u64;
+        for raw in 0..40u64 {
+            let h = ConfigHash(fnv1a(&raw.to_le_bytes()));
+            if c.get(h).is_none() {
+                c.put(h, sides(raw)).unwrap();
+            }
+            gets += 1;
+            if raw % 3 == 0 {
+                c.get(h);
+                gets += 1;
+            }
+        }
+        assert_eq!(
+            c.hits() + c.misses(),
+            gets,
+            "one tier counter per get, summed over shards"
+        );
+        // The per-shard breakdown sums to the aggregate.
+        let stats = c.shard_stats();
+        let sum_hits: u64 = stats.iter().map(|s| s.mem_hits + s.disk_hits).sum();
+        let sum_misses: u64 = stats.iter().map(|s| s.misses).sum();
+        assert_eq!(sum_hits, c.hits());
+        assert_eq!(sum_misses, c.misses());
     }
 }

@@ -1,0 +1,239 @@
+//! NDJSON frame reassembly for the non-blocking reactor.
+//!
+//! The wire protocol is one JSON request per `\n`-terminated line, but a
+//! non-blocking socket hands the reactor arbitrary byte chunks: half a
+//! frame, three frames and a tail, a frame split mid-UTF-8-sequence. A
+//! [`FrameBuffer`] accumulates those chunks and yields complete frames,
+//! converting the two malformed-input modes into *typed* frame errors
+//! instead of panics or hangs:
+//!
+//! * **oversized** — a line longer than [`MAX_FRAME_BYTES`] cannot be a
+//!   legal request (the largest real request, a full inline
+//!   `MachineConfig`, is a few KiB). The buffer stops accumulating,
+//!   reports [`FrameError::Oversized`] once, and discards bytes until the
+//!   next `\n` so the connection resynchronizes on the following frame
+//!   instead of buffering unboundedly or dying.
+//! * **non-UTF-8** — a complete line that is not valid UTF-8 reports
+//!   [`FrameError::NotUtf8`]; the connection keeps serving.
+//!
+//! Whitespace-only lines are silently skipped (they match the blocking
+//! server's historical `trim().is_empty()` behavior, and clients use a
+//! bare newline as a keep-alive probe).
+
+/// Hard per-frame byte cap. A real request — even one carrying a full
+/// inline machine model — is a few KiB; a megabyte line is a protocol
+/// violation or an attack, never a request worth buffering.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024;
+
+/// A typed framing failure. Both map to one `bad-request` reply line and
+/// leave the connection serving subsequent frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeded the byte cap; `discarded` bytes so far (the
+    /// count keeps growing until the terminating newline resyncs us).
+    Oversized { limit: usize },
+    /// The line was complete but not valid UTF-8.
+    NotUtf8,
+}
+
+impl FrameError {
+    /// Human detail for the `bad-request` reply.
+    pub fn detail(&self) -> String {
+        match self {
+            FrameError::Oversized { limit } => {
+                format!("request line exceeds {limit} bytes")
+            }
+            FrameError::NotUtf8 => "request line is not valid UTF-8".to_string(),
+        }
+    }
+}
+
+/// Reassembles `\n`-delimited frames from arbitrary byte chunks.
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    limit: usize,
+    /// Set while discarding an oversized line: the error has been
+    /// reported, bytes are dropped until the next `\n`.
+    discarding: bool,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        FrameBuffer::new(MAX_FRAME_BYTES)
+    }
+}
+
+impl FrameBuffer {
+    /// A buffer enforcing the given per-frame byte cap.
+    pub fn new(limit: usize) -> FrameBuffer {
+        FrameBuffer {
+            buf: Vec::new(),
+            limit: limit.max(1),
+            discarding: false,
+        }
+    }
+
+    /// Append one chunk read from the socket.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered (the partial tail frame).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extract the next complete frame, if any. Returns:
+    ///
+    /// * `Some(Ok(line))` — one complete, UTF-8, within-limit request
+    ///   line (already stripped of its terminator; may need trimming);
+    /// * `Some(Err(e))` — a typed framing failure for exactly one bad
+    ///   line; the buffer has already resynchronized past it (or entered
+    ///   discard mode for an oversized line still in flight);
+    /// * `None` — no complete frame buffered; read more bytes.
+    ///
+    /// Call in a loop until `None`; whitespace-only frames are consumed
+    /// internally and never returned.
+    pub fn next_frame(&mut self) -> Option<Result<String, FrameError>> {
+        loop {
+            if self.discarding {
+                // Drop everything up to and including the resync newline.
+                match self.buf.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        self.buf.drain(..=nl);
+                        self.discarding = false;
+                    }
+                    None => {
+                        self.buf.clear();
+                        return None;
+                    }
+                }
+                continue;
+            }
+            match self.buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    let line: Vec<u8> = self.buf.drain(..=nl).take(nl).collect();
+                    if line.len() > self.limit {
+                        // Terminated but over-limit (the whole line arrived
+                        // in fewer pushes than the cap check below saw).
+                        return Some(Err(FrameError::Oversized { limit: self.limit }));
+                    }
+                    match String::from_utf8(line) {
+                        Ok(s) => {
+                            if s.trim().is_empty() {
+                                continue;
+                            }
+                            return Some(Ok(s));
+                        }
+                        Err(_) => return Some(Err(FrameError::NotUtf8)),
+                    }
+                }
+                None => {
+                    if self.buf.len() > self.limit {
+                        // Unterminated and already too long: report once,
+                        // then discard until the next newline arrives.
+                        self.buf.clear();
+                        self.discarding = true;
+                        return Some(Err(FrameError::Oversized { limit: self.limit }));
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(fb: &mut FrameBuffer) -> Vec<Result<String, FrameError>> {
+        std::iter::from_fn(|| fb.next_frame()).collect()
+    }
+
+    #[test]
+    fn whole_frames_pass_through() {
+        let mut fb = FrameBuffer::new(64);
+        fb.push(b"{\"op\":\"stats\"}\n{\"op\":\"metrics\"}\n");
+        assert_eq!(
+            frames(&mut fb),
+            vec![
+                Ok("{\"op\":\"stats\"}".to_string()),
+                Ok("{\"op\":\"metrics\"}".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn split_frame_reassembles() {
+        let mut fb = FrameBuffer::new(64);
+        fb.push(b"{\"op\":");
+        assert_eq!(fb.next_frame(), None);
+        fb.push(b"\"stats\"}");
+        assert_eq!(fb.next_frame(), None);
+        fb.push(b"\n");
+        assert_eq!(fb.next_frame(), Some(Ok("{\"op\":\"stats\"}".to_string())));
+        assert_eq!(fb.next_frame(), None);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut fb = FrameBuffer::new(64);
+        fb.push(b"\n  \n\r\nreal\n\n");
+        assert_eq!(frames(&mut fb), vec![Ok("real".to_string())]);
+    }
+
+    #[test]
+    fn oversized_terminated_line_is_one_typed_error() {
+        let mut fb = FrameBuffer::new(8);
+        fb.push(b"0123456789\nok\n");
+        assert_eq!(
+            frames(&mut fb),
+            vec![
+                Err(FrameError::Oversized { limit: 8 }),
+                Ok("ok".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_unterminated_line_reports_once_and_resyncs() {
+        let mut fb = FrameBuffer::new(8);
+        fb.push(b"aaaaaaaaaaaa"); // over the cap, no newline yet
+        assert_eq!(
+            fb.next_frame(),
+            Some(Err(FrameError::Oversized { limit: 8 }))
+        );
+        // Still discarding: more garbage produces no duplicate error.
+        fb.push(b"bbbbbbbbbbbbbbbb");
+        assert_eq!(fb.next_frame(), None);
+        // The newline resyncs; the following frame serves normally.
+        fb.push(b"ccc\nnext\n");
+        assert_eq!(frames(&mut fb), vec![Ok("next".to_string())]);
+    }
+
+    #[test]
+    fn non_utf8_line_is_typed_not_fatal() {
+        let mut fb = FrameBuffer::new(64);
+        fb.push(&[0xff, 0xfe, b'\n', b'o', b'k', b'\n']);
+        assert_eq!(
+            frames(&mut fb),
+            vec![Err(FrameError::NotUtf8), Ok("ok".to_string())]
+        );
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let mut fb = FrameBuffer::new(64);
+        let line = b"{\"op\":\"stats\"}\n";
+        let mut got = Vec::new();
+        for &b in line {
+            fb.push(&[b]);
+            while let Some(f) = fb.next_frame() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![Ok("{\"op\":\"stats\"}".to_string())]);
+    }
+}

@@ -13,20 +13,35 @@
 //!   corruption is *detected* — a bit-flipped entry recomputes, it is
 //!   never served.
 //!
+//! The cache is **sharded**: N independent shards selected by
+//! consistent-hashing the content hash, each with its own LRU and
+//! journal, so lookups for different keys never contend on one lock
+//! ([`cache`]).
+//!
 //! Misses are computed through the existing drivers on a shared
 //! [`TraceStore`](paxsim_core::store::TraceStore) and the bounded,
 //! panic-isolating [`pool`](paxsim_core::pool) executor. Identical
 //! concurrent requests collapse to one computation
-//! ([`Inflight`](paxsim_core::inflight::Inflight)); distinct requests pass
-//! an admission gate (bounded running set + bounded queue) and overload is
-//! a typed rejection, not a hung socket. `SIGTERM` drains gracefully:
-//! in-flight work finishes, the cache is already flushed per append, new
-//! work is refused.
+//! ([`Inflight`](paxsim_core::inflight::Inflight)); *compatible* distinct
+//! requests — same study, different sweep coordinates — gather in the
+//! [`batch`] layer and run as one shared sweep under one admission-gate
+//! permit. Overload is a typed rejection, not a hung socket. `SIGTERM`
+//! drains gracefully: in-flight work finishes and its replies flush, new
+//! connections are refused at the socket, and every handler thread is
+//! joined.
 //!
-//! The wire protocol is documented in `DESIGN.md` §10; [`protocol`] is
-//! the single source of truth for parsing and rendering it.
+//! The connection layer is a non-blocking reactor ([`server`]): one
+//! thread per listener plus a fixed compute-worker pool, with
+//! per-connection frame reassembly ([`frame`]) — thread count is
+//! independent of connection count.
+//!
+//! The wire protocol is documented in `DESIGN.md` §10 (scaling layers in
+//! §13); [`protocol`] is the single source of truth for parsing and
+//! rendering it.
 
+pub mod batch;
 pub mod cache;
+pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod service;

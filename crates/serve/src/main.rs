@@ -3,7 +3,8 @@
 //! ```text
 //! paxsim-serve [--tcp ADDR] [--unix PATH] [--cache DIR]
 //!              [--mem-cap N] [--max-running N] [--max-queue N]
-//!              [--deadline-ms N]
+//!              [--deadline-ms N] [--shards N] [--batch-window-ms N]
+//!              [--workers N]
 //! ```
 //!
 //! Listens for newline-delimited JSON requests (protocol in DESIGN.md
@@ -52,7 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: paxsim-serve [--tcp ADDR] [--unix PATH] [--cache DIR] \
          [--mem-cap N] [--max-running N] [--max-queue N] [--deadline-ms N] \
-         [--grace-secs N]\n\
+         [--shards N] [--batch-window-ms N] [--workers N] [--grace-secs N]\n\
          at least one of --tcp/--unix is required"
     );
     std::process::exit(2);
@@ -62,7 +63,13 @@ fn parse_args() -> Args {
     let mut args = Args {
         tcp: None,
         unix: None,
-        cfg: ServeConfig::default(),
+        // The daemon defaults to a small nonzero gather window: 2 ms of
+        // cold-miss latency buys merged sweeps under concurrent load
+        // (simulations take tens of ms, so the window is noise).
+        cfg: ServeConfig {
+            batch_window_ms: 2,
+            ..ServeConfig::default()
+        },
         grace: Duration::from_secs(30),
     };
     let mut it = std::env::args().skip(1);
@@ -87,6 +94,9 @@ fn parse_args() -> Args {
             "--max-running" => args.cfg.max_running = num(&mut it, "--max-running") as usize,
             "--max-queue" => args.cfg.max_queue = num(&mut it, "--max-queue") as usize,
             "--deadline-ms" => args.cfg.default_deadline_ms = Some(num(&mut it, "--deadline-ms")),
+            "--shards" => args.cfg.shards = num(&mut it, "--shards") as usize,
+            "--batch-window-ms" => args.cfg.batch_window_ms = num(&mut it, "--batch-window-ms"),
+            "--workers" => args.cfg.workers = num(&mut it, "--workers") as usize,
             "--grace-secs" => args.grace = Duration::from_secs(num(&mut it, "--grace-secs")),
             "--help" | "-h" => usage(),
             other => {
@@ -128,9 +138,17 @@ fn main() {
         println!("paxsim-serve: listening on unix {}", path.display());
     }
     println!(
-        "paxsim-serve: cache {} ({} on disk)",
+        "paxsim-serve: cache {} ({} on disk, {} shards{}), batch window {} ms, {} workers",
         args.cfg.cache_dir.display(),
-        service.cache().disk_len()
+        service.cache().disk_len(),
+        service.cache().shard_count(),
+        if service.cache().migrated() > 0 {
+            format!(", {} migrated", service.cache().migrated())
+        } else {
+            String::new()
+        },
+        args.cfg.batch_window_ms,
+        args.cfg.effective_workers(),
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();

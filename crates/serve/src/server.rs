@@ -1,54 +1,321 @@
-//! Socket front end: TCP and Unix-domain listeners, connection threads,
-//! and the graceful-drain state machine.
+//! Socket front end: a non-blocking reactor per listener feeding a fixed
+//! pool of compute workers.
+//!
+//! The PR-4 server spawned one detached thread per connection — simple,
+//! but the thread count tracked the *connection* count (10k idle
+//! dashboards = 10k blocked threads), and drain could only infer handler
+//! completion from a request counter because the handles were thrown
+//! away. The front end is now a **reactor**: each listener gets one
+//! thread that owns every connection accepted from it, polling
+//! non-blocking sockets (std-only: `set_nonblocking` + `WouldBlock`) with
+//! per-connection read buffers, [`FrameBuffer`](crate::frame) reassembly,
+//! and per-connection write queues. Complete frames are dispatched to a
+//! fixed **worker pool** (sized by [`ServeConfig::effective_workers`]
+//! (crate::service::ServeConfig) — deliberately larger than the admission
+//! gate so cache hits keep flowing while every gate slot is occupied by a
+//! blocked batch leader); workers run
+//! [`Service::handle_line`](crate::service::Service) and push the reply
+//! to a completion queue that wakes the owning reactor.
+//!
+//! **Inline hit fast path.** Before dispatching a frame, the reactor
+//! tries [`Service::try_hit`](crate::service::Service::try_hit): a
+//! `simulate` request whose result is already cached is answered on the
+//! reactor thread itself, skipping the pool round trip (two context
+//! switches per request — about half the wire cost of a hit on a busy
+//! single-core host). The trade is deliberate: hit service time (~tens
+//! of µs) briefly occupies the I/O thread, capping per-reactor hit
+//! throughput at one core's worth — but the reactor already serializes
+//! all of its connections' socket I/O, so the ceiling was one core
+//! regardless, and the saved switches dominate. Misses, `stats`, and
+//! malformed frames take the pool as before.
+//!
+//! Thread count is now `reactors (≤2) + workers (fixed)`, independent of
+//! connections — and every one of those threads is tracked and joined at
+//! shutdown, making "all handlers finished" a structural guarantee
+//! instead of an inference.
+//!
+//! **Ordering.** A connection may pipeline many requests; replies must
+//! come back in request order even though workers finish out of order.
+//! Each frame gets a per-connection sequence number; completed replies
+//! park in a `BTreeMap` until every earlier sequence has been released to
+//! the write queue. (Pipelined requests still *dispatch* immediately —
+//! that concurrency is what feeds the batcher.)
+//!
+//! **Stale completions.** Connection slots are reused, so a completion
+//! for a connection that died mid-compute could otherwise be delivered to
+//! an unrelated client. Every slot carries a generation counter; a
+//! completion whose `(slot, generation)` no longer matches is discarded.
 //!
 //! ```text
-//! Running ──drain()──▶ Draining ──(in-flight = 0)──▶ Stopped
+//! Running ──drain()──▶ Draining ──(in-flight = 0, buffers empty)──▶ Stopped
 //! ```
 //!
-//! * **Running** — both listeners accept; every request line is served.
-//! * **Draining** — listeners stop accepting (new connects are refused
-//!   by the closed socket), established connections keep their replies
-//!   coming but cache *misses* answer `{"error":"draining"}`; in-flight
-//!   computations run to completion and land in the cache.
-//! * **Stopped** — no request is mid-handle and no computation is
-//!   admitted; [`Server::shutdown`] returns and the process can exit
-//!   (closing any still-open idle connections). The on-disk cache needs
-//!   no final flush — the journal flushes every append.
-//!
-//! Accept loops poll non-blocking listeners so the drain flag is honored
-//! within one poll interval without any signal-handling dependency in
-//! the library layer (the daemon binary translates `SIGTERM` into
-//! [`Server::drain`]).
+//! * **Running** — listeners accept; every request line is served.
+//! * **Draining** — listeners are *closed* (new connects are refused at
+//!   the socket, not silently parked in a backlog); established
+//!   connections keep their replies coming but cache misses answer
+//!   `{"error":"draining"}`; dispatched work runs to completion and its
+//!   replies are flushed.
+//! * **Stopped** — [`Server::shutdown`] has observed zero in-flight jobs,
+//!   zero admitted computations and zero buffered reply bytes, then
+//!   joined every reactor and worker thread.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::frame::FrameBuffer;
+use crate::protocol;
 use crate::service::Service;
 
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Reactor park bounds. A completion push wakes the park immediately,
+/// but *new request bytes* on a socket cannot — only the next poll sees
+/// them — so the park length is adaptive: it starts at `POLL_PARK_MIN`
+/// after the first idle pass (an active connection's next request is
+/// usually microseconds away) and doubles each further idle pass up to
+/// `POLL_PARK_MAX` (a genuinely idle reactor costs a few wakeups per
+/// millisecond, not a spin).
+const POLL_PARK_MIN: Duration = Duration::from_micros(10);
+const POLL_PARK_MAX: Duration = Duration::from_micros(500);
+
+/// Reactor gauges are refreshed at most this often.
+const GAUGE_PERIOD: Duration = Duration::from_millis(50);
+
+/// Read-chunk size per `read` syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool and completion queue.
+// ---------------------------------------------------------------------------
+
+/// `(slot, generation)` connection identity; generation protects reused
+/// slots from stale completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConnId {
+    slot: usize,
+    generation: u64,
+}
+
+struct Job {
+    conn: ConnId,
+    seq: u64,
+    line: String,
+    /// The completion queue of the reactor that owns the connection.
+    completions: Arc<Completions>,
+}
+
+struct Completion {
+    conn: ConnId,
+    seq: u64,
+    reply: String,
+}
+
+/// Per-reactor completion queue; doubles as the reactor's park/wake
+/// primitive.
+struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    cv: Condvar,
+}
+
+impl Completions {
+    fn new() -> Arc<Completions> {
+        Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn push(&self, c: Completion) {
+        lock(&self.queue).push(c);
+        self.cv.notify_one();
+    }
+
+    /// Take everything queued; if empty, park up to `timeout` first.
+    fn drain(&self, timeout: Duration) -> Vec<Completion> {
+        let mut q = lock(&self.queue);
+        if q.is_empty() {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        std::mem::take(&mut *q)
+    }
+}
+
+/// The fixed compute-worker pool. Jobs are request lines; the pool is
+/// shared by every reactor.
+struct WorkerPool {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl WorkerPool {
+    fn new() -> Arc<WorkerPool> {
+        Arc::new(WorkerPool {
+            jobs: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    fn submit(&self, job: Job) {
+        lock(&self.jobs).push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn depth(&self) -> usize {
+        lock(&self.jobs).len()
+    }
+
+    /// Stop the pool: discard queued jobs (only non-empty when a drain
+    /// grace period expired) and wake every worker to exit.
+    fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        lock(&self.jobs).clear();
+        self.cv.notify_all();
+    }
+
+    fn worker_loop(&self, service: &Service, active: &AtomicUsize) {
+        loop {
+            let job = {
+                let mut jobs = lock(&self.jobs);
+                loop {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(job) = jobs.pop_front() {
+                        break job;
+                    }
+                    jobs = self.cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let reply = service.handle_line(&job.line);
+            // Push before decrementing `active`, so `active == 0` implies
+            // every finished reply is already visible to its reactor.
+            let (conn, seq, completions) = (job.conn, job.seq, job.completions);
+            completions.push(Completion { conn, seq, reply });
+            active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-blocking listener/stream abstraction over TCP and Unix sockets.
+// ---------------------------------------------------------------------------
+
+trait NbListener: Send + 'static {
+    type Stream: Read + Write + Send + 'static;
+    fn accept_nb(&self) -> std::io::Result<Self::Stream>;
+}
+
+impl NbListener for TcpListener {
+    type Stream = TcpStream;
+    fn accept_nb(&self) -> std::io::Result<TcpStream> {
+        let (s, _) = self.accept()?;
+        s.set_nonblocking(true)?;
+        // Reply lines are written as soon as they are released; batching
+        // to the wire is done by our own write queue, not Nagle.
+        let _ = s.set_nodelay(true);
+        Ok(s)
+    }
+}
+
+impl NbListener for UnixListener {
+    type Stream = UnixStream;
+    fn accept_nb(&self) -> std::io::Result<UnixStream> {
+        let (s, _) = self.accept()?;
+        s.set_nonblocking(true)?;
+        Ok(s)
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection state.
+// ---------------------------------------------------------------------------
+
+struct Conn<S> {
+    stream: S,
+    generation: u64,
+    frames: FrameBuffer,
+    /// Bytes queued to the client, drained as the socket accepts them.
+    out: VecDeque<u8>,
+    /// Next sequence number to assign to an incoming frame.
+    next_seq: u64,
+    /// Next sequence number to release to `out` (FIFO reply order).
+    next_release: u64,
+    /// Out-of-order completions parked until their turn.
+    ready: BTreeMap<u64, String>,
+    /// Frames dispatched to the pool, not yet completed.
+    pending_jobs: usize,
+    /// Client closed its half (or erred); close once everything owed has
+    /// been written.
+    closing: bool,
+    /// Socket write failed; drop without flushing.
+    dead: bool,
+}
+
+impl<S> Conn<S> {
+    /// Replies owed or buffered — the connection cannot be dropped (and
+    /// the server cannot claim "drained") while this is nonzero.
+    fn unsettled(&self) -> usize {
+        self.pending_jobs + self.ready.len() + usize::from(!self.out.is_empty())
+    }
+
+    fn release_ready(&mut self) {
+        while let Some(reply) = self.ready.remove(&self.next_release) {
+            self.out.extend(reply.as_bytes());
+            self.out.push_back(b'\n');
+            self.next_release += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------------
 
 /// A running daemon front end.
 pub struct Server {
     service: Arc<Service>,
     drain: Arc<AtomicBool>,
-    /// Request lines currently being handled (not idle connections).
+    stop: Arc<AtomicBool>,
+    /// Request lines dispatched to the pool and not yet completed.
     active: Arc<AtomicUsize>,
-    accepters: Vec<JoinHandle<()>>,
+    /// Per-reactor count of connections still owed bytes (pending jobs,
+    /// parked replies, or unflushed output).
+    unsettled: Vec<Arc<AtomicUsize>>,
+    pool: Arc<WorkerPool>,
+    reactors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     tcp_addr: Option<SocketAddr>,
     unix_path: Option<PathBuf>,
 }
 
 impl Server {
-    /// Bind the requested listeners and start accepting. At least one of
-    /// `tcp` (an address like `127.0.0.1:7077`; port 0 picks a free one)
-    /// or `unix` (a socket path, replaced if it already exists) must be
-    /// given.
+    /// Bind the requested listeners and start the reactor(s) and worker
+    /// pool. At least one of `tcp` (an address like `127.0.0.1:7077`;
+    /// port 0 picks a free one) or `unix` (a socket path, replaced if it
+    /// already exists) must be given.
     ///
     /// # Errors
     ///
@@ -65,18 +332,36 @@ impl Server {
             ));
         }
         let drain = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
-        let mut accepters = Vec::new();
+        let pool = WorkerPool::new();
+        let mut reactors = Vec::new();
+        let mut unsettled = Vec::new();
+        let mut spawn_reactor = |listener: Box<dyn FnOnce() -> ReactorKind + Send>| {
+            let counters = Arc::new(AtomicUsize::new(0));
+            unsettled.push(counters.clone());
+            let (drain, stop, active, pool, service) = (
+                drain.clone(),
+                stop.clone(),
+                active.clone(),
+                pool.clone(),
+                service.clone(),
+            );
+            reactors.push(std::thread::spawn(move || match listener() {
+                ReactorKind::Tcp(l) => {
+                    reactor_loop(l, &service, &drain, &stop, &active, &counters, &pool)
+                }
+                ReactorKind::Unix(l) => {
+                    reactor_loop(l, &service, &drain, &stop, &active, &counters, &pool)
+                }
+            }));
+        };
         let mut tcp_addr = None;
         if let Some(addr) = tcp {
             let listener = TcpListener::bind(addr)?;
             listener.set_nonblocking(true)?;
             tcp_addr = Some(listener.local_addr()?);
-            let handler = handler_for::<TcpStream>(&service, &drain, &active);
-            let drain = drain.clone();
-            accepters.push(std::thread::spawn(move || {
-                accept_loop(&drain, || listener.accept().map(|(s, _)| s), handler);
-            }));
+            spawn_reactor(Box::new(move || ReactorKind::Tcp(listener)));
         }
         let mut unix_path = None;
         if let Some(path) = unix {
@@ -85,17 +370,23 @@ impl Server {
             let listener = UnixListener::bind(path)?;
             listener.set_nonblocking(true)?;
             unix_path = Some(path.to_path_buf());
-            let handler = handler_for::<UnixStream>(&service, &drain, &active);
-            let drain = drain.clone();
-            accepters.push(std::thread::spawn(move || {
-                accept_loop(&drain, || listener.accept().map(|(s, _)| s), handler);
-            }));
+            spawn_reactor(Box::new(move || ReactorKind::Unix(listener)));
         }
+        let workers = (0..service.config().effective_workers())
+            .map(|_| {
+                let (pool, service, active) = (pool.clone(), service.clone(), active.clone());
+                std::thread::spawn(move || pool.worker_loop(&service, &active))
+            })
+            .collect();
         Ok(Server {
             service,
             drain,
+            stop,
             active,
-            accepters,
+            unsettled,
+            pool,
+            reactors,
+            workers,
             tcp_addr,
             unix_path,
         })
@@ -111,35 +402,54 @@ impl Server {
         self.unix_path.as_deref()
     }
 
-    /// Enter the Draining state: stop accepting, refuse new computations,
-    /// let in-flight work finish.
+    /// Enter the Draining state: close the listeners (new connects are
+    /// refused), refuse new computations, let dispatched work finish.
     pub fn drain(&self) {
         self.service.set_draining();
         self.drain.store(true, Ordering::SeqCst);
     }
 
-    /// Request lines being handled right now.
+    /// Request lines dispatched and not yet completed.
     pub fn active_requests(&self) -> usize {
         self.active.load(Ordering::SeqCst)
     }
 
-    /// Drain and wait (up to `grace`) for in-flight request lines and
-    /// admitted computations to finish, then reap the accept threads and
-    /// remove the Unix socket file. Returns `true` when everything
-    /// drained inside the grace period.
+    /// Connections still owed work or bytes, across all reactors.
+    fn unsettled_connections(&self) -> usize {
+        self.unsettled
+            .iter()
+            .map(|u| u.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Drain and wait (up to `grace`) for every dispatched request, every
+    /// admitted computation, and every buffered reply byte to clear, then
+    /// stop and **join** every reactor and worker thread and remove the
+    /// Unix socket file. Returns `true` when everything drained inside
+    /// the grace period — at which point each in-flight client has had
+    /// its reply flushed to the socket, proven by joined handlers rather
+    /// than inferred from counters.
     pub fn shutdown(self, grace: Duration) -> bool {
         self.drain();
         let deadline = Instant::now() + grace;
         let drained = loop {
-            if self.active.load(Ordering::SeqCst) == 0 && self.service.busy() == 0 {
+            if self.active.load(Ordering::SeqCst) == 0
+                && self.service.busy() == 0
+                && self.unsettled_connections() == 0
+            {
                 break true;
             }
             if Instant::now() >= deadline {
                 break false;
             }
-            std::thread::sleep(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(5));
         };
-        for h in self.accepters {
+        self.stop.store(true, Ordering::SeqCst);
+        self.pool.stop();
+        for h in self.reactors {
+            let _ = h.join();
+        }
+        for h in self.workers {
             let _ = h.join();
         }
         if let Some(path) = &self.unix_path {
@@ -149,116 +459,212 @@ impl Server {
     }
 }
 
-/// A `'static` per-connection handler owning its shared-state handles,
-/// cloneable once per accepted connection.
-fn handler_for<S: LineStream + TryCloneStream + Send + 'static>(
-    service: &Arc<Service>,
-    _drain: &Arc<AtomicBool>,
-    active: &Arc<AtomicUsize>,
-) -> impl Fn(S) + Send + Clone + 'static {
-    let (service, active) = (service.clone(), active.clone());
-    move |stream: S| serve_connection(stream, &service, &active)
+enum ReactorKind {
+    Tcp(TcpListener),
+    Unix(UnixListener),
 }
 
-/// Poll `accept` until the drain flag rises, spawning a handler thread
-/// per connection.
-fn accept_loop<S, A, H>(drain: &AtomicBool, accept: A, handle: H)
-where
-    S: Send + 'static,
-    A: Fn() -> std::io::Result<S>,
-    H: Fn(S) + Send + Clone + 'static,
-{
-    while !drain.load(Ordering::SeqCst) {
-        match accept() {
-            Ok(stream) => {
-                let handle = handle.clone();
-                std::thread::spawn(move || handle(stream));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
+// ---------------------------------------------------------------------------
+// The reactor loop.
+// ---------------------------------------------------------------------------
 
-trait LineStream: std::io::Read + Write {
-    /// Bounded blocking so a silent client cannot pin the reader forever
-    /// once the daemon is told to exit.
-    fn set_timeout(&self, t: Option<Duration>) -> std::io::Result<()>;
-}
-
-impl LineStream for TcpStream {
-    fn set_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
-        self.set_read_timeout(t)
-    }
-}
-
-impl LineStream for UnixStream {
-    fn set_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
-        self.set_read_timeout(t)
-    }
-}
-
-/// One connection: read request lines, write reply lines, until EOF (or
-/// process exit — draining never force-closes an established
-/// connection, so a client that sent a request before the drain always
-/// gets its reply).
-fn serve_connection<S: LineStream + TryCloneStream>(
-    stream: S,
+/// One reactor: owns its listener and every connection accepted from it.
+fn reactor_loop<L: NbListener>(
+    listener: L,
     service: &Service,
+    drain: &AtomicBool,
+    stop: &AtomicBool,
     active: &AtomicUsize,
+    unsettled: &AtomicUsize,
+    pool: &Arc<WorkerPool>,
 ) {
-    let _ = stream.set_timeout(Some(Duration::from_millis(200)));
-    let Ok(read_half) = stream.try_clone_stream() else {
-        return;
-    };
-    let mut writer = stream;
-    let mut reader = BufReader::new(read_half);
-    let mut line = String::new();
+    let completions = Completions::new();
+    let mut listener = Some(listener);
+    let mut conns: Vec<Option<Conn<L::Stream>>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut generation: u64 = 0;
+    let mut buf = vec![0u8; READ_CHUNK];
+    let mut last_gauges = Instant::now() - GAUGE_PERIOD;
+    // Carries across iterations: the reactor parks on the completion
+    // queue only when the *previous* full pass moved no bytes and found
+    // no work, so a busy connection is never penalized by the park.
+    let mut worked = true;
+    let mut idle_passes: u32 = 0;
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF: client closed
-            Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    active.fetch_add(1, Ordering::SeqCst);
-                    let reply = service.handle_line(trimmed);
-                    let ok = writer
-                        .write_all(reply.as_bytes())
-                        .and_then(|()| writer.write_all(b"\n"))
-                        .and_then(|()| writer.flush());
-                    active.fetch_sub(1, Ordering::SeqCst);
-                    if ok.is_err() {
-                        return;
+        // Deliver completions (parking after idle passes — this wait is
+        // the reactor's only sleep, with exponential backoff so a brief
+        // lull between a flushed reply and the client's next request
+        // costs microseconds, not a full park).
+        let park = if worked {
+            idle_passes = 0;
+            Duration::ZERO
+        } else {
+            let backoff = POLL_PARK_MIN.saturating_mul(1u32 << idle_passes.min(16));
+            idle_passes = idle_passes.saturating_add(1);
+            backoff.min(POLL_PARK_MAX)
+        };
+        worked = false;
+        for c in completions.drain(park) {
+            worked = true;
+            let Some(conn) = conns.get_mut(c.conn.slot).and_then(Option::as_mut) else {
+                continue; // connection died mid-compute
+            };
+            if conn.generation != c.conn.generation {
+                continue; // slot reused: stale completion
+            }
+            conn.pending_jobs -= 1;
+            conn.ready.insert(c.seq, c.reply);
+        }
+
+        // Drain closes the listener: connects made after this point are
+        // refused by the OS instead of parking in a backlog nobody will
+        // ever accept.
+        if drain.load(Ordering::SeqCst) {
+            if listener.take().is_some() {
+                worked = true;
+            }
+        } else if let Some(l) = &listener {
+            loop {
+                match l.accept_nb() {
+                    Ok(stream) => {
+                        worked = true;
+                        generation += 1;
+                        let conn = Conn {
+                            stream,
+                            generation,
+                            frames: FrameBuffer::default(),
+                            out: VecDeque::new(),
+                            next_seq: 0,
+                            next_release: 0,
+                            ready: BTreeMap::new(),
+                            pending_jobs: 0,
+                            closing: false,
+                            dead: false,
+                        };
+                        match free.pop() {
+                            Some(slot) => conns[slot] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                    }
+                    Err(ref e) if would_block(e) => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // Per-connection I/O.
+        let mut open = 0usize;
+        let mut owed = 0usize;
+        for (slot, entry) in conns.iter_mut().enumerate() {
+            let Some(conn) = entry.as_mut() else {
+                continue;
+            };
+
+            // Read until the socket runs dry, dispatching every complete
+            // frame (pipelined frames dispatch immediately and
+            // concurrently — that is what feeds the batcher).
+            if !conn.closing && !conn.dead {
+                loop {
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => {
+                            conn.closing = true;
+                            worked = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            worked = true;
+                            conn.frames.push(&buf[..n]);
+                            while let Some(frame) = conn.frames.next_frame() {
+                                let seq = conn.next_seq;
+                                conn.next_seq += 1;
+                                match frame {
+                                    Ok(line) => {
+                                        // Inline fast path: a pure cache
+                                        // hit is answered on this thread,
+                                        // skipping the pool round trip.
+                                        // Misses, stats, and bad requests
+                                        // return `None` and dispatch.
+                                        if let Some(reply) = service.try_hit(&line) {
+                                            conn.ready.insert(seq, reply);
+                                            continue;
+                                        }
+                                        conn.pending_jobs += 1;
+                                        active.fetch_add(1, Ordering::SeqCst);
+                                        pool.submit(Job {
+                                            conn: ConnId {
+                                                slot,
+                                                generation: conn.generation,
+                                            },
+                                            seq,
+                                            line,
+                                            completions: completions.clone(),
+                                        });
+                                    }
+                                    Err(e) => {
+                                        // Typed, in-order, connection
+                                        // keeps serving.
+                                        conn.ready.insert(
+                                            seq,
+                                            protocol::render_error("bad-request", &e.detail()),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        Err(ref e) if would_block(e) => break,
+                        Err(_) => {
+                            conn.dead = true;
+                            worked = true;
+                            break;
+                        }
                     }
                 }
-                line.clear();
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle poll; `line` may hold a partial request the
-                // client is still typing — keep it and try again.
+
+            // Release in-order replies and flush what the socket accepts.
+            conn.release_ready();
+            while !conn.out.is_empty() && !conn.dead {
+                let (front, _) = conn.out.as_slices();
+                match conn.stream.write(front) {
+                    Ok(0) => {
+                        conn.dead = true;
+                    }
+                    Ok(n) => {
+                        worked = true;
+                        conn.out.drain(..n);
+                    }
+                    Err(ref e) if would_block(e) => break,
+                    Err(_) => {
+                        conn.dead = true;
+                    }
+                }
             }
-            Err(_) => return,
+
+            // Retire connections that owe nothing (or can't be paid).
+            let retire = conn.dead || (conn.closing && conn.unsettled() == 0);
+            if retire {
+                *entry = None;
+                free.push(slot);
+                worked = true;
+            } else {
+                open += 1;
+                if conn.unsettled() > 0 {
+                    owed += 1;
+                }
+            }
         }
-    }
-}
+        unsettled.store(owed, Ordering::SeqCst);
 
-trait TryCloneStream: Sized {
-    fn try_clone_stream(&self) -> std::io::Result<Self>;
-}
+        if paxsim_obs::enabled() && last_gauges.elapsed() >= GAUGE_PERIOD {
+            last_gauges = Instant::now();
+            paxsim_obs::gauge("serve.reactor.open_connections").set(open as f64);
+            paxsim_obs::gauge("serve.reactor.ready_queue_depth").set(pool.depth() as f64);
+        }
 
-impl TryCloneStream for TcpStream {
-    fn try_clone_stream(&self) -> std::io::Result<Self> {
-        self.try_clone()
-    }
-}
-
-impl TryCloneStream for UnixStream {
-    fn try_clone_stream(&self) -> std::io::Result<Self> {
-        self.try_clone()
+        if stop.load(Ordering::SeqCst) {
+            // Final flush attempt happened above; anything still owed
+            // missed the grace period.
+            return;
+        }
     }
 }

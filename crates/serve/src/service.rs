@@ -1,10 +1,12 @@
 //! Request handling: admission control, single-flight coalescing, the
-//! compute path, and daemon statistics.
+//! batched compute path, and daemon statistics.
 //!
 //! One [`Service`] is shared by every connection. A `simulate` request
-//! flows: parse → resolve/validate → content hash → cache lookup →
-//! (miss) drain check → admission gate → single-flight table → compute
-//! on the panic-isolating pool → cache put → reply. The serial baseline
+//! flows: parse → resolve/validate → content hash → sharded cache lookup
+//! → (miss) single-flight table → drain check → **batcher** (compatible
+//! concurrent misses gather into one group) → admission gate (one permit
+//! per batch) → one shared sweep on the panic-isolating pool → per-item
+//! cache put → per-request demux → reply. The serial baseline
 //! a parallel cell's speedup divides by is its *own* cached sub-request
 //! (hashed under the serial variant of the spec), fetched without
 //! re-entering the admission gate — a request that was admitted owns
@@ -17,7 +19,7 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use paxsim_core::error::{StudyError, StudyResult};
-use paxsim_core::hash::ResolvedSpec;
+use paxsim_core::hash::{content_hash, fnv1a, ResolvedSpec};
 use paxsim_core::inflight::Inflight;
 use paxsim_core::journal::{Record, SideRecord};
 use paxsim_core::pool::{self, CellPolicy};
@@ -27,6 +29,7 @@ use paxsim_machine::sim::simulate;
 use paxsim_perfmon::stats::Summary;
 use serde::{Serialize, Value};
 
+use crate::batch::{Batcher, Role};
 use crate::cache::ResultCache;
 use crate::protocol::{self, Request};
 
@@ -45,6 +48,20 @@ pub struct ServeConfig {
     /// Watchdog deadline applied to computations whose request did not
     /// set `deadline_ms`.
     pub default_deadline_ms: Option<u64>,
+    /// Result-cache shards (consistent-hashed by `ConfigHash`). More
+    /// shards, less lock contention; entries relocate on change (a
+    /// relocated entry misses once, it is never served wrong).
+    pub shards: usize,
+    /// Batch gather window in milliseconds. `0` disables batching
+    /// (every miss executes immediately as a batch of one — the
+    /// reference semantics the batched path is differentially tested
+    /// against). Nonzero trades that many ms of cold-miss latency for
+    /// merging compatible concurrent misses into one sweep.
+    pub batch_window_ms: u64,
+    /// Reactor compute-worker threads; `0` sizes automatically to
+    /// `max_running + max_queue + 4` so cache hits keep flowing while
+    /// every admission slot is occupied by blocked batch leaders.
+    pub workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +75,20 @@ impl Default for ServeConfig {
             max_running: cores,
             max_queue: 2 * cores,
             default_deadline_ms: None,
+            shards: crate::cache::DEFAULT_SHARDS,
+            batch_window_ms: 0,
+            workers: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Effective reactor worker-thread count (resolves the `0` default).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            self.max_running + self.max_queue + 4
         }
     }
 }
@@ -156,6 +187,9 @@ pub struct Service {
     /// table: a gated flight can block in the admission queue, and a
     /// permit-holding computation joining it there would deadlock.
     sub_inflight: Inflight<Record>,
+    /// Compatible concurrent misses gather here into shared sweeps; one
+    /// admission-gate pass and one pool per batch.
+    batcher: Batcher<ResolvedSpec, StudyResult<Result<Record, Gated>>>,
     gate: Gate,
     draining: AtomicBool,
     started: Instant,
@@ -184,14 +218,16 @@ impl Service {
         if std::env::var_os("PAXSIM_OBS").is_none_or(|v| v != "0") {
             paxsim_obs::set_enabled(true);
         }
-        let cache = ResultCache::open(&cfg.cache_dir, cfg.mem_cap)?;
+        let cache = ResultCache::open(&cfg.cache_dir, cfg.mem_cap, cfg.shards)?;
         let gate = Gate::new(cfg.max_running, cfg.max_queue);
+        let batcher = Batcher::new(Duration::from_millis(cfg.batch_window_ms));
         Ok(Service {
             cfg,
             store: TraceStore::new(),
             cache,
             inflight: Inflight::new(),
             sub_inflight: Inflight::new(),
+            batcher,
             gate,
             draining: AtomicBool::new(false),
             started: Instant::now(),
@@ -241,10 +277,42 @@ impl Service {
         }
     }
 
+    /// Reactor fast path: answer `line` inline **iff** it is a
+    /// `simulate` request whose result is already cached. Anything else
+    /// — a miss, `stats`/`metrics`, malformed input — returns `None`
+    /// and must be dispatched to the worker pool as usual.
+    ///
+    /// Serving hits on the reactor thread skips the pool round trip
+    /// (two context switches per request — on a loaded single-core host
+    /// that is roughly half the wire cost of a hit). The reply is
+    /// rendered by the same [`protocol::render_result`] call on the
+    /// same cached record, so it is byte-identical to the worker path.
+    ///
+    /// Accounting matches [`Service::handle_line`] exactly: the request
+    /// counter moves only when the request is actually answered here,
+    /// and the cache probe books a hit counter on success and *nothing*
+    /// on a miss — the worker path's own `get` will book that miss, so
+    /// every simulate request still books exactly one tier counter.
+    pub fn try_hit(&self, line: &str) -> Option<String> {
+        let Ok(Request::Simulate { spec, .. }) = protocol::parse_request(line) else {
+            return None;
+        };
+        let resolved = spec.resolve().ok()?;
+        let hash = resolved.content_hash();
+        let rec = self.cache.probe(hash)?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        static REQUESTS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.requests");
+        static INLINE: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.inline_hits");
+        REQUESTS.inc();
+        INLINE.inc();
+        let _span = paxsim_obs::span!("serve.request");
+        Some(protocol::render_result(hash, &resolved.spec, &rec))
+    }
+
     /// Serve one resolved simulation request: cache, then a coalesced
-    /// flight whose *leader* passes the drain check and admission gate —
-    /// identical concurrent requests cost one gate slot and one
-    /// computation no matter how many clients send them.
+    /// flight whose *leader* passes the drain check and hands the miss to
+    /// the batcher — identical concurrent requests cost one flight, and
+    /// compatible distinct ones share a sweep and a gate permit.
     fn simulate(
         &self,
         resolved: &ResolvedSpec,
@@ -274,18 +342,7 @@ impl Service {
                 self.rejected_draining.fetch_add(1, Ordering::Relaxed);
                 return Ok(Err(Gated::Draining));
             }
-            let admitted = {
-                let _span = paxsim_obs::span!("serve.admission");
-                self.gate.admit()
-            };
-            let _permit = match admitted {
-                Ok(p) => p,
-                Err((running, queued)) => {
-                    self.rejected_overload.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Err(Gated::Overloaded { running, queued }));
-                }
-            };
-            self.compute_and_cache(resolved, deadline_ms).map(Ok)
+            self.batched_compute(resolved, deadline_ms)
         });
         match flight {
             paxsim_core::inflight::Flight::Led => LED.inc(),
@@ -299,6 +356,121 @@ impl Service {
             Ok(Err(Gated::Draining)) => Err(Rejection::Draining),
             Err(e) => Err(Rejection::Failed(e)),
         }
+    }
+
+    /// The batch-compatibility key: the canonical spec with the sweep
+    /// coordinates (kernel, configuration) blanked, content-hashed, with
+    /// the request deadline folded in. Two misses merge into one sweep
+    /// exactly when they agree on class, trials, jitter, schedule, the
+    /// full machine model, *and* deadline — so a merged batch runs under
+    /// one [`CellPolicy`] that honors every member's deadline (they are
+    /// all the same deadline).
+    fn batch_key(resolved: &ResolvedSpec, deadline_ms: Option<u64>) -> u64 {
+        let mut probe = resolved.spec.clone();
+        probe.kernel = String::new();
+        probe.config = String::new();
+        let spec_hash = content_hash(&probe).0;
+        fnv1a(format!("{spec_hash:016x}|{deadline_ms:?}").as_bytes())
+    }
+
+    /// Route one cache miss through the batcher. With a zero window this
+    /// is a pass-through (immediate batch of one — byte-identical to the
+    /// pre-batching path, which the differential test asserts).
+    fn batched_compute(
+        &self,
+        resolved: &ResolvedSpec,
+        deadline_ms: Option<u64>,
+    ) -> StudyResult<Result<Record, Gated>> {
+        static BATCHES: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.batch.batches");
+        static MERGED: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.batch.merged");
+        static SIZE: paxsim_obs::LazyHistogram = paxsim_obs::LazyHistogram::new("serve.batch.size");
+        let key = Self::batch_key(resolved, deadline_ms);
+        let (result, role) = self.batcher.submit(key, resolved.clone(), |items| {
+            self.execute_batch(items, deadline_ms)
+        });
+        if let Role::Led { size } = role {
+            BATCHES.inc();
+            MERGED.add(size as u64 - 1);
+            // The exponential seconds buckets (1e-6·4^i) double as base-4
+            // *size* buckets under this scaling: bucket i covers batch
+            // sizes up to 4^i.
+            SIZE.observe(size as f64 * 1e-6);
+        }
+        result
+    }
+
+    /// Execute one gathered batch: one admission-gate pass, one shared
+    /// sweep, one cache put per member. Results are positional (slot `i`
+    /// answers the submitter of item `i`).
+    ///
+    /// **Equivalence:** each cell calls [`Service::compute_cell`] on its
+    /// own resolved spec, exactly as an unbatched request would; cells
+    /// share nothing but the scoped pool (and the caches/trace store they
+    /// already shared across connections), and `compute_cell` is
+    /// deterministic in its spec. Batching therefore changes only *when*
+    /// and *beside whom* a computation runs — the record that lands in
+    /// the cache, and the reply rendered from it, are byte-identical to
+    /// the unbatched execution (DESIGN.md §13 states the full argument).
+    fn execute_batch(
+        &self,
+        items: Vec<ResolvedSpec>,
+        deadline_ms: Option<u64>,
+    ) -> Vec<StudyResult<Result<Record, Gated>>> {
+        let admitted = {
+            let _span = paxsim_obs::span!("serve.admission");
+            self.gate.admit()
+        };
+        let _permit = match admitted {
+            Ok(p) => p,
+            Err((running, queued)) => {
+                self.rejected_overload
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                return items
+                    .iter()
+                    .map(|_| Ok(Err(Gated::Overloaded { running, queued })))
+                    .collect();
+            }
+        };
+        let policy = CellPolicy {
+            deadline: deadline_ms
+                .or(self.cfg.default_deadline_ms)
+                .map(Duration::from_millis),
+            ..CellPolicy::default()
+        };
+        let sweep = pool::map_indexed_isolated(items.len(), &policy, |i| {
+            let item = &items[i];
+            let _span = paxsim_obs::span!(
+                "serve.compute",
+                kernel = item.spec.kernel,
+                config = item.spec.config
+            );
+            let t0 = Instant::now();
+            let sides = self.compute_cell(item)?;
+            Ok((sides, t0.elapsed().as_secs_f64()))
+        });
+        sweep
+            .results
+            .into_iter()
+            .zip(&items)
+            .map(|(res, item)| {
+                let (sides, elapsed) = res?;
+                let rec = self.cache.put(item.content_hash(), sides)?;
+                self.computed.fetch_add(1, Ordering::Relaxed);
+                if paxsim_obs::enabled() {
+                    paxsim_obs::histogram_with(
+                        "serve.compute_seconds",
+                        &[("kernel", item.spec.kernel.as_str())],
+                    )
+                    .observe(elapsed);
+                }
+                lock(&self.latencies)
+                    .entry(item.spec.kernel.clone())
+                    .or_default()
+                    .push(elapsed * 1e3);
+                Ok(Ok(rec))
+            })
+            .collect()
     }
 
     /// The serial-baseline sub-request: cache-or-compute with its own
@@ -446,6 +618,38 @@ impl Service {
                         "corrupt_dropped",
                         Value::UInt(self.cache.corrupt_dropped() as u64),
                     ),
+                    (
+                        "shards",
+                        Value::Array(
+                            self.cache
+                                .shard_stats()
+                                .iter()
+                                .map(|s| {
+                                    obj(vec![
+                                        ("mem_hits", Value::UInt(s.mem_hits)),
+                                        ("disk_hits", Value::UInt(s.disk_hits)),
+                                        ("misses", Value::UInt(s.misses)),
+                                        ("puts", Value::UInt(s.puts)),
+                                        ("entries_mem", Value::UInt(s.entries_mem as u64)),
+                                        ("entries_disk", Value::UInt(s.entries_disk as u64)),
+                                        ("corrupt_dropped", Value::UInt(s.corrupt_dropped as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "batch",
+                obj(vec![
+                    ("window_ms", Value::UInt(self.cfg.batch_window_ms)),
+                    ("batches", Value::UInt(self.batcher.batches())),
+                    ("merged", Value::UInt(self.batcher.merged())),
+                    (
+                        "open_groups",
+                        Value::UInt(self.batcher.open_groups() as u64),
+                    ),
                 ]),
             ),
             (
@@ -501,6 +705,20 @@ impl Service {
             paxsim_obs::gauge("serve.inflight.current").set(self.inflight.in_flight() as f64);
             paxsim_obs::gauge("serve.draining").set(f64::from(u8::from(self.draining())));
             paxsim_obs::gauge("serve.uptime_seconds").set(self.started.elapsed().as_secs_f64());
+            paxsim_obs::gauge("serve.batch.open_groups").set(self.batcher.open_groups() as f64);
+            paxsim_obs::gauge("serve.cache.shards").set(self.cache.shard_count() as f64);
+            for (i, s) in self.cache.shard_stats().iter().enumerate() {
+                let shard = i.to_string();
+                let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+                paxsim_obs::gauge_with("serve.cache.shard.mem_hits", labels).set(s.mem_hits as f64);
+                paxsim_obs::gauge_with("serve.cache.shard.disk_hits", labels)
+                    .set(s.disk_hits as f64);
+                paxsim_obs::gauge_with("serve.cache.shard.misses", labels).set(s.misses as f64);
+                paxsim_obs::gauge_with("serve.cache.shard.entries_mem", labels)
+                    .set(s.entries_mem as f64);
+                paxsim_obs::gauge_with("serve.cache.shard.entries_disk", labels)
+                    .set(s.entries_disk as f64);
+            }
         }
         let snap = paxsim_obs::snapshot();
         let v = Value::Object(vec![
@@ -552,6 +770,21 @@ impl Service {
     /// The result cache (hit/miss counters).
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The service configuration as opened.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Batches executed by the gather-window batcher.
+    pub fn batches(&self) -> u64 {
+        self.batcher.batches()
+    }
+
+    /// Requests that rode another request's batch (merge count).
+    pub fn batch_merged(&self) -> u64 {
+        self.batcher.merged()
     }
 }
 
@@ -700,6 +933,132 @@ mod tests {
             let r = s.handle_line(EP_CMP);
             assert!(r.contains("\"ok\":true"), "{r}");
         });
+    }
+
+    #[test]
+    fn compatible_concurrent_misses_merge_into_one_batch() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = Service::open(ServeConfig {
+            cache_dir: tmp("merge"),
+            batch_window_ms: 120,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // Same class/trials/schedule/machine/deadline, different sweep
+        // coordinates: these must gather into one group.
+        let lines = [
+            EP_CMP,
+            r#"{"op":"simulate","kernel":"cg","config":"CMP"}"#,
+            r#"{"op":"simulate","kernel":"is","config":"CMP"}"#,
+        ];
+        let gate = std::sync::Barrier::new(lines.len());
+        let replies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = lines
+                .iter()
+                .map(|line| {
+                    let (s, gate) = (&s, &gate);
+                    scope.spawn(move || {
+                        gate.wait();
+                        s.handle_line(line)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &replies {
+            assert!(r.contains("\"ok\":true"), "{r}");
+        }
+        assert!(
+            s.batch_merged() >= 1,
+            "concurrent compatible misses must merge (merged = {}, batches = {})",
+            s.batch_merged(),
+            s.batches()
+        );
+        assert_eq!(
+            s.computed(),
+            6,
+            "3 parallel kernels + 3 per-kernel serial baselines, once each"
+        );
+    }
+
+    #[test]
+    fn incompatible_requests_never_merge() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = Service::open(ServeConfig {
+            cache_dir: tmp("nomerge"),
+            batch_window_ms: 60,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // Different trial counts → different batch keys.
+        let lines = [
+            r#"{"op":"simulate","kernel":"ep","config":"CMP","trials":1}"#,
+            r#"{"op":"simulate","kernel":"cg","config":"CMP","trials":2}"#,
+        ];
+        let gate = std::sync::Barrier::new(lines.len());
+        std::thread::scope(|scope| {
+            for line in &lines {
+                let (s, gate) = (&s, &gate);
+                scope.spawn(move || {
+                    gate.wait();
+                    let r = s.handle_line(line);
+                    assert!(r.contains("\"ok\":true"), "{r}");
+                });
+            }
+        });
+        assert_eq!(s.batch_merged(), 0, "incompatible specs must not merge");
+    }
+
+    #[test]
+    fn batched_replies_are_byte_identical_to_unbatched() {
+        // The batching equivalence argument, tested differentially: the
+        // same request set served through a wide-open gather window
+        // (merged sweep) and through a zero window (sequential batches of
+        // one) must produce byte-identical reply lines.
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let lines = [
+            EP_CMP,
+            r#"{"op":"simulate","kernel":"cg","config":"CMP"}"#,
+            r#"{"op":"simulate","kernel":"is","config":"CMP"}"#,
+            r#"{"op":"simulate","kernel":"ep","config":"CMT"}"#,
+        ];
+        let plain = Service::open(ServeConfig {
+            cache_dir: tmp("diff_plain"),
+            batch_window_ms: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let unbatched: Vec<String> = lines.iter().map(|l| plain.handle_line(l)).collect();
+        assert_eq!(plain.batch_merged(), 0);
+
+        let batched_svc = Service::open(ServeConfig {
+            cache_dir: tmp("diff_batched"),
+            batch_window_ms: 150,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let gate = std::sync::Barrier::new(lines.len());
+        let batched: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = lines
+                .iter()
+                .map(|line| {
+                    let (s, gate) = (&batched_svc, &gate);
+                    scope.spawn(move || {
+                        gate.wait();
+                        s.handle_line(line)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            batched_svc.batch_merged() >= 1,
+            "differential run must actually exercise a merged batch"
+        );
+        for (line, (b, u)) in lines.iter().zip(batched.iter().zip(&unbatched)) {
+            assert!(b.contains("\"ok\":true"), "{b}");
+            assert_eq!(b, u, "batched reply for {line} diverged from unbatched");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! End-to-end loopback tests: a real [`Server`] on real sockets, driven
-//! by concurrent TCP/Unix clients, proving the serving tentpole's four
+//! by concurrent TCP/Unix clients, proving the serving tentpole's
 //! contracts — coalescing, byte-identical cache hits, typed overload +
-//! graceful drain, and corruption-triggered recompute.
+//! graceful drain (replies flushed, threads joined, listener closed),
+//! and corruption-triggered recompute against the sharded cache.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -162,10 +163,70 @@ fn overload_rejects_typed_and_drain_finishes_in_flight() {
 }
 
 #[test]
+fn shutdown_joins_every_handler_and_flushes_in_flight_replies() {
+    // Regression for the detached-handler bug: the PR-4 server spawned
+    // reply threads it never joined, so shutdown could tear the process
+    // down while a reply was still being written. Stall a computation,
+    // shut down while it is mid-flight, and require that `shutdown`
+    // (a) reports a clean drain and (b) returns only after the reply
+    // bytes reached the socket — readable afterwards even though every
+    // server thread is already joined.
+    paxsim_core::faultinject::with_plan("cell-slow:0:300:1", || {
+        let (service, server) = start("drain_join", |_| {});
+        let mut client = Client::connect(&server);
+        client.send(EP_CMP);
+        wait_until("slow request admitted", Duration::from_secs(5), || {
+            service.busy() > 0
+        });
+        assert!(
+            server.shutdown(Duration::from_secs(10)),
+            "shutdown must wait for the in-flight reply, not abandon it"
+        );
+        let reply = client.recv();
+        assert!(
+            reply.contains("\"ok\":true"),
+            "reply flushed before the handlers were joined: {reply}"
+        );
+    });
+}
+
+#[test]
+fn draining_closes_the_listener_to_new_connections() {
+    let _quiet = paxsim_core::faultinject::quiesced();
+    let (_service, server) = start("drain_refuse", |_| {});
+    let addr = server.tcp_addr().unwrap();
+    let mut established = Client::connect(&server);
+    // One roundtrip proves the reactor *accepted* this connection (a
+    // connect alone only reaches the OS backlog, which the drain below
+    // resets along with the listener).
+    assert!(established
+        .roundtrip(r#"{"op":"stats"}"#)
+        .contains("\"ok\":true"));
+    server.drain();
+    // The reactor drops its listener on the next pass; from then on the
+    // OS refuses new connects outright instead of parking them in a
+    // backlog nobody will accept.
+    wait_until("listener closed", Duration::from_secs(5), || {
+        TcpStream::connect(addr).is_err()
+    });
+    // Connections established before the drain keep serving.
+    let stats = established.roundtrip(r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"draining\":true"), "{stats}");
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
 fn bitflipped_disk_entry_is_recomputed_not_served() {
     let _quiet = paxsim_core::faultinject::quiesced();
     let dir = tmp("bitflip");
-    let journal = dir.join(paxsim_serve::cache::JOURNAL_FILE);
+    // The parallel ep/CMP record lands in the shard its content hash
+    // selects; corrupt that shard's journal, not a monolithic file.
+    let hash = paxsim_core::hash::StudySpec::new("ep", "CMP")
+        .resolve()
+        .unwrap()
+        .content_hash();
+    let shard = paxsim_serve::cache::shard_index(hash, paxsim_serve::cache::DEFAULT_SHARDS);
+    let journal = dir.join(paxsim_serve::cache::shard_file_name(shard));
     let cold = {
         let service = Arc::new(
             Service::open(ServeConfig {
