@@ -99,6 +99,73 @@ echo "== serve load smoke (reactor + batching + sharded cache, quick) =="
 # untouched.
 target/release/paxsim-loadgen --quick
 
+echo "== serve chaos smoke (connection kills + worker panics, quick) =="
+# Phase 3 of the load generator: a fault plan kills connections and
+# panics workers while self-healing clients reconnect and resend. The
+# soak self-asserts zero hung requests, every request eventually ok, the
+# conservation law by the server's own simulate count, and a clean drain.
+target/release/paxsim-loadgen --quick --chaos
+
+echo "== serve under PAXSIM_FAULTS (worker panic + journal write failure) =="
+# Same env-plan discipline as the sweep resilience pass, now against the
+# daemon: the first worker job panics (retried transparently) and the
+# first journal append fails (the put degrades to the memory tier). The
+# miss -> hit pair must still be byte-identical, op=health must report
+# the degradation, and SIGTERM must drain cleanly.
+CHAOS_SOCK="$SERVE_TMP/chaos.sock"
+PAXSIM_FAULTS="serve-worker-panic:1:1,journal-fail:1" \
+    target/release/paxsim-serve --unix "$CHAOS_SOCK" --cache "$SERVE_TMP/chaos_cache" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$CHAOS_SOCK" ] && break; sleep 0.1; done
+[ -S "$CHAOS_SOCK" ] || { echo "chaos daemon never bound its socket"; exit 1; }
+FAULT_MISS=$("$CLI" --unix "$CHAOS_SOCK" simulate --kernel ep --config CMP)
+FAULT_HIT=$("$CLI" --unix "$CHAOS_SOCK" simulate --kernel ep --config CMP)
+[ "$FAULT_MISS" = "$FAULT_HIT" ] || {
+    echo "hit under injected faults is not byte-identical to the miss:"
+    echo "  miss: $FAULT_MISS"
+    echo "  hit:  $FAULT_HIT"
+    exit 1
+}
+HEALTH=$("$CLI" --unix "$CHAOS_SOCK" health)
+echo "$HEALTH" | grep -q '"status":"ready"' || { echo "health not ready: $HEALTH"; exit 1; }
+echo "$HEALTH" | grep -q '"put_failures":1' || {
+    echo "degraded journal put not reported in health: $HEALTH"
+    exit 1
+}
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "fault-plan serve smoke passed: byte-identical under faults, degradation reported"
+
+echo "== cli typed transport failure (connection refused, no panic) =="
+# A client pointed at a dead socket must exit with the typed transport
+# code (2) and a named diagnostic — never a panic, never a hang.
+set +e
+REFUSED_OUT=$("$CLI" --unix "$SERVE_TMP/nonexistent.sock" --retries 0 stats 2>&1)
+REFUSED_CODE=$?
+set -e
+[ "$REFUSED_CODE" -eq 2 ] || {
+    echo "expected typed exit 2 on connection refused, got $REFUSED_CODE: $REFUSED_OUT"
+    exit 1
+}
+echo "$REFUSED_OUT" | grep -q "connect failed" || {
+    echo "missing typed connect diagnostic: $REFUSED_OUT"
+    exit 1
+}
+echo "cli transport failure is typed: exit 2, '$REFUSED_OUT'"
+
+echo "== SIGKILL-mid-write journal torture (crash-safe recovery) =="
+# Append records as fast as the journal allows, SIGKILL the writer mid
+# append, reopen: at most the one in-flight record may be torn and the
+# survivors must form a bit-exact contiguous prefix.
+cargo build --release -q --example journal_torture -p paxsim-core
+TORTURE_BIN=target/release/examples/journal_torture
+"$TORTURE_BIN" write "$SERVE_TMP/torture.jsonl" & TORTURE_PID=$!
+sleep 1
+kill -9 "$TORTURE_PID" 2>/dev/null || true
+wait "$TORTURE_PID" 2>/dev/null || true
+"$TORTURE_BIN" check "$SERVE_TMP/torture.jsonl"
+
 echo "== differential drift check on the quad-core topology =="
 # The engine is data-driven over Topology; run the non-Table-1 quad-core
 # (and L3-backed) differential suite once so a topology-conditional bug

@@ -20,6 +20,14 @@
 //! cell-panic:<index>[:times]     panic the first <times> executions of sweep item <index> (default 1)
 //! cell-slow:<index>:<ms>[:times] sleep <ms> at the start of sweep item <index> (default unlimited)
 //! drift:<kernel>[:times]         perturb the fast-engine counters for <kernel> cells (default unlimited)
+//! journal-fail[:times]           fail the next <times> journal appends with an I/O error (default 1)
+//! serve-worker-panic:<period>[:times]  panic serve worker job n when n % period == 0 (default 1 use)
+//! serve-conn-kill:<period>[:times]     kill the connection carrying dispatched frame n when
+//!                                      n % period == 0 (default 1 use)
+//! serve-batch-panic[:times]      panic the next <times> batch-leader sweep executions (default 1)
+//! serve-shard-slow:<ms>[:times]  sleep <ms> inside every shard cache lookup (default unlimited)
+//! serve-partial-write[:times]    cap the next <times> reactor write passes at one byte each,
+//!                                exercising the partial-write/slow-reader path (default 64)
 //! ```
 //!
 //! Every fault carries a remaining-use counter, so "fail the first
@@ -43,6 +51,12 @@ enum FaultKind {
     CellPanic { index: usize },
     CellSlow { index: usize, ms: u64 },
     Drift { kernel: String },
+    JournalFail,
+    ServeWorkerPanic { period: u64 },
+    ServeConnKill { period: u64 },
+    ServeBatchPanic,
+    ServeShardSlow { ms: u64 },
+    ServePartialWrite,
 }
 
 /// A parsed fault plan.
@@ -96,11 +110,35 @@ impl FaultPlan {
                     },
                     u32::MAX as u64,
                 ),
+                "journal-fail" => (FaultKind::JournalFail, 1),
+                "serve-worker-panic" => (
+                    FaultKind::ServeWorkerPanic {
+                        period: u(1, "period")?.max(1),
+                    },
+                    1,
+                ),
+                "serve-conn-kill" => (
+                    FaultKind::ServeConnKill {
+                        period: u(1, "period")?.max(1),
+                    },
+                    1,
+                ),
+                "serve-batch-panic" => (FaultKind::ServeBatchPanic, 1),
+                "serve-shard-slow" => (
+                    FaultKind::ServeShardSlow {
+                        ms: u(1, "milliseconds")?,
+                    },
+                    u32::MAX as u64,
+                ),
+                "serve-partial-write" => (FaultKind::ServePartialWrite, 64),
                 other => return Err(format!("unknown fault kind `{other}`")),
             };
             // The trailing optional field is always the use budget.
             let times_idx = match kind {
                 FaultKind::CellSlow { .. } => 3,
+                FaultKind::JournalFail
+                | FaultKind::ServeBatchPanic
+                | FaultKind::ServePartialWrite => 1,
                 _ => 2,
             };
             let times = match fields.get(times_idx) {
@@ -263,6 +301,75 @@ pub(crate) fn drift_hook(kernel: &str) -> bool {
     consume(|k| matches!(k, FaultKind::Drift { kernel: fk } if fk == kernel)).is_some()
 }
 
+/// Hook: about to append a journal record. True iff a `journal-fail`
+/// fault has budget left — the caller must turn that into an I/O error.
+#[inline]
+pub(crate) fn journal_fail_hook() -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::JournalFail)).is_some()
+}
+
+/// Hook: serve worker about to run job number `job`. True iff a
+/// `serve-worker-panic` fault matches (`job % period == 0`) and has
+/// budget left — the caller panics inside its own isolation boundary.
+#[inline]
+pub fn serve_worker_panic(job: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::ServeWorkerPanic { period } if job.is_multiple_of(*period)))
+        .is_some()
+}
+
+/// Hook: reactor dispatched frame number `frame`. True iff a
+/// `serve-conn-kill` fault matches (`frame % period == 0`) and has budget
+/// left — the caller drops the connection carrying that frame.
+#[inline]
+pub fn serve_conn_kill(frame: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::ServeConnKill { period } if frame.is_multiple_of(*period)))
+        .is_some()
+}
+
+/// Hook: batch leader about to execute a gathered sweep. True iff a
+/// `serve-batch-panic` fault has budget left — the caller panics so the
+/// batcher's poison-recovery path is exercised.
+#[inline]
+pub fn serve_batch_panic() -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::ServeBatchPanic)).is_some()
+}
+
+/// Hook: shard cache lookup. Returns the injected latency of a matching
+/// `serve-shard-slow` fault, if any — the caller sleeps that long.
+#[inline]
+pub fn serve_shard_slow() -> Option<u64> {
+    if !active() {
+        return None;
+    }
+    match consume(|k| matches!(k, FaultKind::ServeShardSlow { .. })) {
+        Some(FaultKind::ServeShardSlow { ms }) => Some(ms),
+        _ => None,
+    }
+}
+
+/// Hook: reactor about to flush a connection's write queue. True iff a
+/// `serve-partial-write` fault has budget left — the caller caps this
+/// write pass at one byte, modelling a saturated socket / slow reader.
+#[inline]
+pub fn serve_partial_write() -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::ServePartialWrite)).is_some()
+}
+
 // ---------------------------------------------------------------------------
 // Journal corruption helpers (used by resume/corruption tests and CI).
 // ---------------------------------------------------------------------------
@@ -307,10 +414,55 @@ mod tests {
     }
 
     #[test]
+    fn parse_serve_kinds() {
+        let p = FaultPlan::parse(
+            "journal-fail:3, serve-worker-panic:97:5, serve-conn-kill:83, \
+             serve-batch-panic, serve-shard-slow:25:2, serve-partial-write:10",
+        )
+        .unwrap();
+        assert_eq!(p.faults.len(), 6);
+        assert_eq!(p.faults[0].remaining.load(Ordering::Relaxed), 3);
+        assert_eq!(p.faults[1].kind, FaultKind::ServeWorkerPanic { period: 97 });
+        assert_eq!(p.faults[1].remaining.load(Ordering::Relaxed), 5);
+        assert_eq!(p.faults[2].remaining.load(Ordering::Relaxed), 1);
+        assert_eq!(p.faults[3].kind, FaultKind::ServeBatchPanic);
+        assert_eq!(p.faults[4].kind, FaultKind::ServeShardSlow { ms: 25 });
+        assert_eq!(p.faults[4].remaining.load(Ordering::Relaxed), 2);
+        assert_eq!(p.faults[5].remaining.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn serve_hooks_match_period_and_budget() {
+        with_plan("serve-worker-panic:10:2, serve-conn-kill:3:1", || {
+            assert!(!serve_worker_panic(7), "7 % 10 != 0");
+            assert!(serve_worker_panic(20));
+            assert!(serve_worker_panic(30));
+            assert!(!serve_worker_panic(40), "budget of 2 spent");
+            assert!(serve_conn_kill(9));
+            assert!(!serve_conn_kill(12), "budget of 1 spent");
+        });
+        with_plan("serve-shard-slow:17:1, serve-partial-write:2", || {
+            assert_eq!(serve_shard_slow(), Some(17));
+            assert_eq!(serve_shard_slow(), None);
+            assert!(serve_partial_write());
+            assert!(serve_partial_write());
+            assert!(!serve_partial_write());
+        });
+        with_plan("journal-fail, serve-batch-panic", || {
+            assert!(journal_fail_hook());
+            assert!(!journal_fail_hook());
+            assert!(serve_batch_panic());
+            assert!(!serve_batch_panic());
+        });
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(FaultPlan::parse("explode:now").is_err());
         assert!(FaultPlan::parse("cell-panic:notanumber").is_err());
         assert!(FaultPlan::parse("build-panic").is_err());
+        assert!(FaultPlan::parse("serve-worker-panic").is_err());
+        assert!(FaultPlan::parse("serve-shard-slow:fast").is_err());
         assert!(FaultPlan::parse("").unwrap().faults.is_empty());
     }
 

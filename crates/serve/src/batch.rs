@@ -27,6 +27,13 @@
 //! both the low-latency configuration and the reference behavior the
 //! batched path is differentially tested against.
 //!
+//! **Poison recovery:** a panicking leader executor must never strand its
+//! members. The leader runs the batch under `catch_unwind`; on panic it
+//! marks the group `Poisoned` and wakes everyone, and every rider —
+//! leader included — re-runs its own item as an individual batch of one
+//! ([`Role::Retried`]). Each item computes independently, so the retry
+//! result is byte-identical to what the batch would have produced.
+//!
 //! The batcher is generic and knows nothing about specs, caches, or
 //! gates: correctness of *merging* (why a batched result is byte-identical
 //! to an unbatched one) is argued where the executor is defined
@@ -48,6 +55,9 @@ pub enum Role {
     /// This call joined an open group of final size `size` and received
     /// its slot of the leader's execution.
     Joined { size: usize },
+    /// This call's batch execution panicked; the call re-ran its own item
+    /// as an individual batch of one and got that result instead.
+    Retried,
 }
 
 impl Role {
@@ -55,6 +65,7 @@ impl Role {
     pub fn size(&self) -> usize {
         match *self {
             Role::Led { size } | Role::Joined { size } => size,
+            Role::Retried => 1,
         }
     }
 }
@@ -67,6 +78,9 @@ enum GroupState<I, R> {
     /// Per-member results, slot `i` for the submitter of item `i`
     /// (`None` once taken — each slot is consumed exactly once).
     Done(Vec<Option<R>>),
+    /// The leader's executor panicked. Every waiter re-runs its own item
+    /// individually instead of hanging on results that will never come.
+    Poisoned,
 }
 
 struct Group<I, R> {
@@ -85,6 +99,7 @@ pub struct Batcher<I, R> {
     groups: Mutex<HashMap<u64, Arc<Group<I, R>>>>,
     batches: AtomicU64,
     merged: AtomicU64,
+    poisoned: AtomicU64,
 }
 
 impl<I, R> Batcher<I, R> {
@@ -97,6 +112,7 @@ impl<I, R> Batcher<I, R> {
             groups: Mutex::new(HashMap::new()),
             batches: AtomicU64::new(0),
             merged: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
         }
     }
 
@@ -122,18 +138,27 @@ impl<I, R> Batcher<I, R> {
         lock(&self.groups).len()
     }
 
+    /// Batches whose leader executor panicked; every rider (leader
+    /// included) re-ran its item individually.
+    pub fn poisoned(&self) -> u64 {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
     /// Submit one item under `key`; compatible items share a key.
     /// Returns this item's result plus the [`Role`] it played.
     ///
-    /// `exec` runs at most once per *batch* (the leader's copy); it
-    /// receives the gathered items and must return exactly one result per
-    /// item, in order. If `exec` panics the leader unwinds and every
-    /// member would wait forever — executors must be panic-isolated,
-    /// which the serve daemon's is (the pool catches cell panics and the
-    /// gate cannot panic).
-    pub fn submit<F>(&self, key: u64, item: I, exec: F) -> (R, Role)
+    /// `exec` runs once per *batch* (the leader's copy); it receives the
+    /// gathered items and must return exactly one result per item, in
+    /// order. If the leader's `exec` panics the group is **poisoned**:
+    /// every rider — leader and members alike — re-runs its own item as
+    /// an individual batch of one through its own `exec` copy, so nobody
+    /// hangs on results that will never come. A panic from that
+    /// *individual* run propagates to the caller (the serve worker's
+    /// isolation boundary turns it into a typed reply).
+    pub fn submit<F>(&self, key: u64, item: I, mut exec: F) -> (R, Role)
     where
-        F: FnOnce(Vec<I>) -> Vec<R>,
+        I: Clone,
+        F: FnMut(Vec<I>) -> Vec<R>,
     {
         if self.window.is_zero() {
             self.batches.fetch_add(1, Ordering::Relaxed);
@@ -157,11 +182,16 @@ impl<I, R> Batcher<I, R> {
                     // always still gathering — the retry is pure defense.
                     let mut st = lock(&g.state);
                     if let GroupState::Gathering(items) = &mut *st {
-                        items.push(item);
+                        items.push(item.clone());
                         let slot = items.len() - 1;
                         drop(st);
                         drop(groups);
-                        return self.wait(&g, slot);
+                        return match self.wait(&g, slot) {
+                            Ok(done) => done,
+                            // Poisoned batch: recover by running our own
+                            // item alone — the member kept its clone.
+                            Err(Poisoned) => (self.solo(item, &mut exec), Role::Retried),
+                        };
                     }
                     drop(st);
                     drop(groups);
@@ -170,7 +200,7 @@ impl<I, R> Batcher<I, R> {
                 }
                 None => {
                     let g = Arc::new(Group {
-                        state: Mutex::new(GroupState::Gathering(vec![item])),
+                        state: Mutex::new(GroupState::Gathering(vec![item.clone()])),
                         cv: Condvar::new(),
                     });
                     groups.insert(key, g.clone());
@@ -190,9 +220,21 @@ impl<I, R> Batcher<I, R> {
             }
         };
         let size = items.len();
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(items)));
+        let batch = match out {
+            Ok(batch) => batch,
+            Err(_) => {
+                // Poison the group *before* doing anything else so every
+                // member wakes and recovers even if our own retry panics.
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                *lock(&group.state) = GroupState::Poisoned;
+                group.cv.notify_all();
+                return (self.solo(item, &mut exec), Role::Retried);
+            }
+        };
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.merged.fetch_add(size as u64 - 1, Ordering::Relaxed);
-        let mut results: Vec<Option<R>> = exec(items).into_iter().map(Some).collect();
+        let mut results: Vec<Option<R>> = batch.into_iter().map(Some).collect();
         assert_eq!(results.len(), size, "executor must map items 1:1");
         let mine = results[0].take().expect("leader owns slot 0");
         *lock(&group.state) = GroupState::Done(results);
@@ -200,7 +242,18 @@ impl<I, R> Batcher<I, R> {
         (mine, Role::Led { size })
     }
 
-    fn wait(&self, group: &Group<I, R>, slot: usize) -> (R, Role) {
+    /// Run one item as its own batch — the poison-recovery path.
+    fn solo<F>(&self, item: I, exec: &mut F) -> R
+    where
+        F: FnMut(Vec<I>) -> Vec<R>,
+    {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let mut results = exec(vec![item]);
+        debug_assert_eq!(results.len(), 1, "executor must map items 1:1");
+        results.pop().expect("one item in, one result out")
+    }
+
+    fn wait(&self, group: &Group<I, R>, slot: usize) -> Result<(R, Role), Poisoned> {
         let mut st = lock(&group.state);
         loop {
             match &mut *st {
@@ -209,13 +262,17 @@ impl<I, R> Batcher<I, R> {
                     let r = results[slot]
                         .take()
                         .expect("each member consumes its slot exactly once");
-                    return (r, Role::Joined { size });
+                    return Ok((r, Role::Joined { size }));
                 }
+                GroupState::Poisoned => return Err(Poisoned),
                 _ => st = group.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
             }
         }
     }
 }
+
+/// Marker: the waited-on batch's executor panicked.
+struct Poisoned;
 
 #[cfg(test)]
 mod tests {
@@ -312,5 +369,66 @@ mod tests {
         let b: Batcher<u32, Opaque> = Batcher::new(Duration::ZERO);
         let (r, _) = b.submit(1, 3, |items| items.into_iter().map(Opaque).collect());
         assert_eq!(r.0, 3);
+    }
+
+    #[test]
+    fn leader_panic_poisons_group_and_everyone_retries_individually() {
+        // The first (batched) execution panics; every rider must recover
+        // by re-running its own item alone, with the right result, and
+        // nobody may hang.
+        let b: Batcher<u32, u32> = Batcher::new(Duration::from_millis(60));
+        let batch_execs = AtomicUsize::new(0);
+        let gate = Barrier::new(4);
+        let results: Vec<(u32, Role)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let (b, batch_execs, gate) = (&b, &batch_execs, &gate);
+                    scope.spawn(move || {
+                        gate.wait();
+                        b.submit(7, i, |items| {
+                            if items.len() > 1 {
+                                batch_execs.fetch_add(1, Ordering::SeqCst);
+                                panic!("injected batch executor fault");
+                            }
+                            items.iter().map(|x| x * 10).collect()
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            batch_execs.load(Ordering::SeqCst),
+            1,
+            "exactly one batched execution panicked"
+        );
+        assert_eq!(b.poisoned(), 1);
+        // Every rider recovered individually with its own result.
+        let mut got: Vec<u32> = results.iter().map(|(r, _)| r / 10).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        for (_, role) in &results {
+            assert_eq!(*role, Role::Retried);
+        }
+        assert_eq!(b.open_groups(), 0);
+        // The table is healthy afterwards: a fresh submission works.
+        let (r, _) = b.submit(7, 9, |items| items.iter().map(|x| x * 10).collect());
+        assert_eq!(r, 90);
+    }
+
+    #[test]
+    fn solo_submitter_leader_panic_retries_itself() {
+        // A one-rider group whose batch exec panics: the leader itself
+        // recovers via the individual path.
+        let b: Batcher<u32, u32> = Batcher::new(Duration::from_millis(5));
+        let first = AtomicUsize::new(0);
+        let (r, role) = b.submit(3, 4, |items| {
+            if first.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected batch executor fault");
+            }
+            items.iter().map(|x| x + 1).collect()
+        });
+        assert_eq!((r, role), (5, Role::Retried));
+        assert_eq!(b.poisoned(), 1);
     }
 }

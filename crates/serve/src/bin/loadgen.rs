@@ -2,7 +2,7 @@
 //! the paxsim-serve daemon.
 //!
 //! ```text
-//! paxsim-loadgen [--connections N] [--requests N] [--quick]
+//! paxsim-loadgen [--connections N] [--requests N] [--quick] [--chaos]
 //! ```
 //!
 //! Stands a full in-process server up (reactor front end, worker pool,
@@ -19,13 +19,26 @@
 //!    total requests, measuring sustained coalesced requests/sec with
 //!    p50/p99 latency.
 //!
+//! With `--chaos` a third phase soaks the server under an injected fault
+//! plan — connection kills every ~97 dispatched frames plus worker
+//! panics on ~1% of jobs — using a **self-healing client**: every
+//! dropped connection is reopened and the request resent (safe: the
+//! content hash is the idempotency key, so a resend dedupes against the
+//! cache and single-flight table). The phase asserts zero hung requests
+//! (every send gets an answer within a read timeout), every request
+//! eventually answered `ok`, and the conservation law intact *by the
+//! server's own count* (`Σ shard hits + Σ shard misses ==
+//! simulate_requests + baseline_fetches` — resends are extra simulate
+//! requests, and the law must absorb them exactly).
+//!
 //! Afterwards it scrapes `op=stats`, checks the cross-shard conservation
 //! law (`Σ shard hits + Σ shard misses == simulate requests + baseline
 //! fetches`), drains the server gracefully, and — outside `--quick` —
 //! writes `BENCH_serve.json` at the workspace root so successive PRs
-//! compare like for like. Any violated invariant (reply not ok, zero
-//! merges, broken conservation, failed drain) exits nonzero, which lets
-//! `ci.sh` use `--quick` as the serve load smoke.
+//! compare like for like (including chaos/shed/retry counters when the
+//! chaos phase ran). Any violated invariant (reply not ok, zero merges,
+//! broken conservation, hung request, failed drain) exits nonzero, which
+//! lets `ci.sh` use `--quick --chaos` as the serve chaos smoke.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -43,7 +56,7 @@ const KERNELS: [&str; 4] = ["ep", "is", "cg", "bt"];
 const CONFIGS: [&str; 3] = ["Serial", "CMP", "CMT"];
 
 fn usage() -> ! {
-    eprintln!("usage: paxsim-loadgen [--connections N] [--requests N] [--quick]");
+    eprintln!("usage: paxsim-loadgen [--connections N] [--requests N] [--quick] [--chaos]");
     std::process::exit(2);
 }
 
@@ -142,6 +155,135 @@ fn hot_phase(addr: &str, lines: &[String], connections: usize, total: usize) -> 
     (latencies, wall)
 }
 
+/// Chaos soak: `total` requests over `connections` self-healing clients
+/// while the installed fault plan kills connections and panics workers.
+///
+/// Client discipline per request: send, then read with a hard timeout.
+/// * A reply that is `ok` finishes the request.
+/// * EOF / reset / short line (connection killed before the reply made
+///   it out) → reconnect and **resend the same line**; idempotent by
+///   content hash, so the healed request serves from cache or joins the
+///   in-flight computation.
+/// * A typed `panic` / `overloaded` / `shed` rejection → retry on the
+///   same connection (the daemon stayed up; the request was refused).
+/// * A read timeout is a **hung request** — an instant failure; the
+///   whole point of typed rejections and worker isolation is that the
+///   daemon never swallows a request silently.
+///
+/// Returns total client resends (transport heals + rejection retries).
+fn chaos_phase(addr: &str, lines: &[String], connections: usize, total: usize) -> usize {
+    let per = total / connections;
+    let extra = total % connections;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let count = per + usize::from(c < extra);
+                scope.spawn(move || {
+                    let connect = || -> BufReader<TcpStream> {
+                        for attempt in 0..100 {
+                            match TcpStream::connect(addr) {
+                                Ok(s) => {
+                                    s.set_nodelay(true).expect("nodelay");
+                                    s.set_read_timeout(Some(Duration::from_secs(10)))
+                                        .expect("read timeout");
+                                    return BufReader::new(s);
+                                }
+                                Err(_) if attempt < 99 => {
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                Err(e) => panic!("chaos reconnect failed: {e}"),
+                            }
+                        }
+                        unreachable!("loop returns or panics");
+                    };
+                    let mut reader = connect();
+                    let mut reply = String::new();
+                    let mut resends = 0usize;
+                    for i in 0..count {
+                        // Mostly cached grid traffic (answered inline by
+                        // the reactor), with every 20th request a *fresh*
+                        // spec — a never-seen jitter — so a steady ~5% of
+                        // the soak reaches the compute workers and the
+                        // worker-panic fault has jobs to land on.
+                        let fresh;
+                        let line: &str = if i % 20 == 0 {
+                            fresh = format!(
+                                r#"{{"op":"simulate","kernel":"{}","config":"{}","jitter":{}}}"#,
+                                KERNELS[c % KERNELS.len()],
+                                CONFIGS[c % CONFIGS.len()],
+                                10_000 + i
+                            );
+                            &fresh
+                        } else {
+                            &lines[(c + i) % lines.len()]
+                        };
+                        let mut attempts = 0u32;
+                        loop {
+                            attempts += 1;
+                            assert!(
+                                attempts <= 12,
+                                "request answered neither ok nor retryable after 12 attempts: {line}"
+                            );
+                            let sent = reader
+                                .get_mut()
+                                .write_all(line.as_bytes())
+                                .and_then(|()| reader.get_mut().write_all(b"\n"));
+                            if sent.is_err() {
+                                resends += 1;
+                                reader = connect();
+                                continue;
+                            }
+                            reply.clear();
+                            match reader.read_line(&mut reply) {
+                                // Clean close or short line: the kill beat
+                                // the reply out the door. Heal and resend.
+                                Ok(0) => {
+                                    resends += 1;
+                                    reader = connect();
+                                    continue;
+                                }
+                                Ok(_) if !reply.ends_with('\n') => {
+                                    resends += 1;
+                                    reader = connect();
+                                    continue;
+                                }
+                                Ok(_) => {}
+                                Err(e)
+                                    if matches!(
+                                        e.kind(),
+                                        std::io::ErrorKind::WouldBlock
+                                            | std::io::ErrorKind::TimedOut
+                                    ) =>
+                                {
+                                    panic!("hung request: no reply within 10 s for {line}");
+                                }
+                                Err(_) => {
+                                    resends += 1;
+                                    reader = connect();
+                                    continue;
+                                }
+                            }
+                            if reply.contains("\"ok\":true") {
+                                break;
+                            }
+                            let retryable = ["\"error\":\"panic\"", "\"error\":\"overloaded\"", "\"error\":\"shed\""]
+                                .iter()
+                                .any(|cat| reply.contains(cat));
+                            assert!(retryable, "chaos reply must be ok or retryable: {reply}");
+                            resends += 1;
+                        }
+                    }
+                    resends
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos client"))
+            .sum()
+    })
+}
+
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(
         fields
@@ -155,6 +297,7 @@ fn main() {
     let mut connections: usize = 16;
     let mut requests: usize = 60_000;
     let mut quick = std::env::var_os("PAXSIM_BENCH_QUICK").is_some_and(|v| v != "0");
+    let mut chaos = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut num = |flag: &str| -> usize {
@@ -167,6 +310,7 @@ fn main() {
             "--connections" => connections = num("--connections").max(1),
             "--requests" => requests = num("--requests").max(1),
             "--quick" => quick = true,
+            "--chaos" => chaos = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -178,7 +322,10 @@ fn main() {
         connections = connections.min(8);
         requests = requests.min(6_000);
     }
-    let _quiesced = paxsim_core::faultinject::quiesced();
+    // Cold and hot phases measure the clean server; the guard keeps any
+    // concurrent fault plan out. It must drop before the chaos phase —
+    // `with_plan` takes the same non-reentrant lock.
+    let quiesced = paxsim_core::faultinject::quiesced();
 
     let cache_dir: PathBuf =
         std::env::temp_dir().join(format!("paxsim_loadgen_cache_{}", std::process::id()));
@@ -226,6 +373,56 @@ fn main() {
         latencies.len()
     );
 
+    // Phase 3 (optional): chaos soak under an injected fault plan.
+    drop(quiesced);
+    let chaos_report = if chaos {
+        let chaos_requests = if quick { 1_500 } else { 12_000 };
+        let t0 = Instant::now();
+        // Budgets are effectively unlimited; the periods set the rates:
+        // one connection kill per ~97 dispatched frames, one worker panic
+        // per 7 jobs. Only cache-miss requests become worker jobs (~5% of
+        // the soak), so the panic rate lands near 1% of requests overall.
+        // Injected worker panics are caught and healed by design; keep
+        // their backtraces out of the log so real failures stand out.
+        let prev_hook = std::sync::Arc::new(std::panic::take_hook());
+        let filter_prev = prev_hook.clone();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                filter_prev(info);
+            }
+        }));
+        let resends = paxsim_core::faultinject::with_plan(
+            "serve-conn-kill:97:1000000, serve-worker-panic:7:1000000",
+            || chaos_phase(&addr, &lines, connections.min(8), chaos_requests),
+        );
+        drop(std::panic::take_hook());
+        drop(prev_hook);
+        let wall = t0.elapsed().as_secs_f64();
+        let (worker_panics, conn_kills, _partial) = paxsim_serve::chaos::fired();
+        eprintln!(
+            "loadgen: chaos {chaos_requests} requests in {wall:.2} s — {conn_kills} connections \
+             killed, {worker_panics} worker panics injected, {resends} client heals/resends, \
+             0 hung requests",
+        );
+        assert!(
+            conn_kills > 0 && worker_panics > 0,
+            "the chaos soak must actually fire faults (kills {conn_kills}, panics {worker_panics})"
+        );
+        Some((chaos_requests, resends, conn_kills, worker_panics, wall))
+    } else {
+        None
+    };
+
     // Conservation across shards, scraped over the wire like any client.
     let stats_line = roundtrip(&addr, r#"{"op":"stats"}"#).expect("stats I/O");
     let stats = serde_json::parse(&stats_line).expect("stats parses");
@@ -240,7 +437,20 @@ fn main() {
         .sum();
     let shard_misses: u64 = shards.iter().map(|s| field(s, "misses")).sum();
     let baseline_fetches = stats["baseline_fetches"].as_u64().unwrap_or(0);
-    let simulate_requests = (lines.len() + requests) as u64;
+    // The law is checked against the *server's* own simulate count: with
+    // chaos on, client resends are extra simulate requests the law must
+    // absorb exactly. The client-side count is a lower-bound cross-check
+    // (a killed connection's request may or may not have been dispatched
+    // before the kill, so the server count can only be >=).
+    let client_sent = (lines.len() + requests) as u64
+        + chaos_report.map_or(0, |(n, heals, ..)| (n + heals) as u64);
+    let simulate_requests = stats["simulate_requests"].as_u64().unwrap_or(0);
+    assert!(
+        simulate_requests >= (lines.len() + requests) as u64 && simulate_requests <= client_sent,
+        "server simulate count {simulate_requests} outside client envelope \
+         [{}, {client_sent}]",
+        lines.len() + requests
+    );
     let conserved = shard_hits + shard_misses == simulate_requests + baseline_fetches;
     eprintln!(
         "loadgen: conservation {} — Σ shard hits {shard_hits} + misses {shard_misses} \
@@ -343,6 +553,32 @@ fn main() {
         ("shards", per_shard),
         ("drained", Value::Bool(drained)),
     ]);
+    // Chaos/shed/retry counters ride along when the soak ran, so
+    // successive PRs can compare resilience numbers like the perf ones.
+    let report = match (report, chaos_report) {
+        (Value::Object(mut fields), Some((requests, resends, kills, panics, wall))) => {
+            fields.push((
+                "chaos".to_string(),
+                obj(vec![
+                    ("requests", Value::UInt(requests as u64)),
+                    ("wall_s", Value::Float(wall)),
+                    ("conn_kills", Value::UInt(kills)),
+                    ("worker_panics_injected", Value::UInt(panics)),
+                    ("client_resends", Value::UInt(resends as u64)),
+                    ("hung_requests", Value::UInt(0)),
+                    ("shed", Value::UInt(service.shed())),
+                    ("quarantine_trips", Value::UInt(service.breaker().trips())),
+                    ("batch_poisoned", Value::UInt(service.batch_poisoned())),
+                    (
+                        "journal_put_failures",
+                        Value::UInt(service.cache().put_failures()),
+                    ),
+                ]),
+            ));
+            Value::Object(fields)
+        }
+        (report, _) => report,
+    };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&path, json + "\n").expect("write BENCH_serve.json");

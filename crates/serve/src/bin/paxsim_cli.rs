@@ -6,14 +6,28 @@
 //!            [--deadline-ms N] [--concurrency N] [--repeat N]
 //! paxsim-cli (--tcp ADDR | --unix PATH) stats
 //! paxsim-cli (--tcp ADDR | --unix PATH) metrics
+//! paxsim-cli (--tcp ADDR | --unix PATH) health
 //! paxsim-cli (--tcp ADDR | --unix PATH) raw '<json>' [--concurrency N]
 //!            [--repeat N]
+//! common flags: [--retries N] [--retry-base-ms N]
 //! ```
 //!
 //! Prints the daemon's reply line verbatim on stdout — except `metrics`,
 //! which unpacks the reply's Prometheus exposition text so the output can
 //! be piped straight to a scrape file. Exits 0 on an `"ok":true` reply,
-//! 1 on an error reply, 2 on usage/connection problems.
+//! 1 on an error or malformed reply, 2 on usage/transport problems.
+//! Transport failures are typed, never panics: connection refused,
+//! connection closed mid-reply (EOF before the newline), and a malformed
+//! reply each get a distinct `paxsim-cli:` diagnostic on stderr.
+//!
+//! The client is **self-healing**: transient failures — connect errors,
+//! mid-exchange resets/EOF, and `overloaded`/`shed` rejections — are
+//! retried up to `--retries` times (default 3) with jittered exponential
+//! backoff starting at `--retry-base-ms` (default 25). Resending is safe
+//! by construction: a simulate request's identity is its canonical
+//! content hash, so the daemon dedupes a retried request against the
+//! cache and the single-flight table — the content hash *is* the
+//! idempotency key, and a retry can never double-compute or diverge.
 //!
 //! With `--concurrency N` (persistent connections) and/or `--repeat N`
 //! (total request count, round-robined over the connections) the CLI
@@ -39,60 +53,189 @@ fn usage() -> ! {
          \x20          [--concurrency N] [--repeat N]\n\
          \x20 stats\n\
          \x20 metrics\n\
-         \x20 raw '<json>' [--concurrency N] [--repeat N]"
+         \x20 health\n\
+         \x20 raw '<json>' [--concurrency N] [--repeat N]\n\
+         common flags: [--retries N] [--retry-base-ms N]"
     );
     std::process::exit(2);
-}
-
-fn roundtrip(conn: &str, line: &str) -> std::io::Result<String> {
-    let send = |mut w: Box<dyn ReadWrite>| -> std::io::Result<String> {
-        w.write_all(line.as_bytes())?;
-        w.write_all(b"\n")?;
-        w.flush()?;
-        let mut reply = String::new();
-        BufReader::new(w).read_line(&mut reply)?;
-        Ok(reply.trim_end().to_string())
-    };
-    if let Some(addr) = conn.strip_prefix("tcp:") {
-        send(Box::new(TcpStream::connect(addr)?))
-    } else {
-        send(Box::new(UnixStream::connect(
-            conn.strip_prefix("unix:").unwrap_or(conn),
-        )?))
-    }
 }
 
 trait ReadWrite: std::io::Read + Write {}
 impl ReadWrite for TcpStream {}
 impl ReadWrite for UnixStream {}
 
-/// One persistent load-driver connection: send/recv `line` `count` times,
-/// returning per-request latencies (ms) and the ok-reply count.
-fn drive(conn: &str, line: &str, count: usize) -> std::io::Result<(Vec<f64>, usize)> {
-    let stream: Box<dyn ReadWrite> = if let Some(addr) = conn.strip_prefix("tcp:") {
-        Box::new(TcpStream::connect(addr)?)
+/// A transport-layer failure, typed so each mode of dying gets its own
+/// diagnostic (and so retry logic can tell them apart from usage errors).
+enum Transport {
+    /// `connect(2)` itself failed — daemon down, wrong address, refused.
+    Connect(std::io::Error),
+    /// The exchange started but an I/O call failed (reset, broken pipe).
+    Io(std::io::Error),
+    /// The peer closed the connection before a full reply line arrived.
+    /// `got` is how many bytes of partial reply we saw.
+    MidReplyEof { got: usize },
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Connect(e) => write!(f, "connect failed: {e}"),
+            Transport::Io(e) => write!(f, "i/o error mid-exchange: {e}"),
+            Transport::MidReplyEof { got } => write!(
+                f,
+                "connection closed mid-reply ({got} bytes before EOF, no newline)"
+            ),
+        }
+    }
+}
+
+/// Jittered exponential backoff, seeded from wall clock + pid. A tiny
+/// LCG is plenty: the jitter only needs to decorrelate concurrent
+/// clients, not be statistically pristine.
+struct Backoff {
+    state: u64,
+    base_ms: u64,
+}
+
+impl Backoff {
+    fn new(base_ms: u64) -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        Backoff {
+            state: nanos ^ (u64::from(std::process::id()) << 17) ^ 0x9e37_79b9_7f4a_7c15,
+            base_ms: base_ms.max(1),
+        }
+    }
+
+    /// Delay before retry number `attempt` (0-based): uniform in
+    /// `[cap/2, cap]` where `cap = base * 2^attempt`, capped at ~64x base.
+    fn delay(&mut self, attempt: u32) -> std::time::Duration {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let cap = self.base_ms << attempt.min(6);
+        let half = (cap / 2).max(1);
+        std::time::Duration::from_millis(half + (self.state >> 33) % (half + 1))
+    }
+}
+
+fn connect(conn: &str) -> Result<Box<dyn ReadWrite>, Transport> {
+    if let Some(addr) = conn.strip_prefix("tcp:") {
+        Ok(Box::new(
+            TcpStream::connect(addr).map_err(Transport::Connect)?,
+        ))
     } else {
-        Box::new(UnixStream::connect(
-            conn.strip_prefix("unix:").unwrap_or(conn),
-        )?)
-    };
-    let mut reader = BufReader::new(stream);
+        Ok(Box::new(
+            UnixStream::connect(conn.strip_prefix("unix:").unwrap_or(conn))
+                .map_err(Transport::Connect)?,
+        ))
+    }
+}
+
+/// One request/reply exchange on an established connection. A clean
+/// close before the reply's newline is `MidReplyEof`, not an empty
+/// string — a half-reply must never be mistaken for an answer.
+fn exchange(reader: &mut BufReader<Box<dyn ReadWrite>>, line: &str) -> Result<String, Transport> {
+    reader
+        .get_mut()
+        .write_all(line.as_bytes())
+        .and_then(|()| reader.get_mut().write_all(b"\n"))
+        .and_then(|()| reader.get_mut().flush())
+        .map_err(Transport::Io)?;
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).map_err(Transport::Io)?;
+    if n == 0 || !reply.ends_with('\n') {
+        return Err(Transport::MidReplyEof { got: reply.len() });
+    }
+    Ok(reply.trim_end().to_string())
+}
+
+fn roundtrip(conn: &str, line: &str) -> Result<String, Transport> {
+    let mut reader = BufReader::new(connect(conn)?);
+    exchange(&mut reader, line)
+}
+
+/// Is this reply a rejection the daemon explicitly expects us to retry?
+/// `overloaded` and `shed` are load transients; `quarantined` and real
+/// errors are not (retrying inside the breaker cooldown cannot succeed).
+fn retryable_reply(reply: &str) -> bool {
+    reply.contains("\"error\":\"overloaded\"") || reply.contains("\"error\":\"shed\"")
+}
+
+/// Self-healing round trip: retry transport failures and retryable
+/// rejections up to `retries` times with jittered exponential backoff.
+/// Safe because requests are idempotent by content hash (see module doc).
+fn roundtrip_with_retry(
+    conn: &str,
+    line: &str,
+    retries: u32,
+    base_ms: u64,
+) -> Result<String, Transport> {
+    let mut backoff = Backoff::new(base_ms);
+    let mut attempt = 0u32;
+    loop {
+        match roundtrip(conn, line) {
+            Ok(reply) if retryable_reply(&reply) && attempt < retries => {
+                eprintln!(
+                    "paxsim-cli: daemon shed the request (attempt {}), backing off…",
+                    attempt + 1
+                );
+            }
+            Ok(reply) => return Ok(reply),
+            Err(e) if attempt < retries => {
+                eprintln!("paxsim-cli: {e} (attempt {}), backing off…", attempt + 1);
+            }
+            Err(e) => return Err(e),
+        }
+        std::thread::sleep(backoff.delay(attempt));
+        attempt += 1;
+    }
+}
+
+/// One persistent load-driver connection: send/recv `line` `count` times,
+/// returning per-request latencies (ms), the ok-reply count, and how many
+/// retries healed a dropped connection. A transport failure mid-stream
+/// reconnects and *resends the same request* (idempotent by content
+/// hash), up to `retries` attempts per request.
+/// Per-connection load result: latencies (ms), ok-reply count, heals.
+type DriveResult = Result<(Vec<f64>, usize, usize), Transport>;
+
+fn drive(conn: &str, line: &str, count: usize, retries: u32, base_ms: u64) -> DriveResult {
+    let mut backoff = Backoff::new(base_ms);
+    let mut reader = BufReader::new(connect(conn)?);
     let mut latencies = Vec::with_capacity(count);
     let mut ok = 0usize;
-    let mut reply = String::new();
+    let mut healed = 0usize;
     for _ in 0..count {
         let t0 = std::time::Instant::now();
-        reader.get_mut().write_all(line.as_bytes())?;
-        reader.get_mut().write_all(b"\n")?;
-        reader.get_mut().flush()?;
-        reply.clear();
-        reader.read_line(&mut reply)?;
+        let mut attempt = 0u32;
+        let reply = loop {
+            match exchange(&mut reader, line) {
+                Ok(reply) => break reply,
+                Err(e) if attempt < retries => {
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                    healed += 1;
+                    // The old connection is dead either way; replace it.
+                    // A failed reconnect leaves the dead one in place, so
+                    // the next exchange fails and burns another attempt.
+                    if let Ok(fresh) = connect(conn) {
+                        reader = BufReader::new(fresh);
+                    }
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        };
         latencies.push(t0.elapsed().as_secs_f64() * 1e3);
         if reply.contains("\"ok\":true") {
             ok += 1;
         }
     }
-    Ok((latencies, ok))
+    Ok((latencies, ok, healed))
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -106,17 +249,24 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// Fan `line` out over `concurrency` persistent connections, `repeat`
 /// total requests; print a one-line JSON summary. Exit 0 iff every reply
 /// was ok.
-fn run_load(conn: &str, line: &str, concurrency: usize, repeat: usize) -> ! {
+fn run_load(
+    conn: &str,
+    line: &str,
+    concurrency: usize,
+    repeat: usize,
+    retries: u32,
+    base_ms: u64,
+) -> ! {
     let concurrency = concurrency.max(1);
     let repeat = repeat.max(1).max(concurrency);
     let per = repeat / concurrency;
     let extra = repeat % concurrency;
     let t0 = std::time::Instant::now();
-    let results: Vec<std::io::Result<(Vec<f64>, usize)>> = std::thread::scope(|scope| {
+    let results: Vec<DriveResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
             .map(|i| {
                 let count = per + usize::from(i < extra);
-                scope.spawn(move || drive(conn, line, count))
+                scope.spawn(move || drive(conn, line, count, retries, base_ms))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -125,13 +275,18 @@ fn run_load(conn: &str, line: &str, concurrency: usize, repeat: usize) -> ! {
     let mut latencies = Vec::new();
     let mut ok = 0usize;
     let mut io_errors = 0usize;
+    let mut retried = 0usize;
     for r in results {
         match r {
-            Ok((lat, n_ok)) => {
+            Ok((lat, n_ok, healed)) => {
                 ok += n_ok;
+                retried += healed;
                 latencies.extend(lat);
             }
-            Err(_) => io_errors += 1,
+            Err(e) => {
+                eprintln!("paxsim-cli: connection gave up after retries: {e}");
+                io_errors += 1;
+            }
         }
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -148,6 +303,7 @@ fn run_load(conn: &str, line: &str, concurrency: usize, repeat: usize) -> ! {
             Value::UInt((requests - ok) as u64),
         ),
         ("io_errors".to_string(), Value::UInt(io_errors as u64)),
+        ("retries".to_string(), Value::UInt(retried as u64)),
         ("concurrency".to_string(), Value::UInt(concurrency as u64)),
         ("wall_s".to_string(), Value::Float(wall)),
         (
@@ -187,6 +343,8 @@ fn main() {
     let mut raw: Option<String> = None;
     let mut concurrency: usize = 1;
     let mut repeat: usize = 1;
+    let mut retries: u32 = 3;
+    let mut retry_base_ms: u64 = 25;
     let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
         it.next().cloned().unwrap_or_else(|| {
             eprintln!("{flag} needs a value");
@@ -197,7 +355,9 @@ fn main() {
         match arg.as_str() {
             "--tcp" => conn = Some(format!("tcp:{}", value(&mut it, "--tcp"))),
             "--unix" => conn = Some(format!("unix:{}", value(&mut it, "--unix"))),
-            "simulate" | "stats" | "metrics" if command.is_none() => command = Some(arg.clone()),
+            "simulate" | "stats" | "metrics" | "health" if command.is_none() => {
+                command = Some(arg.clone())
+            }
             "raw" if command.is_none() => {
                 command = Some(arg.clone());
                 raw = Some(value(&mut it, "raw"));
@@ -206,15 +366,16 @@ fn main() {
                 let key = arg.trim_start_matches("--").to_string();
                 fields.push((key, Value::String(value(&mut it, arg))));
             }
-            "--concurrency" | "--repeat" => {
-                let n: usize = value(&mut it, arg).parse().unwrap_or_else(|_| {
+            "--concurrency" | "--repeat" | "--retries" | "--retry-base-ms" => {
+                let n: u64 = value(&mut it, arg).parse().unwrap_or_else(|_| {
                     eprintln!("{arg} needs a number");
                     usage()
                 });
-                if arg == "--concurrency" {
-                    concurrency = n;
-                } else {
-                    repeat = n;
+                match arg.as_str() {
+                    "--concurrency" => concurrency = n as usize,
+                    "--repeat" => repeat = n as usize,
+                    "--retries" => retries = n as u32,
+                    _ => retry_base_ms = n.max(1),
                 }
             }
             "--trials" | "--jitter" | "--deadline-ms" => {
@@ -238,6 +399,7 @@ fn main() {
     let line = match command.as_str() {
         "stats" => r#"{"op":"stats"}"#.to_string(),
         "metrics" => r#"{"op":"metrics"}"#.to_string(),
+        "health" => r#"{"op":"health"}"#.to_string(),
         "raw" => raw.expect("raw command captured its payload"),
         "simulate" => {
             let mut entries = vec![("op".to_string(), Value::String("simulate".into()))];
@@ -251,11 +413,15 @@ fn main() {
             eprintln!("--concurrency/--repeat apply to simulate and raw only");
             usage();
         }
-        run_load(&conn, &line, concurrency, repeat);
+        run_load(&conn, &line, concurrency, repeat, retries, retry_base_ms);
     }
-    match roundtrip(&conn, &line) {
+    match roundtrip_with_retry(&conn, &line, retries, retry_base_ms) {
         Ok(reply) => {
             let parsed = serde_json::parse(&reply).ok();
+            if parsed.is_none() {
+                eprintln!("paxsim-cli: malformed reply (not JSON): {reply}");
+                std::process::exit(1);
+            }
             let ok = parsed
                 .as_ref()
                 .and_then(|v| v["ok"].as_bool())

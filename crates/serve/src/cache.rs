@@ -42,9 +42,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-use paxsim_core::error::StudyResult;
+use paxsim_core::error::{StudyError, StudyResult};
 use paxsim_core::hash::{fnv1a, ConfigHash};
-use paxsim_core::journal::{Journal, Record, SideRecord};
+use paxsim_core::journal::{FsyncPolicy, Journal, Record, SideRecord};
 
 /// Legacy (pre-shard) on-disk journal file name inside the cache
 /// directory; present only in caches written by older daemons, migrated
@@ -154,6 +154,9 @@ struct Shard {
     disk_hits: AtomicU64,
     misses: AtomicU64,
     puts: AtomicU64,
+    /// Puts whose journal append failed and that degraded to the memory
+    /// tier only (served correct but not durable; a restart recomputes).
+    put_failures: AtomicU64,
 }
 
 fn lock(m: &Mutex<Lru>) -> MutexGuard<'_, Lru> {
@@ -180,6 +183,13 @@ impl Shard {
         static MEM: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.mem_hits");
         static DISK: paxsim_obs::LazyCounter =
             paxsim_obs::LazyCounter::new("serve.cache.disk_hits");
+        // Chaos hook: a `serve-shard-slow:<ms>` plan stalls the lookup
+        // here — after shard selection, before either tier — modelling a
+        // shard pinned on slow storage. Latency only; the reply that
+        // eventually flows is byte-identical.
+        if let Some(ms) = paxsim_core::faultinject::serve_shard_slow() {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
         if let Some(rec) = lock(&self.mem).get(hash.0) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             MEM.inc();
@@ -203,11 +213,27 @@ impl Shard {
 
     fn put(&self, hash: ConfigHash, sides: Vec<SideRecord>) -> StudyResult<Record> {
         let key = ResultCache::key(hash);
-        self.journal.record(&key, sides)?;
-        let rec = self
-            .journal
-            .lookup(&key)
-            .expect("a just-recorded key is present");
+        let rec = match self.journal.record(&key, sides.clone()) {
+            Ok(()) => self
+                .journal
+                .lookup(&key)
+                .expect("a just-recorded key is present"),
+            // Degraded mode: an append failure (disk full, injected
+            // `journal-fail`) must not turn a *computed* result into a
+            // client error. The record serves from the memory tier —
+            // byte-identical to the durable path, because the journal's
+            // JSON round-trip is bit-exact — and a restart recomputes it.
+            // `put_failures` (and the journal's own `write_errors`)
+            // surface the degradation in `op=health`.
+            Err(StudyError::JournalIo { .. }) => {
+                self.put_failures.fetch_add(1, Ordering::Relaxed);
+                static DEGRADED: paxsim_obs::LazyCounter =
+                    paxsim_obs::LazyCounter::new("serve.cache.put_failures");
+                DEGRADED.inc();
+                Record { key, sides }
+            }
+            Err(e) => return Err(e),
+        };
         self.puts.fetch_add(1, Ordering::Relaxed);
         static PUTS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.cache.puts");
         PUTS.inc();
@@ -220,7 +246,8 @@ impl Shard {
 // The sharded cache facade.
 // ---------------------------------------------------------------------------
 
-/// Point-in-time per-shard statistics, for `op=stats` / `op=metrics`.
+/// Point-in-time per-shard statistics, for `op=stats` / `op=metrics` /
+/// `op=health`.
 #[derive(Debug, Clone)]
 pub struct ShardStats {
     pub mem_hits: u64,
@@ -230,6 +257,13 @@ pub struct ShardStats {
     pub entries_mem: usize,
     pub entries_disk: usize,
     pub corrupt_dropped: usize,
+    /// Journal appends that failed at the I/O layer.
+    pub write_errors: usize,
+    /// Puts that degraded to the memory tier after a failed append.
+    pub put_failures: u64,
+    /// Stale journal lines (overwrites + corrupt) a compaction would
+    /// reclaim.
+    pub stale_lines: usize,
 }
 
 /// The sharded two-tier cache. Thread-safe; shared across every
@@ -251,6 +285,21 @@ impl ResultCache {
     ///
     /// Journal I/O errors opening, reading, or migrating the disk tier.
     pub fn open(dir: &Path, mem_cap: usize, shards: usize) -> StudyResult<ResultCache> {
+        Self::open_with(dir, mem_cap, shards, FsyncPolicy::Flush)
+    }
+
+    /// [`ResultCache::open`] with an explicit per-append durability
+    /// policy for the shard journals (`--fsync` on the daemon).
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors opening, reading, or migrating the disk tier.
+    pub fn open_with(
+        dir: &Path,
+        mem_cap: usize,
+        shards: usize,
+        fsync: FsyncPolicy,
+    ) -> StudyResult<ResultCache> {
         let n = shards.max(1);
         let ring = Ring::new(n);
         let migrated = migrate_legacy(dir, &ring, n)?;
@@ -261,7 +310,7 @@ impl ResultCache {
         };
         let shards = (0..n)
             .map(|i| {
-                let journal = Journal::open(&dir.join(shard_file_name(i)))?;
+                let journal = Journal::open_with(&dir.join(shard_file_name(i)), fsync)?;
                 Ok(Shard {
                     journal,
                     mem: Mutex::new(Lru {
@@ -273,6 +322,7 @@ impl ResultCache {
                     disk_hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
                     puts: AtomicU64::new(0),
+                    put_failures: AtomicU64::new(0),
                 })
             })
             .collect::<StudyResult<Vec<Shard>>>()?;
@@ -339,11 +389,17 @@ impl ResultCache {
     /// Store a computed result in both tiers of the owning shard; returns
     /// the stored record (the exact value later hits will serve).
     ///
+    /// A failed journal append (disk full, injected `journal-fail`)
+    /// **degrades instead of erroring**: the record lands in the memory
+    /// tier only and still serves byte-identically; the failure is
+    /// counted ([`ResultCache::put_failures`], the journal's
+    /// `write_errors`) so `op=health` can surface it, and a restart
+    /// recomputes the lost record — degraded means *less durable*, never
+    /// *wrong*.
+    ///
     /// # Errors
     ///
-    /// Journal append failures (disk full, permissions). The memory tier
-    /// is *not* updated on a failed append — a result that cannot be made
-    /// durable stays a miss, so a restart never silently loses it.
+    /// Non-I/O failures only (a record that cannot serialize at all).
     pub fn put(&self, hash: ConfigHash, sides: Vec<SideRecord>) -> StudyResult<Record> {
         self.shards[self.ring.select(hash)].put(hash, sides)
     }
@@ -385,6 +441,21 @@ impl ResultCache {
             .sum()
     }
 
+    /// Puts that degraded to memory-only after a failed journal append,
+    /// summed across shards.
+    pub fn put_failures(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.put_failures.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Journal appends that failed at the I/O layer, summed across
+    /// shards.
+    pub fn write_errors(&self) -> usize {
+        self.shards.iter().map(|s| s.journal.write_errors()).sum()
+    }
+
     /// Records currently resident in memory, summed across shards.
     pub fn mem_len(&self) -> usize {
         self.shards.iter().map(|s| lock(&s.mem).map.len()).sum()
@@ -416,8 +487,26 @@ impl ResultCache {
                 entries_mem: lock(&s.mem).map.len(),
                 entries_disk: s.journal.len(),
                 corrupt_dropped: s.journal.corrupt_records(),
+                write_errors: s.journal.write_errors(),
+                put_failures: s.put_failures.load(Ordering::Relaxed),
+                stale_lines: s.journal.stale_lines(),
             })
             .collect()
+    }
+
+    /// Compact every shard journal down to its live record set (atomic
+    /// tmp + rename per shard). Returns the total stale lines reclaimed.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O during a shard rewrite; already-compacted shards stay
+    /// compacted.
+    pub fn compact(&self) -> StudyResult<usize> {
+        let mut reclaimed = 0;
+        for s in &self.shards {
+            reclaimed += s.journal.compact()?;
+        }
+        Ok(reclaimed)
     }
 }
 
@@ -499,6 +588,7 @@ mod tests {
 
     #[test]
     fn miss_put_hit_roundtrip() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("roundtrip");
         let c = open(&dir, 8, 4);
         let h = ConfigHash(0xabc);
@@ -563,6 +653,7 @@ mod tests {
 
     #[test]
     fn puts_and_gets_route_to_the_same_shard() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("routing");
         let c = open(&dir, 64, 8);
         for raw in 0..64u64 {
@@ -589,6 +680,7 @@ mod tests {
 
     #[test]
     fn disk_tier_survives_reopen_and_promotes() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("reopen");
         let h = ConfigHash(0x11);
         {
@@ -607,6 +699,7 @@ mod tests {
 
     #[test]
     fn legacy_journal_migrates_into_shards() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("migrate");
         // Write a legacy-format single-file cache by hand.
         let legacy = Journal::open(&dir.join(JOURNAL_FILE)).unwrap();
@@ -638,6 +731,7 @@ mod tests {
 
     #[test]
     fn single_shard_lru_evicts_coldest_but_disk_retains() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("evict");
         let c = open(&dir, 2, 1);
         for i in 0..3u64 {
@@ -652,6 +746,7 @@ mod tests {
 
     #[test]
     fn lru_touch_on_get_protects_hot_keys() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("touch");
         let c = open(&dir, 2, 1);
         c.put(ConfigHash(0), sides(0)).unwrap();
@@ -665,6 +760,7 @@ mod tests {
 
     #[test]
     fn get_refreshes_recency() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         // Regression (LRU recency audit): `get` must move the key to the
         // hot end of `order`, otherwise a steadily re-read key gets
         // evicted as if it were cold.
@@ -692,6 +788,7 @@ mod tests {
 
     #[test]
     fn double_put_then_evict() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         // Regression (LRU reinsert audit): re-`put` of a resident key must
         // not leave a stale duplicate in `order` — the next eviction would
         // pop the duplicate and remove the wrong key (or nothing), letting
@@ -725,6 +822,7 @@ mod tests {
 
     #[test]
     fn peek_serves_both_tiers_without_stats_or_recency() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("peek");
         let c = open(&dir, 2, 1);
         c.put(ConfigHash(0), sides(0)).unwrap();
@@ -749,6 +847,7 @@ mod tests {
 
     #[test]
     fn corrupt_shard_record_is_dropped_not_served() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("corrupt");
         let h = ConfigHash(0xdead);
         let shard = shard_index(h, 4);
@@ -767,7 +866,55 @@ mod tests {
     }
 
     #[test]
+    fn put_degrades_to_memory_on_journal_fault() {
+        paxsim_core::faultinject::with_plan("journal-fail:1", || {
+            let dir = tmp("degraded_put");
+            let c = open(&dir, 8, 2);
+            let h = ConfigHash(0x77);
+            let stored = c.put(h, sides(5)).unwrap();
+            assert_eq!(stored.sides[0].counters.instructions, 5);
+            assert_eq!(c.put_failures(), 1, "degraded put must be counted");
+            assert_eq!(c.write_errors(), 1, "journal must count the failed append");
+            assert_eq!(c.puts(), 1, "a degraded put is still a put");
+            let hit = c.get(h).unwrap();
+            assert_eq!(
+                serde_json::to_string(&hit).unwrap(),
+                serde_json::to_string(&stored).unwrap(),
+                "degraded record must serve byte-identically"
+            );
+            assert_eq!(c.mem_hits(), 1);
+            // Not durable: a reopen recomputes (misses), never serves junk.
+            drop(c);
+            let c = open(&dir, 8, 2);
+            assert!(c.get(h).is_none(), "memory-only record must not survive");
+            assert_eq!(c.corrupt_dropped(), 0, "nothing torn landed on disk");
+        });
+    }
+
+    #[test]
+    fn compact_reclaims_stale_shard_lines() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let dir = tmp("compact");
+        let c = open(&dir, 8, 2);
+        let h = ConfigHash(0x5);
+        c.put(h, sides(1)).unwrap();
+        c.put(h, sides(2)).unwrap(); // overwrite: one stale line
+        assert_eq!(
+            c.shard_stats().iter().map(|s| s.stale_lines).sum::<usize>(),
+            1
+        );
+        assert_eq!(c.compact().unwrap(), 1, "one overwrite reclaimed");
+        assert_eq!(c.get(h).unwrap().sides[0].counters.instructions, 2);
+        // Idempotent: nothing further to reclaim, reopen serves the live set.
+        assert_eq!(c.compact().unwrap(), 0);
+        drop(c);
+        let c = open(&dir, 8, 2);
+        assert_eq!(c.get(h).unwrap().sides[0].counters.instructions, 2);
+    }
+
+    #[test]
     fn conservation_holds_across_shards() {
+        let _quiet = paxsim_core::faultinject::quiesced();
         let dir = tmp("conserve");
         let c = open(&dir, 32, 8);
         let mut gets = 0u64;

@@ -38,9 +38,18 @@
 //! The wire protocol is documented in `DESIGN.md` §10 (scaling layers in
 //! §13); [`protocol`] is the single source of truth for parsing and
 //! rendering it.
+//!
+//! Failure behavior is a first-class surface (DESIGN.md §14): the
+//! [`chaos`] hooks extend the deterministic fault harness into the
+//! reactor, workers, batcher, and shard journals; the [`breaker`]
+//! quarantines deterministically-crashing configs with typed rejections;
+//! the admission gate sheds deadline-expired queued work; and `op=health`
+//! reports per-shard + breaker state for orchestrators.
 
 pub mod batch;
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod frame;
 pub mod protocol;
 pub mod server;

@@ -4,7 +4,8 @@
 //! paxsim-serve [--tcp ADDR] [--unix PATH] [--cache DIR]
 //!              [--mem-cap N] [--max-running N] [--max-queue N]
 //!              [--deadline-ms N] [--shards N] [--batch-window-ms N]
-//!              [--workers N]
+//!              [--workers N] [--fsync] [--breaker-threshold N]
+//!              [--breaker-cooldown-ms N]
 //! ```
 //!
 //! Listens for newline-delimited JSON requests (protocol in DESIGN.md
@@ -53,8 +54,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: paxsim-serve [--tcp ADDR] [--unix PATH] [--cache DIR] \
          [--mem-cap N] [--max-running N] [--max-queue N] [--deadline-ms N] \
-         [--shards N] [--batch-window-ms N] [--workers N] [--grace-secs N]\n\
-         at least one of --tcp/--unix is required"
+         [--shards N] [--batch-window-ms N] [--workers N] [--grace-secs N] \
+         [--fsync] [--breaker-threshold N] [--breaker-cooldown-ms N]\n\
+         at least one of --tcp/--unix is required\n\
+         --fsync: fsync every journal append (crash-durable, slower)\n\
+         --breaker-threshold: consecutive failures before a config is \
+         quarantined (0 disables)"
     );
     std::process::exit(2);
 }
@@ -98,6 +103,13 @@ fn parse_args() -> Args {
             "--batch-window-ms" => args.cfg.batch_window_ms = num(&mut it, "--batch-window-ms"),
             "--workers" => args.cfg.workers = num(&mut it, "--workers") as usize,
             "--grace-secs" => args.grace = Duration::from_secs(num(&mut it, "--grace-secs")),
+            "--fsync" => args.cfg.fsync = true,
+            "--breaker-threshold" => {
+                args.cfg.breaker_threshold = num(&mut it, "--breaker-threshold") as u32;
+            }
+            "--breaker-cooldown-ms" => {
+                args.cfg.breaker_cooldown_ms = num(&mut it, "--breaker-cooldown-ms");
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -115,6 +127,25 @@ fn main() {
     let args = parse_args();
     if paxsim_core::faultinject::init_from_env() {
         eprintln!("paxsim-serve: PAXSIM_FAULTS plan active");
+        // Injected faults are absorbed by design (worker retry, batch
+        // poison recovery, degraded puts); keep their backtraces out of
+        // the log so a *real* panic stands out.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                prev(info);
+            }
+        }));
     }
     install_term_handler();
     let service = match Service::open(args.cfg.clone()) {

@@ -17,8 +17,8 @@
 //! defaults, so a request's content hash is the same whether defaults are
 //! spelled out or omitted. Replies are `{"ok":true,…}` or
 //! `{"ok":false,"error":"<category>","detail":"…"}` — categories are the
-//! closed set in [`error_category`] plus the service-level `overloaded`
-//! and `draining`.
+//! closed set in [`error_category`] plus the service-level `overloaded`,
+//! `draining`, `shed`, and `quarantined`.
 
 use paxsim_core::error::{StudyError, StudyResult};
 use paxsim_core::hash::{ConfigHash, StudySpec};
@@ -40,6 +40,10 @@ pub enum Request {
     /// Scrape the observability metrics snapshot (Prometheus text plus
     /// structured JSON).
     Metrics,
+    /// Report liveness/degradation state: drain status, per-shard journal
+    /// health, circuit-breaker quarantine list, shed counters. Cheap
+    /// enough for an orchestrator to poll every second.
+    Health,
 }
 
 fn bad(field: &str, detail: impl Into<String>) -> StudyError {
@@ -82,8 +86,8 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
         Value::Object(entries) => entries,
         _ => return Err(bad("request", "must be a JSON object")),
     };
-    let op =
-        str_field(&v, "op")?.ok_or_else(|| bad("op", "missing (simulate, stats or metrics)"))?;
+    let op = str_field(&v, "op")?
+        .ok_or_else(|| bad("op", "missing (simulate, stats, metrics or health)"))?;
     match op.as_str() {
         "stats" => {
             for (k, _) in obj {
@@ -100,6 +104,14 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
                 }
             }
             Ok(Request::Metrics)
+        }
+        "health" => {
+            for (k, _) in obj {
+                if k != "op" {
+                    return Err(bad(k, "unknown field for op=health"));
+                }
+            }
+            Ok(Request::Health)
         }
         "simulate" => {
             for (k, _) in obj {
@@ -164,7 +176,8 @@ pub fn render_error(category: &str, detail: &str) -> String {
 
 /// The wire category for a computation-path error. Closed set:
 /// `bad-request`, `deadline`, `panic`, `build-failed`, `internal` (plus
-/// the service-level `overloaded` and `draining`).
+/// the service-level `overloaded`, `draining`, `shed`, and
+/// `quarantined`).
 pub fn error_category(e: &StudyError) -> &'static str {
     match e {
         StudyError::BadSpec { .. } => "bad-request",
@@ -207,6 +220,16 @@ mod tests {
             parse_request(r#"{"op":"metrics"}"#).unwrap(),
             Request::Metrics
         ));
+    }
+
+    #[test]
+    fn health_op_parses_and_rejects_extras() {
+        assert!(matches!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Health
+        ));
+        let err = parse_request(r#"{"op":"health","verbose":true}"#).unwrap_err();
+        assert!(matches!(err, StudyError::BadSpec { field, .. } if field == "verbose"));
     }
 
     #[test]

@@ -202,7 +202,23 @@ impl WorkerPool {
                     jobs = self.cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            let reply = service.handle_line(&job.line);
+            // The worker is the last line of panic isolation: a panic
+            // escaping `handle_line` (or injected by `chaos::worker_job`)
+            // must not kill the thread — that would strand the job's
+            // reply, leak the `active` count, and hang drain forever.
+            // One retry (panics here are transient by construction: the
+            // compute path below already did its own retries), then a
+            // typed reply.
+            let reply = match run_job(service, &job.line) {
+                Ok(r) => r,
+                Err(_) => match run_job(service, &job.line) {
+                    Ok(r) => r,
+                    Err(payload) => protocol::render_error(
+                        "panic",
+                        &format!("worker panicked twice handling this request: {payload}"),
+                    ),
+                },
+            };
             // Push before decrementing `active`, so `active == 0` implies
             // every finished reply is already visible to its reactor.
             let (conn, seq, completions) = (job.conn, job.seq, job.completions);
@@ -210,6 +226,22 @@ impl WorkerPool {
             active.fetch_sub(1, Ordering::SeqCst);
         }
     }
+}
+
+/// Run one request line inside the worker's `catch_unwind` boundary.
+/// `chaos::worker_job` fires injected worker panics here, so the
+/// boundary (and its retry) is exercised deterministically in tests.
+fn run_job(service: &Service, line: &str) -> Result<String, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::chaos::worker_job();
+        service.handle_line(line)
+    }))
+    .map_err(|p| {
+        p.downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string())
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -577,14 +609,33 @@ fn reactor_loop<L: NbListener>(
                             while let Some(frame) = conn.frames.next_frame() {
                                 let seq = conn.next_seq;
                                 conn.next_seq += 1;
+                                // Chaos hook: a `serve-conn-kill` plan
+                                // resets this connection right after it
+                                // delivered a frame — the request is
+                                // received but its reply never leaves,
+                                // exactly the torn state a mid-request
+                                // network partition produces. The client
+                                // sees EOF and must retry elsewhere.
+                                if crate::chaos::conn_kill() {
+                                    conn.dead = true;
+                                    break;
+                                }
                                 match frame {
                                     Ok(line) => {
                                         // Inline fast path: a pure cache
                                         // hit is answered on this thread,
                                         // skipping the pool round trip.
                                         // Misses, stats, and bad requests
-                                        // return `None` and dispatch.
-                                        if let Some(reply) = service.try_hit(&line) {
+                                        // return `None` and dispatch. A
+                                        // panic here must not kill the
+                                        // reactor: treat it as a miss and
+                                        // let the worker's own isolation
+                                        // boundary absorb it.
+                                        let inline = std::panic::catch_unwind(
+                                            std::panic::AssertUnwindSafe(|| service.try_hit(&line)),
+                                        )
+                                        .unwrap_or(None);
+                                        if let Some(reply) = inline {
                                             conn.ready.insert(seq, reply);
                                             continue;
                                         }
@@ -610,6 +661,9 @@ fn reactor_loop<L: NbListener>(
                                     }
                                 }
                             }
+                            if conn.dead {
+                                break;
+                            }
                         }
                         Err(ref e) if would_block(e) => break,
                         Err(_) => {
@@ -625,7 +679,14 @@ fn reactor_loop<L: NbListener>(
             conn.release_ready();
             while !conn.out.is_empty() && !conn.dead {
                 let (front, _) = conn.out.as_slices();
-                match conn.stream.write(front) {
+                // Chaos hook: a `serve-partial-write` plan caps this
+                // pass at one byte, exercising the partial-write
+                // bookkeeping a saturated socket produces (the rest
+                // stays queued and goes out on later passes).
+                let cap = crate::chaos::write_cap()
+                    .unwrap_or(front.len())
+                    .min(front.len());
+                match conn.stream.write(&front[..cap]) {
                     Ok(0) => {
                         conn.dead = true;
                     }

@@ -30,6 +30,7 @@ use paxsim_perfmon::stats::Summary;
 use serde::{Serialize, Value};
 
 use crate::batch::{Batcher, Role};
+use crate::breaker::Breaker;
 use crate::cache::ResultCache;
 use crate::protocol::{self, Request};
 
@@ -62,6 +63,17 @@ pub struct ServeConfig {
     /// `max_running + max_queue + 4` so cache hits keep flowing while
     /// every admission slot is occupied by blocked batch leaders.
     pub workers: usize,
+    /// Fsync each cache-journal append (`FsyncPolicy::Fsync`). Default
+    /// off: flush-to-OS survives a daemon kill; fsync additionally
+    /// survives power loss at a disk round trip per record — and a lost
+    /// record is only ever a recompute, never a wrong answer.
+    pub fsync: bool,
+    /// Circuit-breaker trip threshold: consecutive *post-retry* failures
+    /// of one config before it is quarantined. `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped config stays quarantined before one probe
+    /// request is let through.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +90,9 @@ impl Default for ServeConfig {
             shards: crate::cache::DEFAULT_SHARDS,
             batch_window_ms: 0,
             workers: 0,
+            fsync: false,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 5_000,
         }
     }
 }
@@ -139,16 +154,46 @@ impl Gate {
     }
 
     /// Claim a running slot, queueing if the running set is full.
-    /// Returns `Err((running, queued))` when the queue is also full.
-    fn admit(&self) -> Result<Permit<'_>, (usize, usize)> {
+    ///
+    /// A queued waiter with a `deadline` is **shed** the moment the
+    /// deadline passes: by the time the slot would free, the compute
+    /// watchdog would kill the work anyway, so running it only wastes
+    /// the slot. Since every waiter sheds at its own deadline, the work
+    /// with the *oldest* deadline leaves the queue first — the queue
+    /// drains from most-doomed to least under sustained overload.
+    ///
+    /// Returns `Err(AdmitError::Full(..))` when the queue itself is
+    /// full (immediate, never waits), `Err(AdmitError::Shed)` when the
+    /// deadline expired while queued.
+    fn admit(&self, deadline: Option<Instant>) -> Result<Permit<'_>, AdmitError> {
         let mut s = lock(&self.state);
         if s.running >= self.max_running {
             if s.queued >= self.max_queue {
-                return Err((s.running, s.queued));
+                return Err(AdmitError::Full {
+                    running: s.running,
+                    queued: s.queued,
+                });
             }
             s.queued += 1;
             while s.running >= self.max_running {
-                s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+                match deadline {
+                    None => s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            s.queued -= 1;
+                            // A slot may have freed in the same instant;
+                            // pass the wake-up on rather than eat it.
+                            self.cv.notify_one();
+                            return Err(AdmitError::Shed);
+                        }
+                        s = self
+                            .cv
+                            .wait_timeout(s, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
             }
             s.queued -= 1;
         }
@@ -162,17 +207,36 @@ impl Gate {
     }
 }
 
+/// Why [`Gate::admit`] refused a slot.
+#[derive(Debug, PartialEq, Eq)]
+enum AdmitError {
+    /// Running set and queue both full at arrival.
+    Full { running: usize, queued: usize },
+    /// The request's deadline expired while it waited in the queue.
+    Shed,
+}
+
 // ---------------------------------------------------------------------------
 // The service.
 // ---------------------------------------------------------------------------
 
-/// How the admission gate disposed of a flight that never computed.
-/// Travels through the single-flight table so every rider of a rejected
-/// flight sees the same typed rejection.
+/// How the admission gate (or the breaker in front of it) disposed of a
+/// flight that never computed. Travels through the single-flight table
+/// so every rider of a rejected flight sees the same typed rejection.
 #[derive(Debug, Clone)]
 enum Gated {
-    Overloaded { running: usize, queued: usize },
+    Overloaded {
+        running: usize,
+        queued: usize,
+    },
     Draining,
+    /// Deadline expired while queued for admission (load shedding).
+    Shed,
+    /// The config is circuit-broken after repeated deterministic
+    /// failures; `retry_ms` is the remaining quarantine cooldown.
+    Quarantined {
+        retry_ms: u64,
+    },
 }
 
 /// Everything a request touches, shared across connections.
@@ -191,12 +255,24 @@ pub struct Service {
     /// admission-gate pass and one pool per batch.
     batcher: Batcher<ResolvedSpec, StudyResult<Result<Record, Gated>>>,
     gate: Gate,
+    /// Quarantines configs that keep failing after the pool's own
+    /// retries — a deterministic crasher stops burning worker time.
+    breaker: Breaker,
     draining: AtomicBool,
     started: Instant,
     requests: AtomicU64,
+    /// `simulate` requests that reached a cache lookup (hits, misses,
+    /// and gated rejections alike — each books exactly one cache-tier
+    /// counter). This is the server-side left arm of the conservation
+    /// law `hits + misses == simulate_requests + baseline_fetches`,
+    /// robust to client-side retries the client never reports.
+    simulates: AtomicU64,
     computed: AtomicU64,
     rejected_overload: AtomicU64,
     rejected_draining: AtomicU64,
+    /// Queued computations shed because their deadline expired before a
+    /// running slot freed.
+    shed: AtomicU64,
     /// Serial-baseline sub-requests performed (each books exactly one
     /// cache-tier counter, like every client request — conservation).
     baseline_fetches: AtomicU64,
@@ -218,9 +294,18 @@ impl Service {
         if std::env::var_os("PAXSIM_OBS").is_none_or(|v| v != "0") {
             paxsim_obs::set_enabled(true);
         }
-        let cache = ResultCache::open(&cfg.cache_dir, cfg.mem_cap, cfg.shards)?;
+        let policy = if cfg.fsync {
+            paxsim_core::journal::FsyncPolicy::Fsync
+        } else {
+            paxsim_core::journal::FsyncPolicy::Flush
+        };
+        let cache = ResultCache::open_with(&cfg.cache_dir, cfg.mem_cap, cfg.shards, policy)?;
         let gate = Gate::new(cfg.max_running, cfg.max_queue);
         let batcher = Batcher::new(Duration::from_millis(cfg.batch_window_ms));
+        let breaker = Breaker::new(
+            cfg.breaker_threshold,
+            Duration::from_millis(cfg.breaker_cooldown_ms),
+        );
         Ok(Service {
             cfg,
             store: TraceStore::new(),
@@ -229,12 +314,15 @@ impl Service {
             sub_inflight: Inflight::new(),
             batcher,
             gate,
+            breaker,
             draining: AtomicBool::new(false),
             started: Instant::now(),
             requests: AtomicU64::new(0),
+            simulates: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             baseline_fetches: AtomicU64::new(0),
             latencies: Mutex::new(HashMap::new()),
         })
@@ -250,6 +338,7 @@ impl Service {
         match protocol::parse_request(line) {
             Ok(Request::Stats) => self.stats_reply(),
             Ok(Request::Metrics) => self.metrics_reply(),
+            Ok(Request::Health) => self.health_reply(),
             Ok(Request::Simulate { spec, deadline_ms }) => {
                 let resolved = match spec.resolve() {
                     Ok(r) => r,
@@ -268,6 +357,17 @@ impl Service {
                     Err(Rejection::Draining) => {
                         protocol::render_error("draining", "daemon is shutting down")
                     }
+                    Err(Rejection::Shed) => protocol::render_error(
+                        "shed",
+                        "deadline expired while queued for admission; daemon under load",
+                    ),
+                    Err(Rejection::Quarantined { retry_ms }) => protocol::render_error(
+                        "quarantined",
+                        &format!(
+                            "config is circuit-broken after repeated failures; \
+                             retry in {retry_ms} ms"
+                        ),
+                    ),
                     Err(Rejection::Failed(e)) => {
                         protocol::render_error(protocol::error_category(&e), &e.to_string())
                     }
@@ -301,6 +401,9 @@ impl Service {
         let hash = resolved.content_hash();
         let rec = self.cache.probe(hash)?;
         self.requests.fetch_add(1, Ordering::Relaxed);
+        // The probe booked one hit counter, so this answered request
+        // must count toward the conservation law's right-hand side.
+        self.simulates.fetch_add(1, Ordering::Relaxed);
         static REQUESTS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.requests");
         static INLINE: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.inline_hits");
         REQUESTS.inc();
@@ -322,6 +425,7 @@ impl Service {
         static JOINED: paxsim_obs::LazyCounter =
             paxsim_obs::LazyCounter::new("serve.flight.joined");
         let hash = resolved.content_hash();
+        self.simulates.fetch_add(1, Ordering::Relaxed);
         if let Some(rec) = self.cache.get(hash) {
             return Ok(rec);
         }
@@ -342,7 +446,31 @@ impl Service {
                 self.rejected_draining.fetch_add(1, Ordering::Relaxed);
                 return Ok(Err(Gated::Draining));
             }
-            self.batched_compute(resolved, deadline_ms)
+            // Breaker check sits after the cache: a quarantined config's
+            // *cached* result (from before it went bad, or from a
+            // successful probe) still serves — only fresh compute is
+            // refused.
+            if let Err(retry_ms) = self.breaker.check(hash.0) {
+                static QUAR: paxsim_obs::LazyCounter =
+                    paxsim_obs::LazyCounter::new("serve.breaker.rejected");
+                QUAR.inc();
+                return Ok(Err(Gated::Quarantined { retry_ms }));
+            }
+            let res = self.batched_compute(resolved, deadline_ms);
+            match &res {
+                Ok(Ok(_)) => self.breaker.success(hash.0),
+                // Gate rejections say nothing about the config itself.
+                Ok(Err(_)) => {}
+                // Only failures that survived the pool's own retry
+                // budget and look config-caused count toward a trip: a
+                // panic or a failed trace build, not a deadline the
+                // client chose.
+                Err(StudyError::CellPanicked { .. }) | Err(StudyError::BuildFailed { .. }) => {
+                    self.breaker.failure(hash.0);
+                }
+                Err(_) => {}
+            }
+            res
         });
         match flight {
             paxsim_core::inflight::Flight::Led => LED.inc(),
@@ -354,6 +482,8 @@ impl Service {
                 Err(Rejection::Overloaded { running, queued })
             }
             Ok(Err(Gated::Draining)) => Err(Rejection::Draining),
+            Ok(Err(Gated::Shed)) => Err(Rejection::Shed),
+            Ok(Err(Gated::Quarantined { retry_ms })) => Err(Rejection::Quarantined { retry_ms }),
             Err(e) => Err(Rejection::Failed(e)),
         }
     }
@@ -417,13 +547,22 @@ impl Service {
         items: Vec<ResolvedSpec>,
         deadline_ms: Option<u64>,
     ) -> Vec<StudyResult<Result<Record, Gated>>> {
+        // Chaos hook: a `serve-batch-panic` plan panics the leader here,
+        // inside the batcher's catch_unwind — the poison-recovery path
+        // (every rider re-runs solo) is what the regression test pins.
+        if paxsim_core::faultinject::serve_batch_panic() {
+            panic!("injected batch-leader fault ({} items)", items.len());
+        }
+        let effective_deadline_ms = deadline_ms.or(self.cfg.default_deadline_ms);
         let admitted = {
             let _span = paxsim_obs::span!("serve.admission");
-            self.gate.admit()
+            let admit_by =
+                effective_deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+            self.gate.admit(admit_by)
         };
         let _permit = match admitted {
             Ok(p) => p,
-            Err((running, queued)) => {
+            Err(AdmitError::Full { running, queued }) => {
                 self.rejected_overload
                     .fetch_add(items.len() as u64, Ordering::Relaxed);
                 return items
@@ -431,11 +570,16 @@ impl Service {
                     .map(|_| Ok(Err(Gated::Overloaded { running, queued })))
                     .collect();
             }
+            Err(AdmitError::Shed) => {
+                self.shed.fetch_add(items.len() as u64, Ordering::Relaxed);
+                static SHED: paxsim_obs::LazyCounter =
+                    paxsim_obs::LazyCounter::new("serve.admission.shed");
+                SHED.inc();
+                return items.iter().map(|_| Ok(Err(Gated::Shed))).collect();
+            }
         };
         let policy = CellPolicy {
-            deadline: deadline_ms
-                .or(self.cfg.default_deadline_ms)
-                .map(Duration::from_millis),
+            deadline: effective_deadline_ms.map(Duration::from_millis),
             ..CellPolicy::default()
         };
         let sweep = pool::map_indexed_isolated(items.len(), &policy, |i| {
@@ -605,6 +749,10 @@ impl Service {
                 "requests",
                 Value::UInt(self.requests.load(Ordering::Relaxed)),
             ),
+            (
+                "simulate_requests",
+                Value::UInt(self.simulates.load(Ordering::Relaxed)),
+            ),
             ("draining", Value::Bool(self.draining())),
             (
                 "cache",
@@ -633,6 +781,8 @@ impl Service {
                                         ("entries_mem", Value::UInt(s.entries_mem as u64)),
                                         ("entries_disk", Value::UInt(s.entries_disk as u64)),
                                         ("corrupt_dropped", Value::UInt(s.corrupt_dropped as u64)),
+                                        ("write_errors", Value::UInt(s.write_errors as u64)),
+                                        ("stale_lines", Value::UInt(s.stale_lines as u64)),
                                     ])
                                 })
                                 .collect(),
@@ -646,9 +796,26 @@ impl Service {
                     ("window_ms", Value::UInt(self.cfg.batch_window_ms)),
                     ("batches", Value::UInt(self.batcher.batches())),
                     ("merged", Value::UInt(self.batcher.merged())),
+                    ("poisoned", Value::UInt(self.batcher.poisoned())),
                     (
                         "open_groups",
                         Value::UInt(self.batcher.open_groups() as u64),
+                    ),
+                ]),
+            ),
+            (
+                "degraded",
+                obj(vec![
+                    ("shed", Value::UInt(self.shed.load(Ordering::Relaxed))),
+                    (
+                        "quarantined_rejections",
+                        Value::UInt(self.breaker.rejected()),
+                    ),
+                    ("breaker_trips", Value::UInt(self.breaker.trips())),
+                    ("put_failures", Value::UInt(self.cache.put_failures())),
+                    (
+                        "journal_write_errors",
+                        Value::UInt(self.cache.write_errors() as u64),
                     ),
                 ]),
             ),
@@ -687,6 +854,100 @@ impl Service {
             ),
             ("traces_built", Value::UInt(self.store.builds())),
             ("latency_ms", Value::Object(latency)),
+        ]);
+        serde_json::to_string(&v).expect("value tree renders infallibly")
+    }
+
+    /// Render the `health` reply: liveness plus every degradation signal
+    /// an orchestrator needs — drain status, admission pressure, breaker
+    /// quarantine list, per-shard journal health. Cheap (no compute, no
+    /// cache traffic) and safe to poll every second.
+    fn health_reply(&self) -> String {
+        let obj = |entries: Vec<(&str, Value)>| {
+            Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let (running, queued) = self.gate.depth();
+        let quarantined: Vec<Value> = self
+            .breaker
+            .snapshot()
+            .into_iter()
+            .map(|q| {
+                obj(vec![
+                    ("hash", Value::String(format!("{:016x}", q.hash))),
+                    ("failures", Value::UInt(u64::from(q.failures))),
+                    ("state", Value::String(q.state.to_string())),
+                    ("retry_in_ms", Value::UInt(q.retry_in_ms)),
+                ])
+            })
+            .collect();
+        let shards: Vec<Value> = self
+            .cache
+            .shard_stats()
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("entries_mem", Value::UInt(s.entries_mem as u64)),
+                    ("entries_disk", Value::UInt(s.entries_disk as u64)),
+                    ("corrupt_dropped", Value::UInt(s.corrupt_dropped as u64)),
+                    ("write_errors", Value::UInt(s.write_errors as u64)),
+                    ("put_failures", Value::UInt(s.put_failures)),
+                    ("stale_lines", Value::UInt(s.stale_lines as u64)),
+                ])
+            })
+            .collect();
+        let status = if self.draining() { "draining" } else { "ready" };
+        let v = obj(vec![
+            ("ok", Value::Bool(true)),
+            ("status", Value::String(status.to_string())),
+            (
+                "uptime_ms",
+                Value::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+            ("workers", Value::UInt(self.cfg.effective_workers() as u64)),
+            (
+                "admission",
+                obj(vec![
+                    ("running", Value::UInt(running as u64)),
+                    ("queued", Value::UInt(queued as u64)),
+                    ("max_running", Value::UInt(self.cfg.max_running as u64)),
+                    ("max_queue", Value::UInt(self.cfg.max_queue as u64)),
+                    ("shed", Value::UInt(self.shed.load(Ordering::Relaxed))),
+                    (
+                        "rejected_overload",
+                        Value::UInt(self.rejected_overload.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "breaker",
+                obj(vec![
+                    (
+                        "threshold",
+                        Value::UInt(u64::from(self.breaker.threshold())),
+                    ),
+                    ("cooldown_ms", Value::UInt(self.breaker.cooldown_ms())),
+                    ("trips", Value::UInt(self.breaker.trips())),
+                    ("rejected", Value::UInt(self.breaker.rejected())),
+                    ("quarantined", Value::Array(quarantined)),
+                ]),
+            ),
+            (
+                "degraded",
+                obj(vec![
+                    ("put_failures", Value::UInt(self.cache.put_failures())),
+                    (
+                        "journal_write_errors",
+                        Value::UInt(self.cache.write_errors() as u64),
+                    ),
+                    ("batch_poisoned", Value::UInt(self.batcher.poisoned())),
+                ]),
+            ),
+            ("shards", Value::Array(shards)),
         ]);
         serde_json::to_string(&v).expect("value tree renders infallibly")
     }
@@ -737,6 +998,28 @@ impl Service {
     /// Serial-baseline sub-requests performed.
     pub fn baseline_fetches(&self) -> u64 {
         self.baseline_fetches.load(Ordering::Relaxed)
+    }
+
+    /// `simulate` requests that reached a cache lookup (the server-side
+    /// arm of the conservation law).
+    pub fn simulate_requests(&self) -> u64 {
+        self.simulates.load(Ordering::Relaxed)
+    }
+
+    /// Queued computations shed at deadline expiry.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The per-config circuit breaker (trip/reject counters, snapshot).
+    pub fn breaker(&self) -> &Breaker {
+        &self.breaker
+    }
+
+    /// Batch groups poisoned by a leader panic (every rider recovered
+    /// solo).
+    pub fn batch_poisoned(&self) -> u64 {
+        self.batcher.poisoned()
     }
 
     /// Stop admitting new computations (cache hits and stats still
@@ -791,6 +1074,8 @@ impl Service {
 enum Rejection {
     Overloaded { running: usize, queued: usize },
     Draining,
+    Shed,
+    Quarantined { retry_ms: u64 },
     Failed(StudyError),
 }
 
@@ -896,7 +1181,7 @@ mod tests {
     #[test]
     fn gate_admits_bounded_and_rejects_typed() {
         let g = Gate::new(1, 1);
-        let p0 = g.admit().unwrap();
+        let p0 = g.admit(None).unwrap();
         // Running set full, queue empty: a queued waiter blocks, so test
         // the reject path by filling the queue from another thread that
         // never gets the slot until we drop p0.
@@ -906,7 +1191,7 @@ mod tests {
             let qref = &queued;
             let h = scope.spawn(move || {
                 qref.wait();
-                let _p = gate.admit().unwrap(); // queues, then runs
+                let _p = gate.admit(None).unwrap(); // queues, then runs
             });
             queued.wait();
             // Wait for the spawned thread to be *queued*.
@@ -914,14 +1199,157 @@ mod tests {
                 std::thread::yield_now();
             }
             assert_eq!(
-                gate.admit().err(),
-                Some((1, 1)),
+                gate.admit(None).err(),
+                Some(AdmitError::Full {
+                    running: 1,
+                    queued: 1
+                }),
                 "running and queue both full must reject"
             );
             drop(p0);
             h.join().unwrap();
         });
         assert_eq!(g.depth(), (0, 0), "permits all returned");
+    }
+
+    #[test]
+    fn gate_sheds_expired_queued_waiters() {
+        let g = Gate::new(1, 4);
+        let p0 = g.admit(None).unwrap();
+        // Queue behind the held slot with a deadline that expires while
+        // waiting: the waiter must shed, not run, and its queue slot must
+        // be released.
+        let t0 = Instant::now();
+        let shed = g.admit(Some(Instant::now() + Duration::from_millis(30)));
+        assert_eq!(shed.err(), Some(AdmitError::Shed));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "shed must wait out the deadline, not reject eagerly"
+        );
+        assert_eq!(g.depth(), (1, 0), "shed waiter must leave the queue");
+        // An already-expired deadline on a *free* gate still admits —
+        // shedding applies to queue waits, not to work that can start
+        // immediately.
+        drop(p0);
+        let p = g.admit(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(p.is_ok(), "free slot admits regardless of deadline");
+    }
+
+    #[test]
+    fn repeated_panics_trip_the_breaker_into_typed_quarantine() {
+        // cell-panic:0:50 panics every compute attempt. Each request
+        // burns 1 + max_retries (= 3) attempts, fails post-retry, and
+        // counts one breaker failure; at threshold 2 the third request
+        // must be refused as `quarantined` without computing at all.
+        paxsim_core::faultinject::with_plan("cell-panic:0:50", || {
+            let s = Service::open(ServeConfig {
+                cache_dir: tmp("breaker"),
+                breaker_threshold: 2,
+                breaker_cooldown_ms: 60_000,
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            let r1 = s.handle_line(EP_CMP);
+            assert!(r1.contains("\"error\":\"panic\""), "{r1}");
+            let r2 = s.handle_line(EP_CMP);
+            assert!(r2.contains("\"error\":\"panic\""), "{r2}");
+            assert_eq!(s.breaker().trips(), 1, "tripped at threshold 2");
+            let r3 = s.handle_line(EP_CMP);
+            assert!(r3.contains("\"error\":\"quarantined\""), "{r3}");
+            assert!(r3.contains("retry in"), "{r3}");
+            assert_eq!(s.breaker().rejected(), 1);
+            // Health must name the quarantined config.
+            let h = s.handle_line(r#"{"op":"health"}"#);
+            assert!(h.contains("\"quarantined\":[{"), "{h}");
+            assert!(h.contains("\"state\":\"open\""), "{h}");
+            // Conservation holds even with every path rejected:
+            // 3 requests, 3 misses, 0 hits, 0 baselines.
+            assert_eq!(
+                s.cache().hits() + s.cache().misses(),
+                s.simulate_requests() + s.baseline_fetches(),
+            );
+        });
+    }
+
+    #[test]
+    fn breaker_probe_recovers_after_transient_poisoning() {
+        // Two panic-failing requests trip a threshold-2 breaker; once the
+        // budget is exhausted and the cooldown passes, the half-open
+        // probe computes normally and the breaker closes.
+        paxsim_core::faultinject::with_plan("cell-panic:0:6", || {
+            let s = Service::open(ServeConfig {
+                cache_dir: tmp("breaker_recover"),
+                breaker_threshold: 2,
+                breaker_cooldown_ms: 40,
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            // 2 requests x 3 attempts = 6 panics: exactly the budget.
+            assert!(s.handle_line(EP_CMP).contains("\"error\":\"panic\""));
+            assert!(s.handle_line(EP_CMP).contains("\"error\":\"panic\""));
+            assert_eq!(s.breaker().trips(), 1);
+            std::thread::sleep(Duration::from_millis(60));
+            let probe = s.handle_line(EP_CMP);
+            assert!(probe.contains("\"ok\":true"), "{probe}");
+            assert!(
+                s.breaker().snapshot().is_empty(),
+                "successful probe must close the breaker"
+            );
+        });
+    }
+
+    #[test]
+    fn journal_fault_degrades_put_but_serves_byte_identical() {
+        // Sized for the worst case: EP/CMP computes the parallel cell
+        // plus its serial baseline — two puts. A budget of 2 fails both
+        // appends; the replies must still be correct and the *hit* must
+        // be byte-identical to the degraded miss reply.
+        paxsim_core::faultinject::with_plan("journal-fail:2", || {
+            let s = service("degraded");
+            let cold = s.handle_line(EP_CMP);
+            assert!(cold.contains("\"ok\":true"), "{cold}");
+            assert!(s.cache().put_failures() >= 1, "put must have degraded");
+            let hot = s.handle_line(EP_CMP);
+            assert_eq!(cold, hot, "degraded record must serve byte-identical");
+            let h = s.handle_line(r#"{"op":"health"}"#);
+            let v = serde_json::parse(&h).unwrap();
+            assert!(v["degraded"]["put_failures"].as_u64().unwrap() >= 1, "{h}");
+            assert!(
+                v["degraded"]["journal_write_errors"].as_u64().unwrap() >= 1,
+                "{h}"
+            );
+        });
+    }
+
+    #[test]
+    fn shard_slow_fault_delays_but_serves_identical_replies() {
+        paxsim_core::faultinject::with_plan("serve-shard-slow:30:2", || {
+            let s = service("shard_slow");
+            let t0 = Instant::now();
+            let cold = s.handle_line(EP_CMP);
+            assert!(cold.contains("\"ok\":true"), "{cold}");
+            assert!(
+                t0.elapsed() >= Duration::from_millis(30),
+                "the stall must actually happen"
+            );
+        });
+        // The same request against a healthy service is byte-identical
+        // modulo cache state — assert on a second, un-faulted service.
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let slow_dir = std::env::temp_dir()
+            .join("paxsim_serve_service_tests")
+            .join("shard_slow");
+        let s1 = Service::open(ServeConfig {
+            cache_dir: slow_dir,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let s2 = service("shard_slow_ref");
+        assert_eq!(
+            s1.handle_line(EP_CMP),
+            s2.handle_line(EP_CMP),
+            "a slow shard must never change reply bytes"
+        );
     }
 
     #[test]

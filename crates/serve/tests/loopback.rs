@@ -357,6 +357,91 @@ fn injected_cell_panic_does_not_drop_other_clients() {
 }
 
 #[test]
+fn batch_leader_panic_does_not_strand_followers() {
+    // Regression: riders in a gather window park on the group's condvar
+    // until the leader publishes a result. A leader whose sweep panicked
+    // published *nothing*, so every follower hung until its client gave
+    // up. The batcher now marks the group poisoned and each rider re-runs
+    // its own request solo — three compatible concurrent requests through
+    // a wide window with the leader's sweep shot down must all answer ok,
+    // and the loopback replies must be byte-identical to fault-free runs.
+    let kernels = ["ep", "cg", "is"];
+    let line = |k: &str| format!(r#"{{"op":"simulate","kernel":"{k}","config":"CMP"}}"#);
+    let faulted: Vec<String> = paxsim_core::faultinject::with_plan("serve-batch-panic:1", || {
+        let (service, server) = start("batch_poison", |cfg| {
+            cfg.batch_window_ms = 100;
+        });
+        let replies: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = kernels
+                .iter()
+                .map(|k| {
+                    let server = &server;
+                    let line = line(k);
+                    scope.spawn(move || Client::connect(server).roundtrip(&line))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            service.batch_poisoned() >= 1,
+            "the injected leader panic must actually poison a batch"
+        );
+        assert!(server.shutdown(Duration::from_secs(10)));
+        replies
+    });
+    let _quiet = paxsim_core::faultinject::quiesced();
+    let (_service, server) = start("batch_poison_ref", |_| {});
+    for (k, faulted_reply) in kernels.iter().zip(&faulted) {
+        assert!(
+            faulted_reply.contains("\"ok\":true"),
+            "{k} rider must not be stranded: {faulted_reply}"
+        );
+        let clean = Client::connect(&server).roundtrip(&line(k));
+        assert_eq!(
+            faulted_reply, &clean,
+            "{k} re-run reply must be byte-identical to a fault-free run"
+        );
+    }
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
+fn health_endpoint_reports_readiness_shards_and_breaker() {
+    let _quiet = paxsim_core::faultinject::quiesced();
+    let (_service, server) = start("health", |_| {});
+    let mut client = Client::connect(&server);
+    let h = client.roundtrip(r#"{"op":"health"}"#);
+    let v = serde_json::parse(&h).unwrap();
+    assert_eq!(v["ok"].as_bool(), Some(true), "{h}");
+    assert_eq!(v["status"].as_str(), Some("ready"), "{h}");
+    assert!(v["uptime_ms"].as_u64().is_some(), "{h}");
+    assert_eq!(
+        v["breaker"]["trips"].as_u64(),
+        Some(0),
+        "fresh daemon has no breaker trips: {h}"
+    );
+    let shards = match &v["shards"] {
+        serde::Value::Array(a) => a.len(),
+        other => panic!("health.shards must be an array, got {other:?}"),
+    };
+    assert_eq!(
+        shards,
+        paxsim_serve::cache::DEFAULT_SHARDS,
+        "one health entry per shard: {h}"
+    );
+    assert_eq!(v["degraded"]["put_failures"].as_u64(), Some(0), "{h}");
+    // Draining flips the reported status while existing connections keep
+    // being answered — exactly what an orchestrator's readiness probe
+    // needs to take the instance out of rotation before the drain ends.
+    server.drain();
+    let h2 = client.roundtrip(r#"{"op":"health"}"#);
+    let v2 = serde_json::parse(&h2).unwrap();
+    assert_eq!(v2["status"].as_str(), Some("draining"), "{h2}");
+    assert_eq!(v2["ok"].as_bool(), Some(true), "{h2}");
+    assert!(server.shutdown(Duration::from_secs(10)));
+}
+
+#[test]
 fn unix_socket_serves_the_same_protocol() {
     let _quiet = paxsim_core::faultinject::quiesced();
     let dir = tmp("unix");
