@@ -17,6 +17,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== predicted-fidelity error gate (CG/EP/MG p95 <= 25%) =="
+# The analytical model's p95 relative wall-cycle error across the
+# calibration kernels must stay within the declared bound; the test
+# fails if calibration drifts.
+cargo test -q -p paxsim-predict --release --test fidelity_gate
+
 echo "== resilience suite under live fault injection =="
 # Both injected faults are single-use: the resilient sweep must absorb
 # them (retry the panicked cell, rebuild the panicked trace) and come out
@@ -64,6 +70,39 @@ echo "$STATS" | grep -q '"mem_hits":1' || {
     echo "hit counter did not increment: $STATS"
     exit 1
 }
+# Predicted-tier smoke: a fidelity=predicted round trip answers from the
+# analytical model (reply carries fidelity + error_bounds), repeats
+# byte-identical from its own cache key space, and leaves the default
+# exact reply untouched byte for byte.
+PRED1=$("$CLI" --unix "$SERVE_SOCK" simulate --kernel ep --config CMP --fidelity predicted)
+PRED2=$("$CLI" --unix "$SERVE_SOCK" simulate --kernel ep --config CMP --fidelity predicted)
+[ "$PRED1" = "$PRED2" ] || {
+    echo "predicted hit is not byte-identical to the predicted miss:"
+    echo "  miss: $PRED1"
+    echo "  hit:  $PRED2"
+    exit 1
+}
+echo "$PRED1" | grep -q '"fidelity":"predicted"' || {
+    echo "predicted reply missing fidelity field: $PRED1"
+    exit 1
+}
+echo "$PRED1" | grep -q '"error_bounds"' || {
+    echo "predicted reply missing error_bounds: $PRED1"
+    exit 1
+}
+EXACT_AGAIN=$("$CLI" --unix "$SERVE_SOCK" simulate --kernel ep --config CMP)
+[ "$EXACT_AGAIN" = "$HIT" ] || {
+    echo "predicted traffic perturbed the exact reply:"
+    echo "  before: $HIT"
+    echo "  after:  $EXACT_AGAIN"
+    exit 1
+}
+STATS=$("$CLI" --unix "$SERVE_SOCK" stats)
+echo "$STATS" | grep -q '"predict":{"served":1' || {
+    echo "predicted tier not reported in stats: $STATS"
+    exit 1
+}
+echo "predict smoke passed: byte-identical predicted hit, exact tier untouched"
 # Observability smoke: the daemon runs obs-on by default; a metrics
 # scrape must be Prometheus exposition text with a healthy series count,
 # and the request counter must be monotonic across scrapes.

@@ -28,6 +28,8 @@
 //! serve-shard-slow:<ms>[:times]  sleep <ms> inside every shard cache lookup (default unlimited)
 //! serve-partial-write[:times]    cap the next <times> reactor write passes at one byte each,
 //!                                exercising the partial-write/slow-reader path (default 64)
+//! predict-bias[:times]           bias the analytical predictor's wall-clock estimate so the
+//!                                prediction auditor must catch it (default unlimited)
 //! ```
 //!
 //! Every fault carries a remaining-use counter, so "fail the first
@@ -57,6 +59,7 @@ enum FaultKind {
     ServeBatchPanic,
     ServeShardSlow { ms: u64 },
     ServePartialWrite,
+    PredictBias,
 }
 
 /// A parsed fault plan.
@@ -131,6 +134,7 @@ impl FaultPlan {
                     u32::MAX as u64,
                 ),
                 "serve-partial-write" => (FaultKind::ServePartialWrite, 64),
+                "predict-bias" => (FaultKind::PredictBias, u32::MAX as u64),
                 other => return Err(format!("unknown fault kind `{other}`")),
             };
             // The trailing optional field is always the use budget.
@@ -138,7 +142,8 @@ impl FaultPlan {
                 FaultKind::CellSlow { .. } => 3,
                 FaultKind::JournalFail
                 | FaultKind::ServeBatchPanic
-                | FaultKind::ServePartialWrite => 1,
+                | FaultKind::ServePartialWrite
+                | FaultKind::PredictBias => 1,
                 _ => 2,
             };
             let times = match fields.get(times_idx) {
@@ -370,6 +375,18 @@ pub fn serve_partial_write() -> bool {
     consume(|k| matches!(k, FaultKind::ServePartialWrite)).is_some()
 }
 
+/// Hook: the analytical predictor is about to emit a prediction. True iff
+/// a `predict-bias` fault has budget left — the caller skews the
+/// predicted wall clock well past its declared error bound, modelling a
+/// miscalibrated model the prediction auditor must detect and quarantine.
+#[inline]
+pub fn predict_bias() -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::PredictBias)).is_some()
+}
+
 // ---------------------------------------------------------------------------
 // Journal corruption helpers (used by resume/corruption tests and CI).
 // ---------------------------------------------------------------------------
@@ -454,6 +471,21 @@ mod tests {
             assert!(serve_batch_panic());
             assert!(!serve_batch_panic());
         });
+    }
+
+    #[test]
+    fn predict_bias_parses_and_consumes() {
+        let p = FaultPlan::parse("predict-bias").unwrap();
+        assert_eq!(p.faults[0].kind, FaultKind::PredictBias);
+        assert_eq!(p.faults[0].remaining.load(Ordering::Relaxed), u32::MAX);
+        let p = FaultPlan::parse("predict-bias:2").unwrap();
+        assert_eq!(p.faults[0].remaining.load(Ordering::Relaxed), 2);
+        with_plan("predict-bias:1", || {
+            assert!(predict_bias());
+            assert!(!predict_bias(), "budget of 1 spent");
+        });
+        let _q = quiesced();
+        assert!(!predict_bias(), "no plan, no bias");
     }
 
     #[test]

@@ -85,6 +85,79 @@ pub fn content_hash<T: Serialize>(t: &T) -> ConfigHash {
 }
 
 // ---------------------------------------------------------------------------
+// Fidelity: how an answer is produced, folded into the identity.
+// ---------------------------------------------------------------------------
+
+/// How a simulation answer is produced. Part of the request *identity*:
+/// an analytically predicted answer and a cycle-engine answer for the
+/// same spec are different results and must never alias in any cache or
+/// journal, so non-default fidelities are folded into the content hash
+/// by [`content_hash_with_fidelity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// Full cycle-engine simulation (the default; wire-compatible with
+    /// every pre-fidelity client and journal).
+    #[default]
+    Exact,
+    /// Serve from the exact result cache when warm, fall back to the
+    /// analytical predictor when cold. Shares the predicted key space.
+    Fast,
+    /// Analytical reuse-profile prediction only (microseconds, declared
+    /// error bounds, sentinel-audited).
+    Predicted,
+}
+
+impl Fidelity {
+    /// Canonical wire spelling (`exact` / `fast` / `predicted`).
+    pub fn wire(self) -> &'static str {
+        match self {
+            Fidelity::Exact => "exact",
+            Fidelity::Fast => "fast",
+            Fidelity::Predicted => "predicted",
+        }
+    }
+
+    /// Parse a wire spelling, case-insensitive. `None` for anything else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" => Some(Fidelity::Exact),
+            "fast" => Some(Fidelity::Fast),
+            "predicted" => Some(Fidelity::Predicted),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire())
+    }
+}
+
+/// Content digest of `t` with the fidelity folded in.
+///
+/// [`Fidelity::Exact`] digests the unchanged canonical form — bit-for-bit
+/// the same hash [`content_hash`] has always produced, so existing cache
+/// keys, journals and wire `key` fields stay valid. Any other fidelity
+/// grafts a `"fidelity"` entry into the value tree before
+/// canonicalization, giving it a disjoint key space.
+pub fn content_hash_with_fidelity<T: Serialize>(t: &T, fidelity: Fidelity) -> ConfigHash {
+    if fidelity == Fidelity::Exact {
+        return content_hash(t);
+    }
+    let mut v = t.to_value();
+    if let Value::Object(entries) = &mut v {
+        entries.push((
+            "fidelity".to_string(),
+            Value::String(fidelity.wire().to_string()),
+        ));
+    }
+    let canonical = serde_json::to_string(&canonicalize_value(&v))
+        .expect("canonical value tree renders infallibly");
+    ConfigHash(fnv1a(canonical.as_bytes()))
+}
+
+// ---------------------------------------------------------------------------
 // StudySpec: the canonical simulation-request description.
 // ---------------------------------------------------------------------------
 
@@ -192,6 +265,12 @@ impl StudySpec {
     pub fn content_hash(&self) -> ConfigHash {
         content_hash(self)
     }
+
+    /// The digest with `fidelity` folded in; `Exact` is identical to
+    /// [`StudySpec::content_hash`].
+    pub fn content_hash_with_fidelity(&self, fidelity: Fidelity) -> ConfigHash {
+        content_hash_with_fidelity(self, fidelity)
+    }
 }
 
 /// A validated [`StudySpec`] with its typed pieces and normalized
@@ -210,6 +289,12 @@ impl ResolvedSpec {
     /// Cache/journal key of this request.
     pub fn content_hash(&self) -> ConfigHash {
         self.spec.content_hash()
+    }
+
+    /// Cache/journal key with `fidelity` folded in; `Exact` is identical
+    /// to [`ResolvedSpec::content_hash`].
+    pub fn content_hash_with_fidelity(&self, fidelity: Fidelity) -> ConfigHash {
+        self.spec.content_hash_with_fidelity(fidelity)
     }
 
     /// Study options equivalent to this spec (single-benchmark).
@@ -353,6 +438,62 @@ mod tests {
         let mut s = StudySpec::new("ep", "CMP");
         s.schedule = "fair,3".into();
         assert_eq!(field(&s), "schedule");
+    }
+
+    #[test]
+    fn fidelity_separates_keys_and_both_survive_journal_replay() {
+        use crate::journal::{Journal, SideRecord};
+        use paxsim_machine::counters::Counters;
+        use paxsim_perfmon::stats::Summary;
+
+        // Wire spellings round-trip and the default is exact.
+        assert_eq!(Fidelity::default(), Fidelity::Exact);
+        for f in [Fidelity::Exact, Fidelity::Fast, Fidelity::Predicted] {
+            assert_eq!(Fidelity::parse(f.wire()), Some(f));
+            assert_eq!(Fidelity::parse(&f.wire().to_ascii_uppercase()), Some(f));
+        }
+        assert_eq!(Fidelity::parse("approximate"), None);
+
+        // The same spec under different fidelities must never alias —
+        // a predicted answer silently served as exact would be a
+        // correctness bug — while `Exact` keeps the legacy digest so
+        // every pre-fidelity cache key and journal stays valid.
+        let r = StudySpec::new("ep", "CMP").resolve().unwrap();
+        let exact = r.content_hash_with_fidelity(Fidelity::Exact);
+        let fast = r.content_hash_with_fidelity(Fidelity::Fast);
+        let predicted = r.content_hash_with_fidelity(Fidelity::Predicted);
+        assert_eq!(exact, r.content_hash(), "exact must not perturb the key");
+        assert_ne!(exact, predicted);
+        assert_ne!(exact, fast);
+        assert_ne!(fast, predicted, "fast and predicted answers differ too");
+
+        // Journal replay: an exact and a predicted record for the same
+        // spec coexist under their distinct keys and both survive a
+        // reopen intact.
+        let dir = std::env::temp_dir().join("paxsim_hash_fidelity_replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("results.jsonl");
+        let side = |tag: u64| {
+            vec![SideRecord {
+                bench: "ep".into(),
+                cycles: Summary::of(&[tag as f64]),
+                speedup: Summary::of(&[1.0]),
+                counters: Counters {
+                    instructions: tag,
+                    ..Counters::default()
+                },
+            }]
+        };
+        {
+            let j = Journal::open(&path).unwrap();
+            j.record(&format!("serve|{exact}"), side(1)).unwrap();
+            j.record(&format!("serve|{predicted}"), side(2)).unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        let exact_rec = j.lookup(&format!("serve|{exact}")).unwrap();
+        let predicted_rec = j.lookup(&format!("serve|{predicted}")).unwrap();
+        assert_eq!(exact_rec.sides[0].counters.instructions, 1);
+        assert_eq!(predicted_rec.sides[0].counters.instructions, 2);
     }
 
     #[test]

@@ -184,6 +184,156 @@ pub fn sampled(sample_every: usize, cfg_i: usize, linear: usize) -> bool {
     sample_every > 0 && (cfg_i == 0 || linear.is_multiple_of(sample_every))
 }
 
+// ---------------------------------------------------------------------------
+// Prediction auditor: measured fidelity for the analytical tier.
+// ---------------------------------------------------------------------------
+
+/// One measured prediction-vs-engine error for one metric, against the
+/// bound the prediction *declared*. `relative` and `bound` are
+/// dimensionless (relative error for cycle-scale metrics, absolute
+/// difference for rates — the caller picks, the auditor only compares).
+#[derive(Debug, Clone, Copy)]
+pub struct MetricError {
+    pub metric: &'static str,
+    pub relative: f64,
+    pub bound: f64,
+}
+
+/// One audit that found a prediction outside its declared bound.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditEvent {
+    pub kernel: String,
+    pub config: String,
+    pub metric: String,
+    pub relative: f64,
+    pub bound: f64,
+}
+
+/// Sentinel for the analytical prediction tier, mirroring
+/// [`DriftSentinel`]'s quarantine discipline: a deterministic sample of
+/// predicted answers is re-run on the cycle engine, the measured relative
+/// error is published, and any (kernel, config-class) pair whose error
+/// exceeds the bound its prediction declared is quarantined — every
+/// later predicted-fidelity request for that pair silently falls back to
+/// the exact engine.
+///
+/// The auditor is deliberately ignorant of *how* predictions are made:
+/// it sees opaque pair keys and [`MetricError`]s, so the model can evolve
+/// without touching the enforcement mechanism. Sampling is per pair and
+/// deterministic — the **first** cold prediction of a pair is always
+/// audited (a systematically miscalibrated pair is caught before a
+/// second predicted answer ships), then every `sample_every`-th after
+/// that (`0` audits only the first).
+#[derive(Default)]
+pub struct PredictAuditor {
+    sample_every: usize,
+    /// Cold predicted computations seen, per pair key.
+    served: Mutex<std::collections::BTreeMap<u64, u64>>,
+    quarantined: Mutex<BTreeSet<u64>>,
+    events: Mutex<Vec<AuditEvent>>,
+    /// Measured relative wall-clock errors, for the `predict_error_p95`
+    /// gauge.
+    wall_errors: Mutex<Vec<f64>>,
+    audits: AtomicUsize,
+    fallbacks: AtomicUsize,
+}
+
+impl PredictAuditor {
+    pub fn new(sample_every: usize) -> Self {
+        Self {
+            sample_every,
+            ..Self::default()
+        }
+    }
+
+    /// The opaque audit key of a (kernel, config, class) triple.
+    pub fn pair_key(kernel: &str, config: &str, class: &str) -> u64 {
+        crate::hash::fnv1a(format!("{kernel}|{config}|{class}").as_bytes())
+    }
+
+    /// Is this pair's predictor quarantined (predictions must fall back
+    /// to the exact engine)?
+    pub fn is_quarantined(&self, pair: u64) -> bool {
+        lock(&self.quarantined).contains(&pair)
+    }
+
+    /// Record one cold predicted computation of `pair` and decide whether
+    /// it must be audited: always the pair's first, then every
+    /// `sample_every`-th.
+    pub fn should_audit(&self, pair: u64) -> bool {
+        let mut served = lock(&self.served);
+        let n = served.entry(pair).or_insert(0);
+        let audit =
+            *n == 0 || (self.sample_every > 0 && n.is_multiple_of(self.sample_every as u64));
+        *n += 1;
+        audit
+    }
+
+    /// Record one completed audit. Any metric beyond its declared bound
+    /// quarantines the pair and logs an [`AuditEvent`] per exceeded
+    /// metric; returns whether the prediction held its bounds.
+    pub fn record(&self, pair: u64, kernel: &str, config: &str, errors: &[MetricError]) -> bool {
+        self.audits.fetch_add(1, Ordering::Relaxed);
+        if let Some(wall) = errors.iter().find(|e| e.metric == "wall") {
+            lock(&self.wall_errors).push(wall.relative);
+        }
+        let exceeded: Vec<&MetricError> = errors.iter().filter(|e| e.relative > e.bound).collect();
+        if exceeded.is_empty() {
+            return true;
+        }
+        lock(&self.quarantined).insert(pair);
+        let mut events = lock(&self.events);
+        for e in exceeded {
+            events.push(AuditEvent {
+                kernel: kernel.to_string(),
+                config: config.to_string(),
+                metric: e.metric.to_string(),
+                relative: e.relative,
+                bound: e.bound,
+            });
+        }
+        false
+    }
+
+    /// Count one predicted-fidelity request served by the exact engine
+    /// because its pair is quarantined.
+    pub fn record_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Audits performed.
+    pub fn audits(&self) -> usize {
+        self.audits.load(Ordering::Relaxed)
+    }
+
+    /// Predicted requests served exact because of a quarantine.
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Quarantined pairs right now.
+    pub fn quarantined_pairs(&self) -> usize {
+        lock(&self.quarantined).len()
+    }
+
+    /// Out-of-bound audit events observed so far.
+    pub fn events(&self) -> Vec<AuditEvent> {
+        lock(&self.events).clone()
+    }
+
+    /// p95 of the measured relative wall-clock errors (`None` before the
+    /// first audit).
+    pub fn error_p95(&self) -> Option<f64> {
+        let mut errs = lock(&self.wall_errors).clone();
+        if errs.is_empty() {
+            return None;
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("audit errors are finite"));
+        let idx = ((errs.len() as f64) * 0.95).ceil() as usize;
+        Some(errs[idx.saturating_sub(1).min(errs.len() - 1)])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +400,73 @@ mod tests {
         assert!(out.wall_cycles > 0);
         assert_eq!(s.checks(), 0);
         assert_eq!(s.fallbacks(), 0);
+    }
+
+    #[test]
+    fn auditor_samples_first_then_every_nth() {
+        let a = PredictAuditor::new(4);
+        let pair = PredictAuditor::pair_key("cg", "CMP", "T");
+        assert!(a.should_audit(pair), "first prediction always audited");
+        assert!(!a.should_audit(pair));
+        assert!(!a.should_audit(pair));
+        assert!(!a.should_audit(pair));
+        assert!(a.should_audit(pair), "every 4th after that");
+        // A different pair starts its own sequence.
+        let other = PredictAuditor::pair_key("ep", "CMP", "T");
+        assert_ne!(pair, other);
+        assert!(a.should_audit(other));
+        // sample_every = 0: first only.
+        let once = PredictAuditor::new(0);
+        assert!(once.should_audit(pair));
+        for _ in 0..16 {
+            assert!(!once.should_audit(pair));
+        }
+    }
+
+    #[test]
+    fn auditor_quarantines_out_of_bound_pairs() {
+        let a = PredictAuditor::new(1);
+        let pair = PredictAuditor::pair_key("mg", "Serial", "T");
+        let ok = a.record(
+            pair,
+            "mg",
+            "Serial",
+            &[MetricError {
+                metric: "wall",
+                relative: 0.10,
+                bound: 0.25,
+            }],
+        );
+        assert!(ok);
+        assert!(!a.is_quarantined(pair));
+        assert_eq!(a.audits(), 1);
+        assert_eq!(a.error_p95(), Some(0.10));
+        let ok = a.record(
+            pair,
+            "mg",
+            "Serial",
+            &[
+                MetricError {
+                    metric: "wall",
+                    relative: 0.60,
+                    bound: 0.25,
+                },
+                MetricError {
+                    metric: "l1d_miss_rate",
+                    relative: 0.01,
+                    bound: 0.10,
+                },
+            ],
+        );
+        assert!(!ok, "wall beyond its bound must fail the audit");
+        assert!(a.is_quarantined(pair));
+        assert_eq!(a.quarantined_pairs(), 1);
+        let events = a.events();
+        assert_eq!(events.len(), 1, "only the exceeded metric is an event");
+        assert_eq!(events[0].metric, "wall");
+        assert_eq!(a.error_p95(), Some(0.60));
+        a.record_fallback();
+        assert_eq!(a.fallbacks(), 1);
     }
 
     #[test]

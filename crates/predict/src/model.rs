@@ -1,0 +1,535 @@
+//! Analytical cache/CPI model: reuse CDFs through the memory hierarchy.
+//!
+//! The model maps each thread's reuse-distance CDF through the configured
+//! cache hierarchy to expected miss counts, then composes per-thread cycle
+//! estimates from the same cost constants the cycle engine uses
+//! (`MachineConfig`): issue throughput (halved-width SMT partitioning),
+//! the shared FP unit, L2/memory latencies overlapped by the per-context
+//! MLP budget (dependent loads do not overlap), a stream-prefetcher
+//! coverage term for unit-stride traffic, branch-flush and barrier costs,
+//! and roofline-style bus/memory-controller bandwidth ceilings per chip.
+//!
+//! A region's predicted wall time is `max(slowest thread, chip bus
+//! occupancy, memory-controller occupancy) + barrier`; the program is the
+//! occurrence-weighted sum over unique regions, so the whole prediction is
+//! `O(unique regions × threads × buckets)` — microseconds, against the
+//! engine's milliseconds-to-seconds.
+//!
+//! Every prediction carries [`ErrorBounds`]: the bound the serving tier
+//! *declares* to clients and the sentinel auditor *enforces* by rerunning
+//! sampled predictions on the cycle engine (DESIGN.md §15).
+
+use paxsim_machine::config::MachineConfig;
+use paxsim_machine::counters::Counters;
+use paxsim_machine::topology::Lcpu;
+use paxsim_machine::TPC;
+
+use crate::profile::{ProgramProfile, RegionProfile};
+
+/// Declared relative error bounds per metric (dimensionless fractions).
+/// `wall` is the bound the CI gate and the sentinel auditor enforce; the
+/// derived-metric bounds are looser because small denominators amplify
+/// relative error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBounds {
+    /// Relative wall-clock error bound.
+    pub wall: f64,
+    /// Relative CPI error bound.
+    pub cpi: f64,
+    /// Absolute L1D/L2 miss-rate error bound (rates live in [0, 1]).
+    pub miss_rate: f64,
+    /// Absolute stall-fraction error bound.
+    pub stall: f64,
+}
+
+impl Default for ErrorBounds {
+    fn default() -> Self {
+        Self {
+            wall: 0.25,
+            cpi: 0.40,
+            miss_rate: 0.10,
+            stall: 0.25,
+        }
+    }
+}
+
+/// Tunable model constants, calibrated once against the cycle engine on
+/// the CG/EP/MG seeds (the `fidelity_gate` test pins the calibration).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParams {
+    /// Effective-capacity fraction of a set-associative LRU cache relative
+    /// to fully-associative (set-conflict correction).
+    pub assoc_factor: f64,
+    /// Assumed branch misprediction rate (NAS loop branches predict well).
+    pub bp_miss_rate: f64,
+    /// Peak fraction of unit-stride misses the stream prefetcher covers.
+    pub pf_coverage: f64,
+    /// Declared error bounds attached to every prediction.
+    pub bounds: ErrorBounds,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        Self {
+            assoc_factor: 0.85,
+            bp_miss_rate: 0.07,
+            pf_coverage: 0.8,
+            bounds: ErrorBounds::default(),
+        }
+    }
+}
+
+/// An analytical prediction of one simulation point. All cycle quantities
+/// are expected values (f64); `counters` is a synthetic counter block
+/// consistent with the predicted rates so the standard
+/// [`Counters::metrics`] derivations apply unchanged.
+#[derive(Debug, Clone)]
+pub struct Predicted {
+    /// Predicted wall-clock cycles until the last thread finishes.
+    pub wall_cycles: f64,
+    /// Predicted cycles-per-instruction over all threads.
+    pub cpi: f64,
+    /// Predicted L1D miss rate (misses / accesses).
+    pub l1d_miss_rate: f64,
+    /// Predicted L2 miss rate (misses / L2 accesses).
+    pub l2_miss_rate: f64,
+    /// Predicted hardware-stall fraction of active cycles.
+    pub stall_frac: f64,
+    /// Synthetic machine-wide counters matching the predicted rates.
+    pub counters: Counters,
+    /// The bounds declared for this prediction.
+    pub bounds: ErrorBounds,
+}
+
+/// Is `placement[j]` sharing its physical core with another context in the
+/// placement (SMT co-residency)?
+fn co_resident(placement: &[Lcpu], j: usize) -> bool {
+    let me = placement[j];
+    placement
+        .iter()
+        .enumerate()
+        .any(|(k, c)| k != j && c.chip == me.chip && c.core == me.core)
+}
+
+/// Index of the SMT sibling's thread in the placement, if co-resident.
+fn sibling_index(placement: &[Lcpu], j: usize) -> Option<usize> {
+    let me = placement[j];
+    placement
+        .iter()
+        .position(|c| c.chip == me.chip && c.core == me.core && c.ctx != me.ctx)
+}
+
+#[derive(Default, Clone, Copy)]
+struct RegionTotals {
+    wall: f64,
+    issue_cyc: f64,
+    stall_mem_cyc: f64,
+    stall_br_cyc: f64,
+    sync_cyc: f64,
+    uops: u64,
+    mem_ops: u64,
+    l1_miss: f64,
+    l2_miss: f64,
+    branches: u64,
+    bus_read: f64,
+    bus_prefetch: f64,
+    bus_write: f64,
+    shared_lines: u64,
+}
+
+/// Expected misses for a *warm* execution: the region has run before (or
+/// its data was touched by a sibling region), so first-touch references
+/// are not compulsory misses — they are reuses at the program's
+/// working-set distance (`warm_dist` lines). Compulsory misses proper are
+/// charged once per program by [`predict_program_with`].
+fn warm_misses_at(t: &crate::profile::ThreadProfile, cap: f64, warm_dist: f64) -> f64 {
+    let m = t.misses_at(cap) - t.cold as f64;
+    if warm_dist >= cap {
+        m + t.cold as f64
+    } else {
+        m
+    }
+}
+
+/// Predict one warm region execution on `placement`.
+fn predict_region(
+    region: &RegionProfile,
+    cfg: &MachineConfig,
+    placement: &[Lcpu],
+    params: &ModelParams,
+    warm_dist: f64,
+) -> RegionTotals {
+    let nt = region.threads.len().min(placement.len());
+    let solo_tpu = (TPC / cfg.issue_width).max(1) as f64;
+    let lat_mem = (cfg.l2_lat + cfg.fsb_lat + cfg.mem_lat) as f64;
+    let (lat_l3, l3_lines) = match cfg.l3 {
+        Some(l3) => (l3.lat as f64, (l3.geom.bytes / l3.geom.line) as f64),
+        None => (0.0, 0.0),
+    };
+
+    let mut out = RegionTotals::default();
+    let mut chip_bus = std::collections::BTreeMap::<u8, f64>::new();
+    let mut memctrl = 0.0_f64;
+    let mut slowest = 0.0_f64;
+
+    for j in 0..nt {
+        let t = &region.threads[j];
+        if t.mem_ops == 0 && t.uops == 0 {
+            continue;
+        }
+        let sibling = co_resident(placement, j);
+        let share = if sibling { 2.0 } else { 1.0 };
+
+        // Core time: issue through the (possibly SMT-partitioned) front
+        // end overlapped with the shared FP unit — the longer pole wins —
+        // plus dependent loads, which serialize on the (pipeline-folded)
+        // L1 hit latency: a pointer chase issues one load per `l1_lat`.
+        let tpu = if sibling {
+            cfg.smt_tpu as f64
+        } else {
+            solo_tpu
+        };
+        let issue_cyc = t.uops as f64 * tpu / TPC as f64;
+        let fp_contention = match sibling_index(placement, j) {
+            Some(s) if s < region.threads.len() && region.threads[s].flops > 0 => 2.0,
+            _ => 1.0,
+        };
+        let fp_cyc = t.flops as f64 * cfg.fp_tpu as f64 * fp_contention / TPC as f64;
+        let core_cyc = issue_cyc.max(fp_cyc) + t.dep_loads as f64 * cfg.l1_lat as f64;
+
+        // Cache misses off the reuse CDF. SMT co-residency halves each
+        // sibling's effective share of the per-core L1D/L2.
+        let l1_cap = (cfg.l1d.bytes / cfg.l1d.line) as f64 / share * params.assoc_factor;
+        let l2_cap = (cfg.l2.bytes / cfg.l2.line) as f64 / share * params.assoc_factor;
+        let l1_miss = warm_misses_at(t, l1_cap, warm_dist);
+        let mut l2_miss = warm_misses_at(t, l2_cap, warm_dist).min(l1_miss);
+        if cfg.l3.is_some() {
+            // Chip-shared L3: capacity divided among this chip's active cores.
+            let chip = placement[j].chip;
+            let cores_on_chip = {
+                let mut cores: Vec<(u8, u8)> = placement[..nt]
+                    .iter()
+                    .filter(|c| c.chip == chip)
+                    .map(|c| (c.chip, c.core))
+                    .collect();
+                cores.sort_unstable();
+                cores.dedup();
+                cores.len().max(1) as f64
+            };
+            let l3_cap = l3_lines / cores_on_chip * params.assoc_factor;
+            let l3_miss = warm_misses_at(t, l3_cap, warm_dist).min(l2_miss);
+            // L2 misses that hit L3 pay the (cheaper) L3 latency.
+            let l3_hits = l2_miss - l3_miss;
+            out.stall_mem_cyc += l3_hits * lat_l3;
+            l2_miss = l3_miss;
+        }
+
+        // Memory stall. Calibrated against the cycle engine: L2 *hits*
+        // are effectively free (hidden behind issue by the MLP budget and
+        // the scheduler window), while L2 misses pay the full memory
+        // latency except for the fraction the stream prefetcher covers
+        // (forward streams, detected over first-touch lines).
+        let covered = if cfg.prefetch {
+            (t.prefetchable_frac() * params.pf_coverage).min(0.95)
+        } else {
+            0.0
+        };
+        let demand_miss = l2_miss * (1.0 - covered);
+        let stall_mem = demand_miss * lat_mem;
+        let stall_br = t.branches as f64 * params.bp_miss_rate * cfg.bp_penalty as f64;
+
+        let thread_cyc = core_cyc + stall_mem + stall_br;
+        slowest = slowest.max(thread_cyc);
+
+        // Bandwidth ceilings: every L2 miss crosses the chip's FSB; the
+        // store share adds write occupancy; all lines meet at the shared
+        // memory controller.
+        let load_frac = if t.mem_ops == 0 {
+            0.0
+        } else {
+            t.loads as f64 / t.mem_ops as f64
+        };
+        let store_frac = 1.0 - load_frac;
+        let write_lines = l2_miss * store_frac;
+        let chip = placement[j].chip;
+        *chip_bus.entry(chip).or_insert(0.0) +=
+            l2_miss * cfg.fsb_read_cpl as f64 + write_lines * cfg.fsb_write_cpl as f64;
+        memctrl += l2_miss * cfg.mem_read_cpl as f64 + write_lines * cfg.mem_write_cpl as f64;
+
+        out.issue_cyc += core_cyc;
+        out.stall_mem_cyc += stall_mem;
+        out.stall_br_cyc += stall_br;
+        out.uops += t.uops;
+        out.mem_ops += t.mem_ops;
+        out.l1_miss += l1_miss;
+        out.l2_miss += l2_miss;
+        out.branches += t.branches;
+        out.bus_read += demand_miss;
+        out.bus_prefetch += l2_miss - demand_miss;
+        out.bus_write += write_lines;
+    }
+
+    let bus_ceiling = chip_bus.values().fold(0.0_f64, |a, &b| a.max(b));
+    let barrier = if nt > 1 { cfg.barrier_lat as f64 } else { 0.0 };
+    let compute = slowest.max(bus_ceiling).max(memctrl);
+    // Synchronization wait: faster threads idle until the slowest arrives.
+    if nt > 1 {
+        let sum_thread: f64 = out.issue_cyc + out.stall_mem_cyc + out.stall_br_cyc;
+        out.sync_cyc += (compute * nt as f64 - sum_thread).max(0.0) + barrier * nt as f64;
+    }
+    out.wall = compute + barrier;
+    out.shared_lines = region.shared_lines;
+    out
+}
+
+/// Predict a whole program on `placement` under `cfg`.
+///
+/// Deterministic: identical profiles, config and placement give an
+/// identical prediction. Cost is linear in *unique* regions — interned
+/// repeats are one multiply.
+pub fn predict_program_with(
+    profile: &ProgramProfile,
+    cfg: &MachineConfig,
+    placement: &[Lcpu],
+    params: &ModelParams,
+) -> Predicted {
+    let mut total = RegionTotals::default();
+    let warm_dist = profile.union_lines as f64;
+    for (region, count) in &profile.regions {
+        let r = predict_region(region, cfg, placement, params, warm_dist);
+        let n = *count as f64;
+        total.wall += r.wall * n;
+        total.issue_cyc += r.issue_cyc * n;
+        total.stall_mem_cyc += r.stall_mem_cyc * n;
+        total.stall_br_cyc += r.stall_br_cyc * n;
+        total.sync_cyc += r.sync_cyc * n;
+        total.uops += r.uops * count;
+        total.mem_ops += r.mem_ops * count;
+        total.l1_miss += r.l1_miss * n;
+        total.l2_miss += r.l2_miss * n;
+        total.branches += r.branches * count;
+        total.bus_read += r.bus_read * n;
+        total.bus_prefetch += r.bus_prefetch * n;
+        total.bus_write += r.bus_write * n;
+        total.shared_lines += r.shared_lines * count;
+    }
+
+    // One-time compulsory misses: the program's working set is fetched
+    // from memory exactly once (every later touch is a warm reuse above).
+    // First touches spread across the active threads and are subject to
+    // the same prefetch coverage and bandwidth ceilings.
+    {
+        let nt = placement.len().max(1) as f64;
+        let lat_mem = (cfg.l2_lat + cfg.fsb_lat + cfg.mem_lat) as f64;
+        let cold = profile.union_lines as f64;
+        // Aggregate prefetchability of the first touches themselves.
+        let (mut cold_seq_w, mut cold_w) = (0.0_f64, 0.0_f64);
+        for (region, _) in &profile.regions {
+            for t in &region.threads {
+                cold_seq_w += t.cold_seq as f64;
+                cold_w += t.cold as f64;
+            }
+        }
+        let seq = if cold_w == 0.0 {
+            0.0
+        } else {
+            cold_seq_w / cold_w
+        };
+        let covered = if cfg.prefetch {
+            (seq * params.pf_coverage).min(0.95)
+        } else {
+            0.0
+        };
+        let chips = {
+            let mut c: Vec<u8> = placement.iter().map(|l| l.chip).collect();
+            c.sort_unstable();
+            c.dedup();
+            c.len().max(1) as f64
+        };
+        let cold_lat = cold * lat_mem * (1.0 - covered) / nt;
+        let cold_bus = cold * cfg.fsb_read_cpl as f64 / chips;
+        let cold_ctrl = cold * cfg.mem_read_cpl as f64;
+        total.wall += cold_lat.max(cold_bus).max(cold_ctrl);
+        total.stall_mem_cyc += cold * lat_mem * (1.0 - covered);
+        total.l1_miss += cold;
+        total.l2_miss += cold;
+        total.bus_read += cold * (1.0 - covered);
+        total.bus_prefetch += cold * covered;
+    }
+
+    let active = total.issue_cyc + total.stall_mem_cyc + total.stall_br_cyc;
+    let cpi = if total.uops == 0 {
+        0.0
+    } else {
+        active / total.uops as f64
+    };
+    let l1d_miss_rate = if total.mem_ops == 0 {
+        0.0
+    } else {
+        total.l1_miss / total.mem_ops as f64
+    };
+    let l2_miss_rate = if total.l1_miss <= 0.0 {
+        0.0
+    } else {
+        total.l2_miss / total.l1_miss
+    };
+    let stall = total.stall_mem_cyc + total.stall_br_cyc;
+    let stall_frac = if active <= 0.0 { 0.0 } else { stall / active };
+
+    let ticks = |cycles: f64| -> u64 { (cycles.max(0.0) * TPC as f64).round() as u64 };
+    let counters = Counters {
+        instructions: total.uops,
+        l1d_access: total.mem_ops,
+        l1d_miss: total.l1_miss.round() as u64,
+        l2_access: total.l1_miss.round() as u64,
+        l2_miss: total.l2_miss.round() as u64,
+        branches: total.branches,
+        branch_mispredict: (total.branches as f64 * params.bp_miss_rate).round() as u64,
+        coherence_invalidations: total.shared_lines,
+        bus_demand_read: total.bus_read.round() as u64,
+        bus_write: total.bus_write.round() as u64,
+        bus_prefetch: total.bus_prefetch.round() as u64,
+        ticks_issue: ticks(total.issue_cyc),
+        ticks_stall_mem: ticks(total.stall_mem_cyc),
+        ticks_stall_branch: ticks(total.stall_br_cyc),
+        ticks_sync: ticks(total.sync_cyc),
+        ..Counters::default()
+    };
+
+    Predicted {
+        wall_cycles: total.wall,
+        cpi,
+        l1d_miss_rate,
+        l2_miss_rate,
+        stall_frac,
+        counters,
+        bounds: params.bounds,
+    }
+}
+
+/// [`predict_program_with`] under the calibrated default parameters.
+pub fn predict_program(
+    profile: &ProgramProfile,
+    cfg: &MachineConfig,
+    placement: &[Lcpu],
+) -> Predicted {
+    predict_program_with(profile, cfg, placement, &ModelParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile_ops, ProgramProfile, RegionProfile};
+    use paxsim_machine::op::Op;
+    use std::sync::Arc;
+
+    fn flops_profile(n: u32) -> RegionProfile {
+        RegionProfile::new(
+            "fp".into(),
+            vec![profile_ops([Op::Flops { n }].into_iter(), 64)],
+        )
+    }
+
+    fn program(regions: Vec<(RegionProfile, u64)>, nthreads: usize) -> ProgramProfile {
+        let regions: Vec<_> = regions.into_iter().map(|(r, n)| (Arc::new(r), n)).collect();
+        let mut union: Vec<u64> = regions
+            .iter()
+            .flat_map(|(r, _): &(Arc<RegionProfile>, u64)| r.threads.iter())
+            .flat_map(|t| t.lines.iter().copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        ProgramProfile {
+            name: "t".into(),
+            nthreads,
+            regions,
+            union_lines: union.len() as u64,
+        }
+    }
+
+    #[test]
+    fn fp_bound_region_is_fp_unit_limited() {
+        let cfg = MachineConfig::paxville_smp();
+        let p = program(vec![(flops_profile(12_000), 1)], 1);
+        let pred = predict_program(&p, &cfg, &[Lcpu::B0]);
+        // 12000 flops * 10 ticks / 12 ticks-per-cycle = 10000 cycles.
+        assert!(
+            (pred.wall_cycles - 10_000.0).abs() < 1.0,
+            "wall {}",
+            pred.wall_cycles
+        );
+        assert!(pred.cpi > 0.0);
+    }
+
+    #[test]
+    fn smt_co_residency_slows_issue() {
+        let cfg = MachineConfig::paxville_smp();
+        let two = |a, b| {
+            let r = RegionProfile::new(
+                "r".into(),
+                vec![
+                    profile_ops([Op::Flops { n: 6_000 }].into_iter(), 64),
+                    profile_ops([Op::Flops { n: 6_000 }].into_iter(), 64),
+                ],
+            );
+            let p = program(vec![(r, 1)], 2);
+            predict_program(&p, &cfg, &[a, b])
+        };
+        let smt = two(Lcpu::A0, Lcpu::A1); // same core, both contexts
+        let cmp = two(Lcpu::B0, Lcpu::B1); // two cores, no co-residency
+        assert!(
+            smt.wall_cycles > cmp.wall_cycles,
+            "SMT {} vs CMP {}",
+            smt.wall_cycles,
+            cmp.wall_cycles
+        );
+    }
+
+    #[test]
+    fn capacity_misses_cost_memory_latency() {
+        let cfg = MachineConfig::paxville_smp();
+        // A footprint far beyond L2 with long reuse distances and a
+        // prefetcher-hostile (pseudo-random) access order: two sweeps
+        // over 64k lines (4 MB) — every second-pass reuse is ~64k away.
+        let mut ops = Vec::new();
+        for pass in 0..2 {
+            let _ = pass;
+            for i in 0..65_536u64 {
+                ops.push(Op::LoadDep {
+                    addr: (i.wrapping_mul(8191) % 65_536) * 64,
+                });
+            }
+        }
+        let r = RegionProfile::new("mem".into(), vec![profile_ops(ops.into_iter(), 64)]);
+        let p = program(vec![(r, 1)], 1);
+        let pred = predict_program(&p, &cfg, &[Lcpu::B0]);
+        // All second-pass references miss L2, so wall must be dominated
+        // by memory latency, not issue.
+        assert!(
+            pred.l2_miss_rate > 0.9,
+            "l2 miss rate {}",
+            pred.l2_miss_rate
+        );
+        assert!(pred.stall_frac > 0.5, "stall frac {}", pred.stall_frac);
+        assert!(pred.counters.metrics().cpi > 1.0);
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let cfg = MachineConfig::paxville_smp();
+        let mk = || {
+            let ops: Vec<Op> = (0..4096u64)
+                .map(|i| Op::Load {
+                    addr: (i % 512) * 64,
+                })
+                .collect();
+            let r = RegionProfile::new("d".into(), vec![profile_ops(ops.into_iter(), 64)]);
+            let p = program(vec![(r, 3)], 1);
+            predict_program(&p, &cfg, &[Lcpu::B0])
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.wall_cycles.to_bits(), b.wall_cycles.to_bits());
+        assert_eq!(a.counters, b.counters);
+    }
+}

@@ -1,0 +1,93 @@
+//! CI fidelity gate: the analytical model's relative wall-clock error
+//! against the cycle engine must stay within the declared bound
+//! (p95 <= 25%) on the CG/EP/MG seeds across the paper's configurations.
+//!
+//! This is the calibration pin for `ModelParams::default()`: if a model
+//! or engine change moves the error past the declared bound, this test —
+//! and the serve-side sentinel auditor — both catch it.
+
+use paxsim_core::configs::{all_configs, HwConfig};
+use paxsim_core::hash::StudySpec;
+use paxsim_core::single::run_trials_with;
+use paxsim_core::store::{TraceKey, TraceStore};
+use paxsim_machine::sim::simulate;
+use paxsim_predict::{predict_program, profile_program};
+
+struct Point {
+    kernel: &'static str,
+    config: String,
+    exact: f64,
+    predicted: f64,
+}
+
+impl Point {
+    fn rel_err(&self) -> f64 {
+        (self.predicted - self.exact).abs() / self.exact
+    }
+}
+
+fn measure(store: &TraceStore, kernel: &'static str, config: &HwConfig) -> Point {
+    let spec = StudySpec::new(kernel, &config.name);
+    let resolved = spec.resolve().expect("gate spec resolves");
+    let opts = resolved.options();
+    let trace = store
+        .try_get(TraceKey {
+            kernel: resolved.kernel,
+            class: resolved.class,
+            nthreads: resolved.config.threads,
+            schedule: resolved.schedule,
+        })
+        .expect("trace builds");
+    let (cycles, _) = run_trials_with(&opts, &trace, &resolved.config, &|jobs| {
+        simulate(&opts.machine, jobs)
+    });
+    let exact = cycles.iter().sum::<f64>() / cycles.len() as f64;
+
+    let profile = profile_program(&trace, opts.machine.l1d.line as u64);
+    let predicted = predict_program(&profile, &opts.machine, &resolved.config.contexts);
+
+    Point {
+        kernel,
+        config: config.name.clone(),
+        exact,
+        predicted: predicted.wall_cycles,
+    }
+}
+
+fn p95(sorted: &[f64]) -> f64 {
+    let idx = ((sorted.len() as f64) * 0.95).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[test]
+fn wall_clock_error_within_declared_bound() {
+    let store = TraceStore::new();
+    let mut points = Vec::new();
+    for kernel in ["cg", "ep", "mg"] {
+        for config in all_configs() {
+            points.push(measure(&store, kernel, &config));
+        }
+    }
+    let mut errs: Vec<f64> = points.iter().map(Point::rel_err).collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for p in &points {
+        eprintln!(
+            "fidelity-gate {:>2} {:<12} exact {:>14.0} predicted {:>14.0} rel_err {:>6.3}",
+            p.kernel,
+            p.config,
+            p.exact,
+            p.predicted,
+            p.rel_err()
+        );
+    }
+    let p95_err = p95(&errs);
+    eprintln!(
+        "fidelity-gate p95 relative wall error {:.3} over {} points",
+        p95_err,
+        errs.len()
+    );
+    assert!(
+        p95_err <= 0.25,
+        "p95 relative wall-clock error {p95_err:.3} exceeds the declared 25% bound"
+    );
+}

@@ -19,6 +19,14 @@
 //!    total requests, measuring sustained coalesced requests/sec with
 //!    p50/p99 latency.
 //!
+//! Then a **predicted-tier** pass: the same grid at
+//! `fidelity=predicted`, cold (every pair's first prediction is
+//! sentinel-audited against the cached exact records) then hot. The
+//! pass asserts the tier's contract — predictions never enter the
+//! batcher, and model evaluation stays under 100 µs server-side — and
+//! records wire latency plus server-side evaluation cost alongside the
+//! exact tier's numbers in `BENCH_serve.json`.
+//!
 //! With `--chaos` a third phase soaks the server under an injected fault
 //! plan — connection kills every ~97 dispatched frames plus worker
 //! panics on ~1% of jobs — using a **self-healing client**: every
@@ -373,6 +381,55 @@ fn main() {
         latencies.len()
     );
 
+    // Phase 2.5: predicted tier. The same grid at fidelity=predicted:
+    // cold predictions (each pair's first is sentinel-audited against
+    // the already-cached exact records), then a sustained hot run. The
+    // tier's contract is asserted here: it never batches, and model
+    // evaluation stays under 100 µs server-side.
+    let pred_lines: Vec<String> = lines
+        .iter()
+        .map(|l| l.replacen('}', r#","fidelity":"predicted"}"#, 1))
+        .collect();
+    let batches_before = service.batches();
+    let pred_cold_ms = cold_phase(&addr, &pred_lines);
+    assert_eq!(
+        service.batches(),
+        batches_before,
+        "the predicted tier must never enter the batcher"
+    );
+    let pred_requests = if quick { 2_000 } else { 20_000 };
+    let (pred_lat, pred_wall) = hot_phase(&addr, &pred_lines, connections, pred_requests);
+    let pred_rps = pred_lat.len() as f64 / pred_wall;
+    let pred_p50 = percentile(&pred_lat, 0.5);
+    let pred_p99 = percentile(&pred_lat, 0.99);
+    let eval = service.predict_latencies_ms();
+    assert!(
+        !eval.is_empty(),
+        "cold predictions must have evaluated the model"
+    );
+    let eval_mean = eval.iter().sum::<f64>() / eval.len() as f64;
+    let eval_max = eval.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        eval_mean < 0.1,
+        "predicted answers must cost < 100 µs server-side (mean {:.1} µs over {} evals)",
+        eval_mean * 1e3,
+        eval.len()
+    );
+    let audits = service.predict_auditor().audits();
+    let quarantined = service.predict_auditor().quarantined_pairs();
+    let fallbacks = service.predict_auditor().fallbacks();
+    let predict_error_p95 = service.predict_auditor().error_p95();
+    eprintln!(
+        "loadgen: predicted cold grid in {pred_cold_ms:.1} ms, hot {} requests in {pred_wall:.2} s \
+         — {pred_rps:.0} req/s, p50 {pred_p50:.3} ms wire, model eval mean {:.1} µs / max {:.1} µs, \
+         {audits} audits, {quarantined} pairs quarantined, error p95 {}",
+        pred_lat.len(),
+        eval_mean * 1e3,
+        eval_max * 1e3,
+        predict_error_p95.map_or("n/a".to_string(), |e| format!("{e:.3}")),
+    );
+    assert!(audits > 0, "every pair's first prediction must be audited");
+
     // Phase 3 (optional): chaos soak under an injected fault plan.
     drop(quiesced);
     let chaos_report = if chaos {
@@ -442,14 +499,12 @@ fn main() {
     // absorb exactly. The client-side count is a lower-bound cross-check
     // (a killed connection's request may or may not have been dispatched
     // before the kill, so the server count can only be >=).
-    let client_sent = (lines.len() + requests) as u64
-        + chaos_report.map_or(0, |(n, heals, ..)| (n + heals) as u64);
+    let floor = (lines.len() + requests + pred_lines.len() + pred_requests) as u64;
+    let client_sent = floor + chaos_report.map_or(0, |(n, heals, ..)| (n + heals) as u64);
     let simulate_requests = stats["simulate_requests"].as_u64().unwrap_or(0);
     assert!(
-        simulate_requests >= (lines.len() + requests) as u64 && simulate_requests <= client_sent,
-        "server simulate count {simulate_requests} outside client envelope \
-         [{}, {client_sent}]",
-        lines.len() + requests
+        simulate_requests >= floor && simulate_requests <= client_sent,
+        "server simulate count {simulate_requests} outside client envelope [{floor}, {client_sent}]"
     );
     let conserved = shard_hits + shard_misses == simulate_requests + baseline_fetches;
     eprintln!(
@@ -538,6 +593,26 @@ fn main() {
                 ("rps", Value::Float(rps)),
                 ("p50_ms", Value::Float(p50)),
                 ("p99_ms", Value::Float(p99)),
+            ]),
+        ),
+        (
+            "predicted",
+            obj(vec![
+                ("requests", Value::UInt(pred_lat.len() as u64)),
+                ("cold_wall_ms", Value::Float(pred_cold_ms)),
+                ("wall_s", Value::Float(pred_wall)),
+                ("rps", Value::Float(pred_rps)),
+                ("p50_ms", Value::Float(pred_p50)),
+                ("p99_ms", Value::Float(pred_p99)),
+                ("model_eval_mean_us", Value::Float(eval_mean * 1e3)),
+                ("model_eval_max_us", Value::Float(eval_max * 1e3)),
+                ("audits", Value::UInt(audits as u64)),
+                ("quarantined_pairs", Value::UInt(quarantined as u64)),
+                ("fallbacks", Value::UInt(fallbacks as u64)),
+                (
+                    "error_p95",
+                    predict_error_p95.map_or(Value::Null, Value::Float),
+                ),
             ]),
         ),
         (

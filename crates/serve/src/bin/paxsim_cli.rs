@@ -3,18 +3,24 @@
 //! ```text
 //! paxsim-cli (--tcp ADDR | --unix PATH) simulate --kernel K --config C
 //!            [--class T] [--trials N] [--jitter N] [--schedule S]
-//!            [--deadline-ms N] [--concurrency N] [--repeat N]
+//!            [--deadline-ms N] [--fidelity exact|fast|predicted]
+//!            [--concurrency N] [--repeat N]
 //! paxsim-cli (--tcp ADDR | --unix PATH) stats
 //! paxsim-cli (--tcp ADDR | --unix PATH) metrics
 //! paxsim-cli (--tcp ADDR | --unix PATH) health
 //! paxsim-cli (--tcp ADDR | --unix PATH) raw '<json>' [--concurrency N]
 //!            [--repeat N]
-//! common flags: [--retries N] [--retry-base-ms N]
+//! common flags: [--retries N] [--retry-base-ms N] [--pretty]
 //! ```
 //!
 //! Prints the daemon's reply line verbatim on stdout — except `metrics`,
 //! which unpacks the reply's Prometheus exposition text so the output can
-//! be piped straight to a scrape file. Exits 0 on an `"ok":true` reply,
+//! be piped straight to a scrape file, and `--pretty`, which re-renders
+//! the reply as indented JSON. Both the verbatim default and the pretty
+//! printer are **tolerant of unknown reply fields**: newer daemons stamp
+//! extra keys onto replies (`fidelity`, `error_bounds`, …) and the CLI
+//! passes them through rather than rejecting them — an old client must
+//! keep working against a new daemon. Exits 0 on an `"ok":true` reply,
 //! 1 on an error or malformed reply, 2 on usage/transport problems.
 //! Transport failures are typed, never panics: connection refused,
 //! connection closed mid-reply (EOF before the newline), and a malformed
@@ -50,12 +56,13 @@ fn usage() -> ! {
          commands:\n\
          \x20 simulate --kernel K --config C [--class T] [--trials N]\n\
          \x20          [--jitter N] [--schedule S] [--deadline-ms N]\n\
+         \x20          [--fidelity exact|fast|predicted]\n\
          \x20          [--concurrency N] [--repeat N]\n\
          \x20 stats\n\
          \x20 metrics\n\
          \x20 health\n\
          \x20 raw '<json>' [--concurrency N] [--repeat N]\n\
-         common flags: [--retries N] [--retry-base-ms N]"
+         common flags: [--retries N] [--retry-base-ms N] [--pretty]"
     );
     std::process::exit(2);
 }
@@ -334,6 +341,64 @@ fn run_load(
     });
 }
 
+/// Re-render one reply line as indented JSON, preserving key order and
+/// passing every field through — known or not. Tolerance is the point:
+/// a daemon newer than this client stamps extra keys onto replies
+/// (`fidelity`, `error_bounds`, next year's additions) and the pretty
+/// printer must show them, never reject them. Non-JSON input comes back
+/// verbatim — a transport diagnostic must not be eaten by its own
+/// formatter.
+fn pretty_reply(reply: &str) -> String {
+    match serde_json::parse(reply) {
+        Ok(v) => {
+            let mut out = String::new();
+            pretty_value(&v, 0, &mut out);
+            out
+        }
+        Err(_) => reply.to_string(),
+    }
+}
+
+fn pretty_value(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    match v {
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(
+                    &serde_json::to_string(&Value::String(k.clone()))
+                        .expect("string key renders infallibly"),
+                );
+                out.push_str(": ");
+                pretty_value(val, indent + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                pretty_value(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        scalar => {
+            out.push_str(&serde_json::to_string(scalar).expect("scalar value renders infallibly"))
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -345,6 +410,7 @@ fn main() {
     let mut repeat: usize = 1;
     let mut retries: u32 = 3;
     let mut retry_base_ms: u64 = 25;
+    let mut pretty = false;
     let value = |it: &mut dyn Iterator<Item = &String>, flag: &str| -> String {
         it.next().cloned().unwrap_or_else(|| {
             eprintln!("{flag} needs a value");
@@ -362,10 +428,11 @@ fn main() {
                 command = Some(arg.clone());
                 raw = Some(value(&mut it, "raw"));
             }
-            "--kernel" | "--config" | "--class" | "--schedule" => {
+            "--kernel" | "--config" | "--class" | "--schedule" | "--fidelity" => {
                 let key = arg.trim_start_matches("--").to_string();
                 fields.push((key, Value::String(value(&mut it, arg))));
             }
+            "--pretty" => pretty = true,
             "--concurrency" | "--repeat" | "--retries" | "--retry-base-ms" => {
                 let n: u64 = value(&mut it, arg).parse().unwrap_or_else(|_| {
                     eprintln!("{arg} needs a number");
@@ -433,6 +500,7 @@ fn main() {
                 .and_then(|v| v["prometheus"].as_str().map(str::to_string))
             {
                 Some(text) => print!("{text}"),
+                None if pretty => println!("{}", pretty_reply(&reply)),
                 None => println!("{reply}"),
             }
             std::process::exit(if ok { 0 } else { 1 });
@@ -441,5 +509,45 @@ fn main() {
             eprintln!("paxsim-cli: {conn}: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_reply_tolerates_overstuffed_replies() {
+        // A reply from a daemon far newer than this client: the four
+        // standard result fields plus a pile the client has never heard
+        // of — trailing scalars, a nested object, an array, null. The
+        // printer must render every one (no field left behind, no
+        // error), and the output must parse back to the same value.
+        let overstuffed = concat!(
+            r#"{"ok":true,"hash":"00000000deadbeef","spec":{"kernel":"ep"},"#,
+            r#""result":{"sides":[]},"fidelity":"predicted","#,
+            r#""error_bounds":{"wall":0.25,"cpi":0.4},"#,
+            r#""x_future_field":[1,2.5,"three"],"x_null":null,"x_flag":false}"#
+        );
+        let pretty = pretty_reply(overstuffed);
+        for needle in [
+            "\"fidelity\": \"predicted\"",
+            "\"error_bounds\"",
+            "\"x_future_field\"",
+            "\"x_null\": null",
+            "\"x_flag\": false",
+        ] {
+            assert!(pretty.contains(needle), "{needle} missing from:\n{pretty}");
+        }
+        assert!(pretty.lines().count() > 1, "pretty output is multi-line");
+        let reparsed = serde_json::parse(&pretty).expect("pretty output stays valid JSON");
+        let original = serde_json::parse(overstuffed).unwrap();
+        assert_eq!(
+            serde_json::to_string(&reparsed).unwrap(),
+            serde_json::to_string(&original).unwrap(),
+            "pretty-printing must preserve every field and their order"
+        );
+        // Non-JSON diagnostics pass through untouched.
+        assert_eq!(pretty_reply("not json"), "not json");
     }
 }

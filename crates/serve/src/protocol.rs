@@ -9,8 +9,15 @@
 //! {"op":"simulate","kernel":"cg","config":"HT on -4-1","class":"T",
 //!  "trials":3,"jitter":2000,"schedule":"static","deadline_ms":30000,
 //!  "machine":{…full MachineConfig…}}
+//! {"op":"simulate","kernel":"cg","config":"CMP","fidelity":"predicted"}
 //! {"op":"stats"}
 //! ```
+//!
+//! `fidelity` selects the answering tier: `exact` (default; cycle
+//! engine, byte-identical to pre-fidelity daemons), `predicted`
+//! (analytical model, microseconds, reply carries `fidelity` and
+//! `error_bounds` extras), or `fast` (cached exact if warm, else
+//! predicted).
 //!
 //! Unknown fields are rejected (a typo must not silently change the
 //! request's identity); omitted optional fields take the [`StudySpec`]
@@ -21,7 +28,7 @@
 //! `draining`, `shed`, and `quarantined`.
 
 use paxsim_core::error::{StudyError, StudyResult};
-use paxsim_core::hash::{ConfigHash, StudySpec};
+use paxsim_core::hash::{ConfigHash, Fidelity, StudySpec};
 use paxsim_core::journal::Record;
 use paxsim_machine::config::MachineConfig;
 use serde::{Serialize, Value};
@@ -34,6 +41,9 @@ pub enum Request {
         spec: Box<StudySpec>,
         /// Per-request watchdog deadline for a cache miss's computation.
         deadline_ms: Option<u64>,
+        /// How the answer may be produced (`exact` is the wire default
+        /// and keeps every pre-fidelity reply byte-identical).
+        fidelity: Fidelity,
     },
     /// Report daemon statistics.
     Stats,
@@ -117,7 +127,7 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
             for (k, _) in obj {
                 match k.as_str() {
                     "op" | "kernel" | "config" | "class" | "trials" | "jitter" | "schedule"
-                    | "machine" | "deadline_ms" => {}
+                    | "machine" | "deadline_ms" | "fidelity" => {}
                     other => return Err(bad(other, "unknown field for op=simulate")),
                 }
             }
@@ -141,9 +151,19 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
                     .map_err(|e| bad("machine", format!("not a full machine config: {e}")))?;
             }
             let deadline_ms = u64_field(&v, "deadline_ms")?;
+            let fidelity = match str_field(&v, "fidelity")? {
+                None => Fidelity::default(),
+                Some(s) => Fidelity::parse(&s).ok_or_else(|| {
+                    bad(
+                        "fidelity",
+                        format!("unknown fidelity `{s}` (exact, fast or predicted)"),
+                    )
+                })?,
+            };
             Ok(Request::Simulate {
                 spec: Box::new(spec),
                 deadline_ms,
+                fidelity,
             })
         }
         other => Err(bad("op", format!("unknown op `{other}`"))),
@@ -160,6 +180,41 @@ pub fn render_result(hash: ConfigHash, spec: &StudySpec, record: &Record) -> Str
         ("hash".to_string(), Value::String(hash.to_string())),
         ("spec".to_string(), spec.to_value()),
         ("result".to_string(), record.to_value()),
+    ]);
+    serde_json::to_string(&v).expect("value tree renders infallibly")
+}
+
+/// Render a predicted-tier reply: [`render_result`]'s payload plus the
+/// fields only this tier carries — the serving `fidelity` and the
+/// declared `error_bounds`. The extras are *appended* after the standard
+/// fields, so default-fidelity replies (which never call this) stay
+/// byte-identical to pre-fidelity daemons and tolerant clients simply see
+/// extra keys.
+pub fn render_result_predicted(
+    hash: ConfigHash,
+    spec: &StudySpec,
+    record: &Record,
+    fidelity: Fidelity,
+    bounds: &paxsim_predict::ErrorBounds,
+) -> String {
+    let v = Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("hash".to_string(), Value::String(hash.to_string())),
+        ("spec".to_string(), spec.to_value()),
+        ("result".to_string(), record.to_value()),
+        (
+            "fidelity".to_string(),
+            Value::String(fidelity.wire().to_string()),
+        ),
+        (
+            "error_bounds".to_string(),
+            Value::Object(vec![
+                ("wall".to_string(), Value::Float(bounds.wall)),
+                ("cpi".to_string(), Value::Float(bounds.cpi)),
+                ("miss_rate".to_string(), Value::Float(bounds.miss_rate)),
+                ("stall".to_string(), Value::Float(bounds.stall)),
+            ]),
+        ),
     ]);
     serde_json::to_string(&v).expect("value tree renders infallibly")
 }
@@ -197,11 +252,17 @@ mod tests {
     #[test]
     fn minimal_simulate_takes_defaults() {
         let r = parse_request(r#"{"op":"simulate","kernel":"ep","config":"CMP"}"#).unwrap();
-        let Request::Simulate { spec, deadline_ms } = r else {
+        let Request::Simulate {
+            spec,
+            deadline_ms,
+            fidelity,
+        } = r
+        else {
             panic!("wrong op");
         };
         assert_eq!(*spec, StudySpec::new("ep", "CMP"));
         assert_eq!(deadline_ms, None);
+        assert_eq!(fidelity, Fidelity::Exact, "fidelity defaults to exact");
         // Identity: defaults omitted == defaults spelled out.
         let spelled = parse_request(
             r#"{"op":"simulate","kernel":"ep","config":"CMP","class":"T",
@@ -236,10 +297,16 @@ mod tests {
     fn full_simulate_roundtrips_every_field() {
         let r = parse_request(
             r#"{"op":"simulate","kernel":"cg","config":"CMT","class":"S",
-                "trials":4,"jitter":1500,"schedule":"dynamic,2","deadline_ms":9000}"#,
+                "trials":4,"jitter":1500,"schedule":"dynamic,2","deadline_ms":9000,
+                "fidelity":"predicted"}"#,
         )
         .unwrap();
-        let Request::Simulate { spec, deadline_ms } = r else {
+        let Request::Simulate {
+            spec,
+            deadline_ms,
+            fidelity,
+        } = r
+        else {
             panic!("wrong op");
         };
         assert_eq!(spec.kernel, "cg");
@@ -248,6 +315,27 @@ mod tests {
         assert_eq!(spec.jitter, 1500);
         assert_eq!(spec.schedule, "dynamic,2");
         assert_eq!(deadline_ms, Some(9000));
+        assert_eq!(fidelity, Fidelity::Predicted);
+    }
+
+    #[test]
+    fn fidelity_parses_all_tiers_and_rejects_unknown() {
+        for (s, want) in [
+            ("exact", Fidelity::Exact),
+            ("fast", Fidelity::Fast),
+            ("predicted", Fidelity::Predicted),
+        ] {
+            let line =
+                format!(r#"{{"op":"simulate","kernel":"ep","config":"CMP","fidelity":"{s}"}}"#);
+            let Request::Simulate { fidelity, .. } = parse_request(&line).unwrap() else {
+                panic!("wrong op");
+            };
+            assert_eq!(fidelity, want);
+        }
+        let err =
+            parse_request(r#"{"op":"simulate","kernel":"ep","config":"CMP","fidelity":"turbo"}"#)
+                .unwrap_err();
+        assert!(matches!(err, StudyError::BadSpec { field, .. } if field == "fidelity"));
     }
 
     #[test]
@@ -312,6 +400,33 @@ mod tests {
         assert_eq!(v["ok"].as_bool(), Some(false));
         assert_eq!(v["error"].as_str(), Some("overloaded"));
         assert!(!ok.contains('\n') && !err.contains('\n'), "one line each");
+    }
+
+    #[test]
+    fn predicted_reply_extends_the_exact_shape() {
+        let rec = Record {
+            key: "serve|abc".into(),
+            sides: vec![],
+        };
+        let spec = StudySpec::new("ep", "CMP");
+        let exact = render_result(ConfigHash(0xfeed), &spec, &rec);
+        let pred = render_result_predicted(
+            ConfigHash(0xfeed),
+            &spec,
+            &rec,
+            Fidelity::Predicted,
+            &paxsim_predict::ErrorBounds::default(),
+        );
+        let v = serde_json::parse(&pred).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["fidelity"].as_str(), Some("predicted"));
+        assert!(v["error_bounds"]["wall"].as_f64().unwrap() > 0.0);
+        assert!(!pred.contains('\n'), "one line");
+        // The predicted reply is the exact reply plus trailing fields:
+        // a tolerant client that ignores unknown keys sees the same
+        // record either way.
+        let prefix = exact.trim_end_matches('}');
+        assert!(pred.starts_with(prefix), "{pred} must extend {exact}");
     }
 
     #[test]

@@ -19,14 +19,16 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use paxsim_core::error::{StudyError, StudyResult};
-use paxsim_core::hash::{content_hash, fnv1a, ResolvedSpec};
+use paxsim_core::hash::{content_hash, fnv1a, Fidelity, ResolvedSpec};
 use paxsim_core::inflight::Inflight;
 use paxsim_core::journal::{Record, SideRecord};
 use paxsim_core::pool::{self, CellPolicy};
+use paxsim_core::sentinel::{MetricError, PredictAuditor};
 use paxsim_core::single::run_trials_with;
 use paxsim_core::store::{TraceKey, TraceStore};
 use paxsim_machine::sim::simulate;
 use paxsim_perfmon::stats::Summary;
+use paxsim_predict::{predict_program, profile_program, ErrorBounds, Predicted};
 use serde::{Serialize, Value};
 
 use crate::batch::{Batcher, Role};
@@ -74,6 +76,12 @@ pub struct ServeConfig {
     /// How long a tripped config stays quarantined before one probe
     /// request is let through.
     pub breaker_cooldown_ms: u64,
+    /// Prediction-audit sampling period: after the always-audited first
+    /// cold prediction of a (kernel, config, class) pair, every Nth
+    /// fresh prediction of that pair is re-run on the cycle engine and
+    /// its error measured against the declared bounds. `0` audits only
+    /// the first.
+    pub predict_sample_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +101,7 @@ impl Default for ServeConfig {
             fsync: false,
             breaker_threshold: 3,
             breaker_cooldown_ms: 5_000,
+            predict_sample_every: 4,
         }
     }
 }
@@ -278,6 +287,21 @@ pub struct Service {
     baseline_fetches: AtomicU64,
     /// Cold-miss compute latency in milliseconds, per kernel.
     latencies: Mutex<HashMap<String, Vec<f64>>>,
+    /// Single-flight table for predicted-tier cold misses. Separate from
+    /// the exact tables: predicted keys live in their own hash space and
+    /// their flights never pass the admission gate (model evaluation is
+    /// microseconds, gating it behind engine sweeps would invert the
+    /// latency order the tier exists for).
+    predict_inflight: Inflight<Record>,
+    /// The sentinel prediction auditor: samples fresh predictions,
+    /// re-runs them on the cycle engine, quarantines out-of-bound
+    /// (kernel, config, class) pairs.
+    auditor: PredictAuditor,
+    /// Predicted-tier records computed (cold predictions, not hits).
+    predicted_served: AtomicU64,
+    /// Model-evaluation latency in milliseconds (predicted tier only;
+    /// excludes the content-addressed profile extraction it amortizes).
+    predict_latencies: Mutex<Vec<f64>>,
 }
 
 impl Service {
@@ -306,6 +330,7 @@ impl Service {
             cfg.breaker_threshold,
             Duration::from_millis(cfg.breaker_cooldown_ms),
         );
+        let auditor = PredictAuditor::new(cfg.predict_sample_every);
         Ok(Service {
             cfg,
             store: TraceStore::new(),
@@ -325,6 +350,10 @@ impl Service {
             shed: AtomicU64::new(0),
             baseline_fetches: AtomicU64::new(0),
             latencies: Mutex::new(HashMap::new()),
+            predict_inflight: Inflight::new(),
+            auditor,
+            predicted_served: AtomicU64::new(0),
+            predict_latencies: Mutex::new(Vec::new()),
         })
     }
 
@@ -339,41 +368,70 @@ impl Service {
             Ok(Request::Stats) => self.stats_reply(),
             Ok(Request::Metrics) => self.metrics_reply(),
             Ok(Request::Health) => self.health_reply(),
-            Ok(Request::Simulate { spec, deadline_ms }) => {
+            Ok(Request::Simulate {
+                spec,
+                deadline_ms,
+                fidelity,
+            }) => {
                 let resolved = match spec.resolve() {
                     Ok(r) => r,
                     Err(e) => {
                         return protocol::render_error(protocol::error_category(&e), &e.to_string())
                     }
                 };
-                match self.simulate(&resolved, deadline_ms) {
-                    Ok(rec) => {
-                        protocol::render_result(resolved.content_hash(), &resolved.spec, &rec)
+                if fidelity == Fidelity::Exact {
+                    // The default tier: the exact path, byte-identical to
+                    // every release before the fidelity field existed.
+                    match self.simulate(&resolved, deadline_ms) {
+                        Ok(rec) => {
+                            protocol::render_result(resolved.content_hash(), &resolved.spec, &rec)
+                        }
+                        Err(rej) => Self::render_rejection(rej),
                     }
-                    Err(Rejection::Overloaded { running, queued }) => protocol::render_error(
-                        "overloaded",
-                        &format!("{running} computations running, {queued} queued; try again"),
-                    ),
-                    Err(Rejection::Draining) => {
-                        protocol::render_error("draining", "daemon is shutting down")
-                    }
-                    Err(Rejection::Shed) => protocol::render_error(
-                        "shed",
-                        "deadline expired while queued for admission; daemon under load",
-                    ),
-                    Err(Rejection::Quarantined { retry_ms }) => protocol::render_error(
-                        "quarantined",
-                        &format!(
-                            "config is circuit-broken after repeated failures; \
-                             retry in {retry_ms} ms"
+                } else {
+                    match self.simulate_predicted(&resolved, deadline_ms, fidelity) {
+                        Ok(PredictOutcome::Predicted(rec)) => protocol::render_result_predicted(
+                            resolved.content_hash_with_fidelity(Fidelity::Predicted),
+                            &resolved.spec,
+                            &rec,
+                            fidelity,
+                            &ErrorBounds::default(),
                         ),
-                    ),
-                    Err(Rejection::Failed(e)) => {
-                        protocol::render_error(protocol::error_category(&e), &e.to_string())
+                        // Quarantined pair (or a `fast` exact-cache hit):
+                        // the reply is the exact tier's, byte for byte.
+                        Ok(PredictOutcome::Exact(rec)) => {
+                            protocol::render_result(resolved.content_hash(), &resolved.spec, &rec)
+                        }
+                        Err(rej) => Self::render_rejection(rej),
                     }
                 }
             }
             Err(e) => protocol::render_error(protocol::error_category(&e), &e.to_string()),
+        }
+    }
+
+    /// Render a typed rejection as its protocol error line.
+    fn render_rejection(rej: Rejection) -> String {
+        match rej {
+            Rejection::Overloaded { running, queued } => protocol::render_error(
+                "overloaded",
+                &format!("{running} computations running, {queued} queued; try again"),
+            ),
+            Rejection::Draining => protocol::render_error("draining", "daemon is shutting down"),
+            Rejection::Shed => protocol::render_error(
+                "shed",
+                "deadline expired while queued for admission; daemon under load",
+            ),
+            Rejection::Quarantined { retry_ms } => protocol::render_error(
+                "quarantined",
+                &format!(
+                    "config is circuit-broken after repeated failures; \
+                     retry in {retry_ms} ms"
+                ),
+            ),
+            Rejection::Failed(e) => {
+                protocol::render_error(protocol::error_category(&e), &e.to_string())
+            }
         }
     }
 
@@ -394,12 +452,49 @@ impl Service {
     /// on a miss — the worker path's own `get` will book that miss, so
     /// every simulate request still books exactly one tier counter.
     pub fn try_hit(&self, line: &str) -> Option<String> {
-        let Ok(Request::Simulate { spec, .. }) = protocol::parse_request(line) else {
+        let Ok(Request::Simulate { spec, fidelity, .. }) = protocol::parse_request(line) else {
             return None;
         };
         let resolved = spec.resolve().ok()?;
-        let hash = resolved.content_hash();
-        let rec = self.cache.probe(hash)?;
+        // Which tier's cache answers inline, and how the hit renders.
+        // Probing books a hit counter only on success (a probe miss
+        // books nothing — the worker path's own `get` will), so even
+        // the two-probe `fast` ladder books exactly one tier counter.
+        let quarantined = fidelity != Fidelity::Exact
+            && self.auditor.is_quarantined(PredictAuditor::pair_key(
+                &resolved.spec.kernel,
+                &resolved.spec.config,
+                &resolved.spec.class,
+            ));
+        let reply = if fidelity == Fidelity::Exact || quarantined {
+            let hash = resolved.content_hash();
+            let rec = self.cache.probe(hash)?;
+            if quarantined {
+                self.auditor.record_fallback();
+            }
+            protocol::render_result(hash, &resolved.spec, &rec)
+        } else {
+            let exact_hit = if fidelity == Fidelity::Fast {
+                let hash = resolved.content_hash();
+                self.cache.probe(hash).map(|rec| (hash, rec))
+            } else {
+                None
+            };
+            match exact_hit {
+                Some((hash, rec)) => protocol::render_result(hash, &resolved.spec, &rec),
+                None => {
+                    let hash = resolved.content_hash_with_fidelity(Fidelity::Predicted);
+                    let rec = self.cache.probe(hash)?;
+                    protocol::render_result_predicted(
+                        hash,
+                        &resolved.spec,
+                        &rec,
+                        fidelity,
+                        &ErrorBounds::default(),
+                    )
+                }
+            }
+        };
         self.requests.fetch_add(1, Ordering::Relaxed);
         // The probe booked one hit counter, so this answered request
         // must count toward the conservation law's right-hand side.
@@ -409,7 +504,7 @@ impl Service {
         REQUESTS.inc();
         INLINE.inc();
         let _span = paxsim_obs::span!("serve.request");
-        Some(protocol::render_result(hash, &resolved.spec, &rec))
+        Some(reply)
     }
 
     /// Serve one resolved simulation request: cache, then a coalesced
@@ -485,6 +580,199 @@ impl Service {
             Ok(Err(Gated::Shed)) => Err(Rejection::Shed),
             Ok(Err(Gated::Quarantined { retry_ms })) => Err(Rejection::Quarantined { retry_ms }),
             Err(e) => Err(Rejection::Failed(e)),
+        }
+    }
+
+    /// Serve one resolved request at a non-exact fidelity.
+    ///
+    /// The predicted tier has its own key space
+    /// ([`ResolvedSpec::content_hash_with_fidelity`]), its own
+    /// single-flight table, and **no admission gate or batcher** —
+    /// model evaluation is microseconds and must never queue behind
+    /// engine sweeps. A quarantined (kernel, config, class) pair falls
+    /// through to the full exact path and replies byte-identical to an
+    /// exact-fidelity request; `fast` first probes the exact cache (a
+    /// better answer at the same latency when one exists).
+    fn simulate_predicted(
+        &self,
+        resolved: &ResolvedSpec,
+        deadline_ms: Option<u64>,
+        fidelity: Fidelity,
+    ) -> Result<PredictOutcome, Rejection> {
+        static FALLBACKS: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.predict.fallbacks");
+        let pair = PredictAuditor::pair_key(
+            &resolved.spec.kernel,
+            &resolved.spec.config,
+            &resolved.spec.class,
+        );
+        if self.auditor.is_quarantined(pair) {
+            self.auditor.record_fallback();
+            FALLBACKS.inc();
+            // `simulate` books its own simulates + cache-tier counters.
+            return self
+                .simulate(resolved, deadline_ms)
+                .map(PredictOutcome::Exact);
+        }
+        if fidelity == Fidelity::Fast {
+            // An exact answer already in cache beats a prediction at the
+            // same latency. A probe miss books nothing — the predicted
+            // `get` below books this request's one tier counter.
+            if let Some(rec) = self.cache.probe(resolved.content_hash()) {
+                self.simulates.fetch_add(1, Ordering::Relaxed);
+                return Ok(PredictOutcome::Exact(rec));
+            }
+        }
+        let hash = resolved.content_hash_with_fidelity(Fidelity::Predicted);
+        self.simulates.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.cache.get(hash) {
+            return Ok(PredictOutcome::Predicted(rec));
+        }
+        let (result, _flight) = self.predict_inflight.run(hash.0, || {
+            // Double-check under the flight slot; `peek` books nothing —
+            // the `get` above already booked this request's miss.
+            if let Some(rec) = self.cache.peek(hash) {
+                return Ok(rec);
+            }
+            let (sides, predicted) = self.predict_cell(resolved)?;
+            let rec = self.cache.put(hash, sides)?;
+            self.predicted_served.fetch_add(1, Ordering::Relaxed);
+            static PREDICTED: paxsim_obs::LazyCounter =
+                paxsim_obs::LazyCounter::new("serve.predict.served");
+            PREDICTED.inc();
+            // Leader-only sentinel audit: deterministically sampled,
+            // synchronous (the client already paid a cold miss), and
+            // accounted exactly like a serial-baseline sub-request so
+            // the cache conservation law keeps holding.
+            if self.auditor.should_audit(pair) {
+                self.audit_prediction(resolved, pair, &predicted);
+            }
+            Ok(rec)
+        });
+        result
+            .map(PredictOutcome::Predicted)
+            .map_err(Rejection::Failed)
+    }
+
+    /// Evaluate the analytical model for one resolved spec: extract (or
+    /// re-use, content-addressed) the reuse profile of the kernel's
+    /// interned trace, map it through the configured hierarchy, and
+    /// shape the outcome as a cache record — same `SideRecord` schema as
+    /// the exact tier, so journals, caches and clients need no new code.
+    fn predict_cell(&self, resolved: &ResolvedSpec) -> StudyResult<(Vec<SideRecord>, Predicted)> {
+        let opts = resolved.options();
+        let trace = self.store.try_get(TraceKey {
+            kernel: resolved.kernel,
+            class: resolved.class,
+            nthreads: resolved.config.threads,
+            schedule: resolved.schedule,
+        })?;
+        let profile = profile_program(&trace, opts.machine.l1d.line as u64);
+        // The latency the <100 µs predicted-tier budget measures: model
+        // evaluation alone. Profile extraction is content-addressed per
+        // interned region and amortizes to zero across requests.
+        let t0 = Instant::now();
+        let mut predicted = predict_program(&profile, &opts.machine, &resolved.config.contexts);
+        // Chaos hook: a `predict-bias` plan doubles the predicted wall
+        // clock — far outside every declared bound — so tests can pin
+        // the auditor's detect → quarantine → exact-fallback ladder.
+        if paxsim_core::faultinject::predict_bias() {
+            predicted.wall_cycles *= 2.0;
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        if paxsim_obs::enabled() {
+            paxsim_obs::histogram_with(
+                "serve.predict_seconds",
+                &[("kernel", resolved.spec.kernel.as_str())],
+            )
+            .observe(elapsed);
+        }
+        lock(&self.predict_latencies).push(elapsed * 1e3);
+        let speedup = if resolved.config.threads == 1 && resolved.config.group == 0 {
+            1.0
+        } else {
+            // The predicted tier's speedup denominator is itself a
+            // prediction: mixing a measured baseline into a predicted
+            // ratio would make the error bound incoherent.
+            let serial = resolved.serial_variant().resolve()?;
+            let strace = self.store.try_get(TraceKey {
+                kernel: serial.kernel,
+                class: serial.class,
+                nthreads: serial.config.threads,
+                schedule: serial.schedule,
+            })?;
+            let sprofile = profile_program(&strace, opts.machine.l1d.line as u64);
+            let spred = predict_program(&sprofile, &opts.machine, &serial.config.contexts);
+            spred.wall_cycles / predicted.wall_cycles
+        };
+        let cycles = vec![predicted.wall_cycles; opts.trials];
+        let speedups = vec![speedup; opts.trials];
+        let sides = vec![SideRecord {
+            bench: resolved.spec.kernel.clone(),
+            cycles: Summary::of(&cycles),
+            speedup: Summary::of(&speedups),
+            counters: predicted.counters,
+        }];
+        Ok((sides, predicted))
+    }
+
+    /// Sentinel audit of one fresh prediction: fetch the exact answer
+    /// (cache-or-compute, via the same ungated sub-request path as a
+    /// serial baseline — it books `baseline_fetches` plus one cache-tier
+    /// counter, so conservation holds), measure per-metric error,
+    /// publish it, and let the auditor quarantine the pair if any
+    /// declared bound is exceeded.
+    fn audit_prediction(&self, resolved: &ResolvedSpec, pair: u64, predicted: &Predicted) {
+        static AUDITS: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.predict.audits");
+        static QUARANTINES: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.predict.quarantines");
+        let _span = paxsim_obs::span!(
+            "serve.predict.audit",
+            kernel = resolved.spec.kernel,
+            config = resolved.spec.config
+        );
+        AUDITS.inc();
+        let Ok(exact) = self.fetch_baseline(resolved) else {
+            // The engine refusing to produce a reference is its own
+            // failure with its own path; the audit just stands down.
+            return;
+        };
+        let exact_wall = exact.sides[0].cycles.mean;
+        let wall_rel = if exact_wall > 0.0 {
+            (predicted.wall_cycles - exact_wall).abs() / exact_wall
+        } else {
+            0.0
+        };
+        let c = &exact.sides[0].counters;
+        let exact_l1 = if c.l1d_access > 0 {
+            c.l1d_miss as f64 / c.l1d_access as f64
+        } else {
+            0.0
+        };
+        let errors = [
+            MetricError {
+                metric: "wall",
+                relative: wall_rel,
+                bound: predicted.bounds.wall,
+            },
+            MetricError {
+                metric: "l1d_miss_rate",
+                relative: (predicted.l1d_miss_rate - exact_l1).abs(),
+                bound: predicted.bounds.miss_rate,
+            },
+        ];
+        if paxsim_obs::enabled() {
+            for e in &errors {
+                paxsim_obs::histogram_with("serve.predict.error", &[("metric", e.metric)])
+                    .observe(e.relative);
+            }
+        }
+        if !self
+            .auditor
+            .record(pair, &resolved.spec.kernel, &resolved.spec.config, &errors)
+        {
+            QUARANTINES.inc();
         }
     }
 
@@ -852,10 +1140,49 @@ impl Service {
                 "baseline_fetches",
                 Value::UInt(self.baseline_fetches.load(Ordering::Relaxed)),
             ),
+            ("predict", self.predict_block()),
             ("traces_built", Value::UInt(self.store.builds())),
             ("latency_ms", Value::Object(latency)),
         ]);
         serde_json::to_string(&v).expect("value tree renders infallibly")
+    }
+
+    /// The predicted-tier status object shared by `stats` and `health`:
+    /// volume, audit outcomes, quarantine state, and the auditor's
+    /// measured p95 wall-clock error (absent until the first audit).
+    fn predict_block(&self) -> Value {
+        let mut entries = vec![
+            (
+                "served".to_string(),
+                Value::UInt(self.predicted_served.load(Ordering::Relaxed)),
+            ),
+            (
+                "audits".to_string(),
+                Value::UInt(self.auditor.audits() as u64),
+            ),
+            (
+                "quarantined_pairs".to_string(),
+                Value::UInt(self.auditor.quarantined_pairs() as u64),
+            ),
+            (
+                "fallbacks".to_string(),
+                Value::UInt(self.auditor.fallbacks() as u64),
+            ),
+        ];
+        {
+            let lat = lock(&self.predict_latencies);
+            if !lat.is_empty() {
+                entries.push(("latency_ms".to_string(), Summary::of(&lat).to_value()));
+            }
+        }
+        if let Some(p95) = self.auditor.error_p95() {
+            entries.push(("error_p95".to_string(), Value::Float(p95)));
+        }
+        entries.push((
+            "events".to_string(),
+            Value::Array(self.auditor.events().iter().map(|e| e.to_value()).collect()),
+        ));
+        Value::Object(entries)
     }
 
     /// Render the `health` reply: liveness plus every degradation signal
@@ -947,6 +1274,7 @@ impl Service {
                     ("batch_poisoned", Value::UInt(self.batcher.poisoned())),
                 ]),
             ),
+            ("predict", self.predict_block()),
             ("shards", Value::Array(shards)),
         ]);
         serde_json::to_string(&v).expect("value tree renders infallibly")
@@ -968,6 +1296,11 @@ impl Service {
             paxsim_obs::gauge("serve.uptime_seconds").set(self.started.elapsed().as_secs_f64());
             paxsim_obs::gauge("serve.batch.open_groups").set(self.batcher.open_groups() as f64);
             paxsim_obs::gauge("serve.cache.shards").set(self.cache.shard_count() as f64);
+            paxsim_obs::gauge("serve.predict.quarantined_pairs")
+                .set(self.auditor.quarantined_pairs() as f64);
+            if let Some(p95) = self.auditor.error_p95() {
+                paxsim_obs::gauge("serve.predict_error_p95").set(p95);
+            }
             for (i, s) in self.cache.shard_stats().iter().enumerate() {
                 let shard = i.to_string();
                 let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
@@ -1065,6 +1398,22 @@ impl Service {
         self.batcher.batches()
     }
 
+    /// The sentinel prediction auditor (audit/quarantine/fallback
+    /// counters and events).
+    pub fn predict_auditor(&self) -> &PredictAuditor {
+        &self.auditor
+    }
+
+    /// Predicted-tier records computed (cold predictions, not hits).
+    pub fn predicted_served(&self) -> u64 {
+        self.predicted_served.load(Ordering::Relaxed)
+    }
+
+    /// Model-evaluation latencies observed so far, in milliseconds.
+    pub fn predict_latencies_ms(&self) -> Vec<f64> {
+        lock(&self.predict_latencies).clone()
+    }
+
     /// Requests that rode another request's batch (merge count).
     pub fn batch_merged(&self) -> u64 {
         self.batcher.merged()
@@ -1077,6 +1426,16 @@ enum Rejection {
     Shed,
     Quarantined { retry_ms: u64 },
     Failed(StudyError),
+}
+
+/// What a non-exact request was actually answered with: a record from
+/// the predicted key space (rendered with `fidelity` + `error_bounds`
+/// stamped on the reply) or an exact record (quarantine fallback, or a
+/// `fast` request that found the exact answer cached) rendered
+/// byte-identical to the exact tier.
+enum PredictOutcome {
+    Predicted(Record),
+    Exact(Record),
 }
 
 #[cfg(test)]
@@ -1487,6 +1846,121 @@ mod tests {
             assert!(b.contains("\"ok\":true"), "{b}");
             assert_eq!(b, u, "batched reply for {line} diverged from unbatched");
         }
+    }
+
+    const EP_CMP_PRED: &str =
+        r#"{"op":"simulate","kernel":"ep","config":"CMP","fidelity":"predicted"}"#;
+
+    #[test]
+    fn predicted_tier_serves_caches_and_audits_in_bounds() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("predicted");
+        let cold = s.handle_line(EP_CMP_PRED);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        assert!(cold.contains("\"fidelity\":\"predicted\""), "{cold}");
+        assert!(cold.contains("\"error_bounds\""), "{cold}");
+        assert_eq!(s.predicted_served(), 1);
+        // The first prediction of a pair is always audited; EP is the
+        // model's best-behaved kernel, so the audit must pass.
+        assert_eq!(s.predict_auditor().audits(), 1);
+        assert_eq!(s.predict_auditor().quarantined_pairs(), 0);
+        assert!(s.predict_auditor().error_p95().is_some());
+        // Hot predicted request: byte-identical, no new model eval.
+        let hot = s.handle_line(EP_CMP_PRED);
+        assert_eq!(cold, hot, "predicted cache hit must be byte-identical");
+        assert_eq!(s.predicted_served(), 1);
+        // Inline reactor fast path agrees byte for byte.
+        assert_eq!(s.try_hit(EP_CMP_PRED).as_deref(), Some(hot.as_str()));
+        // Conservation holds with the audit's baseline fetch counted.
+        assert_eq!(
+            s.cache().hits() + s.cache().misses(),
+            s.simulate_requests() + s.baseline_fetches(),
+        );
+    }
+
+    #[test]
+    fn predicted_and_exact_answers_never_alias() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("pred_alias");
+        let exact_before = s.handle_line(EP_CMP);
+        let predicted = s.handle_line(EP_CMP_PRED);
+        assert_ne!(exact_before, predicted, "tiers must answer differently");
+        // The predicted record must not have displaced or poisoned the
+        // exact one: the exact reply is still byte-identical.
+        let exact_after = s.handle_line(EP_CMP);
+        assert_eq!(exact_before, exact_after);
+        // And `stats` reports the predicted tier.
+        let stats = s.handle_line(r#"{"op":"stats"}"#);
+        let v = serde_json::parse(&stats).unwrap();
+        assert_eq!(v["predict"]["served"].as_u64(), Some(1), "{stats}");
+        assert_eq!(v["predict"]["audits"].as_u64(), Some(1), "{stats}");
+    }
+
+    #[test]
+    fn fast_fidelity_prefers_a_cached_exact_answer() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("fast_tier");
+        let exact = s.handle_line(EP_CMP);
+        let fast =
+            s.handle_line(r#"{"op":"simulate","kernel":"ep","config":"CMP","fidelity":"fast"}"#);
+        assert_eq!(exact, fast, "cached exact answer beats a prediction");
+        assert_eq!(s.predicted_served(), 0, "no model eval happened");
+        // Cold spec: fast falls through to the predicted tier.
+        let fast_cold =
+            s.handle_line(r#"{"op":"simulate","kernel":"cg","config":"CMP","fidelity":"fast"}"#);
+        assert!(fast_cold.contains("\"fidelity\":\"fast\""), "{fast_cold}");
+        assert_eq!(s.predicted_served(), 1);
+        assert_eq!(
+            s.cache().hits() + s.cache().misses(),
+            s.simulate_requests() + s.baseline_fetches(),
+        );
+    }
+
+    #[test]
+    fn biased_predictor_is_quarantined_and_falls_back_byte_identical() {
+        // Satellite regression: a `predict-bias` fault doubles predicted
+        // wall clock — far outside the declared 25 % bound. The
+        // always-audited first prediction must detect it, quarantine the
+        // (kernel, config, class) pair, and every later non-exact request
+        // for that pair must silently serve the exact tier, byte-identical
+        // to a fault-free exact run.
+        let reference = {
+            let _quiet = paxsim_core::faultinject::quiesced();
+            service("bias_ref").handle_line(EP_CMP)
+        };
+        paxsim_core::faultinject::with_plan("predict-bias", || {
+            let s = service("bias");
+            let biased = s.handle_line(EP_CMP_PRED);
+            assert!(biased.contains("\"fidelity\":\"predicted\""), "{biased}");
+            assert_eq!(s.predict_auditor().audits(), 1, "first prediction audited");
+            assert_eq!(
+                s.predict_auditor().quarantined_pairs(),
+                1,
+                "out-of-bound error must quarantine the pair"
+            );
+            assert!(!s.predict_auditor().events().is_empty());
+            // Quarantined pair: the predicted request now serves exact,
+            // byte-identical to the fault-free exact reply.
+            let fallback = s.handle_line(EP_CMP_PRED);
+            assert_eq!(fallback, reference, "fallback must be the exact tier");
+            assert_eq!(s.predict_auditor().fallbacks(), 1);
+            // The inline fast path honors the quarantine the same way.
+            assert_eq!(s.try_hit(EP_CMP_PRED).as_deref(), Some(reference.as_str()));
+            assert_eq!(s.predict_auditor().fallbacks(), 2);
+            // Health names the quarantined pair's audit event.
+            let h = s.handle_line(r#"{"op":"health"}"#);
+            let v = serde_json::parse(&h).unwrap();
+            assert_eq!(v["predict"]["quarantined_pairs"].as_u64(), Some(1), "{h}");
+            assert_eq!(
+                v["predict"]["events"][0]["metric"].as_str(),
+                Some("wall"),
+                "{h}"
+            );
+            assert_eq!(
+                s.cache().hits() + s.cache().misses(),
+                s.simulate_requests() + s.baseline_fetches(),
+            );
+        });
     }
 
     #[test]

@@ -80,6 +80,7 @@ proptest! {
         trials in 1usize..5,
         jitter in 0u64..500,
         deadline in proptest::bool::ANY,
+        fid in 0usize..4,
     ) {
         let mut line = format!(
             r#"{{"op":"simulate","kernel":"{}","config":"{}","trials":{trials},"jitter":{jitter}"#,
@@ -87,6 +88,11 @@ proptest! {
         );
         if deadline {
             line.push_str(r#","deadline_ms":250"#);
+        }
+        // 3 = field absent (must default to exact); 0..3 = explicit tier.
+        let fidelities = ["exact", "fast", "predicted"];
+        if fid < 3 {
+            line.push_str(&format!(r#","fidelity":"{}""#, fidelities[fid]));
         }
         line.push('}');
 
@@ -97,7 +103,7 @@ proptest! {
         prop_assert_eq!(&framed, &line, "framing must not alter the line");
         prop_assert_eq!(fb.next_frame(), None);
 
-        let Request::Simulate { spec, deadline_ms } =
+        let Request::Simulate { spec, deadline_ms, fidelity } =
             protocol::parse_request(&framed).expect("valid request parses")
         else {
             panic!("simulate line parsed to the wrong op");
@@ -107,6 +113,8 @@ proptest! {
         prop_assert_eq!(spec.trials, trials);
         prop_assert_eq!(spec.jitter, jitter);
         prop_assert_eq!(deadline_ms, if deadline { Some(250) } else { None });
+        let expect_fid = if fid < 3 { fidelities[fid] } else { "exact" };
+        prop_assert_eq!(fidelity.wire(), expect_fid);
         // And the spec resolves: every kernel/config pair above is real.
         spec.resolve().expect("grid specs resolve");
     }
