@@ -103,6 +103,43 @@ echo "$STATS" | grep -q '"predict":{"served":1' || {
     exit 1
 }
 echo "predict smoke passed: byte-identical predicted hit, exact tier untouched"
+# Autotune smoke: a budgeted op=tune over a tiny grid must return the
+# same winner (with the same score) as an exhaustive sweep of that grid
+# through the exact tier, and an identical repeat must replay
+# byte-identical from the finished-search cache.
+TUNE_REPLY=$("$CLI" --unix "$SERVE_SOCK" tune --kernel ep --configs "CMP;CMT" --schedules static --budget 8)
+TUNE_AGAIN=$("$CLI" --unix "$SERVE_SOCK" tune --kernel ep --configs "CMP;CMT" --schedules static --budget 8)
+[ "$TUNE_REPLY" = "$TUNE_AGAIN" ] || {
+    echo "finished tune did not replay byte-identical:"
+    echo "  first:  $TUNE_REPLY"
+    echo "  second: $TUNE_AGAIN"
+    exit 1
+}
+# The normalized request echoes the grid's canonical config names in
+# request order, so the sweep labels come straight from the reply.
+CANON_CMP=$(printf '%s' "$TUNE_REPLY" | sed -n 's/.*"configs":\["\([^"]*\)","\([^"]*\)"\].*/\1/p')
+CANON_CMT=$(printf '%s' "$TUNE_REPLY" | sed -n 's/.*"configs":\["\([^"]*\)","\([^"]*\)"\].*/\2/p')
+BEST=$(printf '%s' "$TUNE_REPLY" | sed -n 's/.*"best_config":"\([^"]*\)".*/\1/p')
+BEST_SPEEDUP=$(printf '%s' "$TUNE_REPLY" | sed -n 's/.*"speedup":\([0-9.eE+-]*\).*/\1/p')
+SWEEP_CMP=$("$CLI" --unix "$SERVE_SOCK" simulate --kernel ep --config CMP \
+    | sed -n 's/.*"speedup":{[^}]*"mean":\([0-9.eE+-]*\).*/\1/p')
+SWEEP_CMT=$("$CLI" --unix "$SERVE_SOCK" simulate --kernel ep --config CMT \
+    | sed -n 's/.*"speedup":{[^}]*"mean":\([0-9.eE+-]*\).*/\1/p')
+awk -v cmp="$SWEEP_CMP" -v cmt="$SWEEP_CMT" \
+    -v ncmp="$CANON_CMP" -v ncmt="$CANON_CMT" \
+    -v best="$BEST" -v score="$BEST_SPEEDUP" 'BEGIN {
+    want = (cmp + 0 >= cmt + 0) ? ncmp : ncmt
+    wantscore = (cmp + 0 >= cmt + 0) ? cmp : cmt
+    if (best != want) {
+        printf "tune winner %s does not match exhaustive sweep winner %s (CMP %.4f, CMT %.4f)\n", best, want, cmp, cmt
+        exit 1
+    }
+    if (score + 0 != wantscore + 0) {
+        printf "tune score %.6f does not match sweep score %.6f\n", score, wantscore
+        exit 1
+    }
+    printf "tune smoke passed: budgeted search picked %s (speedup %.2f), matching the exhaustive sweep\n", best, score
+}'
 # Observability smoke: the daemon runs obs-on by default; a metrics
 # scrape must be Prometheus exposition text with a healthy series count,
 # and the request counter must be monotonic across scrapes.
@@ -152,7 +189,7 @@ echo "== serve under PAXSIM_FAULTS (worker panic + journal write failure) =="
 # miss -> hit pair must still be byte-identical, op=health must report
 # the degradation, and SIGTERM must drain cleanly.
 CHAOS_SOCK="$SERVE_TMP/chaos.sock"
-PAXSIM_FAULTS="serve-worker-panic:1:1,journal-fail:1" \
+PAXSIM_FAULTS="serve-worker-panic:1:1,journal-fail:1,tune-abort:2:1" \
     target/release/paxsim-serve --unix "$CHAOS_SOCK" --cache "$SERVE_TMP/chaos_cache" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do [ -S "$CHAOS_SOCK" ] && break; sleep 0.1; done
@@ -171,6 +208,36 @@ echo "$HEALTH" | grep -q '"put_failures":1' || {
     echo "degraded journal put not reported in health: $HEALTH"
     exit 1
 }
+# Tune resume under the same fault plan: the tune-abort kills the search
+# on its second fresh evaluation — after the first cell is journaled —
+# so the first request fails typed, and the retry resumes from the
+# journal and must render byte-for-byte what the clean daemon rendered
+# for the identical request above.
+set +e
+TUNE_KILLED=$("$CLI" --unix "$CHAOS_SOCK" tune --kernel ep --configs "CMP;CMT" --schedules static --budget 8)
+TUNE_KILLED_CODE=$?
+set -e
+[ "$TUNE_KILLED_CODE" -eq 1 ] || {
+    echo "aborted tune must exit 1, got $TUNE_KILLED_CODE: $TUNE_KILLED"
+    exit 1
+}
+echo "$TUNE_KILLED" | grep -q '"error":"panic"' || {
+    echo "aborted tune must fail typed: $TUNE_KILLED"
+    exit 1
+}
+TUNE_RESUMED=$("$CLI" --unix "$CHAOS_SOCK" tune --kernel ep --configs "CMP;CMT" --schedules static --budget 8)
+[ "$TUNE_RESUMED" = "$TUNE_REPLY" ] || {
+    echo "resumed tune is not byte-identical to the clean daemon's:"
+    echo "  clean:   $TUNE_REPLY"
+    echo "  resumed: $TUNE_RESUMED"
+    exit 1
+}
+STATS=$("$CLI" --unix "$CHAOS_SOCK" stats)
+echo "$STATS" | grep -q '"resumes":1' || {
+    echo "tune resume not counted in stats: $STATS"
+    exit 1
+}
+echo "tune resume smoke passed: typed failure, journal replay, byte-identical result"
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 SERVE_PID=""

@@ -107,7 +107,9 @@ pub fn symbiosis_matrix(
 /// Render the symbiosis matrix, best pairs first.
 pub fn symbiosis_text(matrix: &[Symbiosis], config: &HwConfig) -> String {
     let mut rows = matrix.to_vec();
-    rows.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    // NaN-safe descending sort: a degenerate (zero-cycle) outcome scores
+    // NaN and must sink to the bottom instead of panicking the render.
+    rows.sort_by(|a, b| crate::tune::nan_last_cmp(b.score, a.score));
     let mut t = Table::new(format!(
         "Symbiosis on {} (1.0 = interference-free)",
         config.name
@@ -199,6 +201,36 @@ mod tests {
             get((KernelId::Ep, KernelId::Cg)) > get((KernelId::Cg, KernelId::Cg)),
             "complementary pair must score higher: {m:?}"
         );
+    }
+
+    #[test]
+    fn symbiosis_text_survives_nan_score_row() {
+        // Regression: a degenerate pair (zero-cycle outcome) yields a NaN
+        // score; the render used to panic in partial_cmp().unwrap().
+        let cfg = config_by_name("CMP-based SMP").unwrap();
+        let rows = vec![
+            Symbiosis {
+                pair: (KernelId::Ep, KernelId::Cg),
+                slowdowns: [1.0, 1.1],
+                score: 0.95,
+            },
+            Symbiosis {
+                pair: (KernelId::Cg, KernelId::Cg),
+                slowdowns: [f64::NAN, f64::NAN],
+                score: f64::NAN,
+            },
+            Symbiosis {
+                pair: (KernelId::Ep, KernelId::Ep),
+                slowdowns: [1.0, 1.0],
+                score: 1.0,
+            },
+        ];
+        let text = symbiosis_text(&rows, &cfg);
+        // Best finite pair first, NaN row last.
+        let ep_ep = text.find("ep/ep").unwrap();
+        let ep_cg = text.find("ep/cg").unwrap();
+        let cg_cg = text.find("cg/cg").unwrap();
+        assert!(ep_ep < ep_cg && ep_cg < cg_cg, "{text}");
     }
 
     #[test]

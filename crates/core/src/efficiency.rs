@@ -53,10 +53,15 @@ pub fn efficiency(study: &SingleStudy) -> Vec<EfficiencyRow> {
 /// The architecture with the best average speedup per physical chip —
 /// the paper's notion of "computing power per system resources".
 pub fn most_efficient_per_chip(study: &SingleStudy) -> EfficiencyRow {
-    efficiency(study)
-        .into_iter()
-        .max_by(|a, b| a.per_chip.partial_cmp(&b.per_chip).unwrap())
-        .expect("non-empty study")
+    best_per_chip(efficiency(study)).expect("non-empty study")
+}
+
+/// Row-level argmax behind [`most_efficient_per_chip`]: NaN rows (a
+/// degenerate zero-cycle outcome divides to NaN) rank last instead of
+/// panicking the comparator.
+pub fn best_per_chip(rows: Vec<EfficiencyRow>) -> Option<EfficiencyRow> {
+    rows.into_iter()
+        .max_by(|a, b| crate::tune::nan_last_cmp(a.per_chip, b.per_chip))
 }
 
 /// Render the efficiency view.
@@ -125,6 +130,29 @@ mod tests {
         let s = study();
         let best = most_efficient_per_chip(&s);
         assert_eq!(best.arch, "CMT", "per-chip ranking: {:?}", efficiency(&s));
+    }
+
+    #[test]
+    fn nan_row_never_wins_per_chip_ranking() {
+        // Regression: the ranking used partial_cmp().unwrap() and
+        // panicked on the first NaN row.
+        let row = |arch: &str, per_chip: f64| EfficiencyRow {
+            arch: arch.to_string(),
+            avg_speedup: per_chip,
+            chips: 1,
+            cores: 2,
+            contexts: 4,
+            per_chip,
+            per_core: per_chip / 2.0,
+            per_context: per_chip / 4.0,
+        };
+        let rows = vec![row("CMP", 1.4), row("CMT", f64::NAN), row("SMP", 1.2)];
+        let best = best_per_chip(rows).unwrap();
+        assert_eq!(best.arch, "CMP");
+        assert!(best_per_chip(vec![row("CMT", f64::NAN)])
+            .unwrap()
+            .per_chip
+            .is_nan());
     }
 
     #[test]

@@ -60,6 +60,7 @@ enum FaultKind {
     ServeShardSlow { ms: u64 },
     ServePartialWrite,
     PredictBias,
+    TuneAbort { period: u64 },
 }
 
 /// A parsed fault plan.
@@ -135,6 +136,12 @@ impl FaultPlan {
                 ),
                 "serve-partial-write" => (FaultKind::ServePartialWrite, 64),
                 "predict-bias" => (FaultKind::PredictBias, u32::MAX as u64),
+                "tune-abort" => (
+                    FaultKind::TuneAbort {
+                        period: u(1, "period")?.max(1),
+                    },
+                    1,
+                ),
                 other => return Err(format!("unknown fault kind `{other}`")),
             };
             // The trailing optional field is always the use budget.
@@ -351,6 +358,19 @@ pub fn serve_batch_panic() -> bool {
     consume(|k| matches!(k, FaultKind::ServeBatchPanic)).is_some()
 }
 
+/// Hook: tune search about to run fresh evaluation number `evals`
+/// (1-based within one search). True iff a `tune-abort` fault matches
+/// (`evals % period == 0`) and has budget left — the caller fails the
+/// tune request mid-search so the journaled-resume path is exercised.
+#[inline]
+pub fn tune_abort(evals: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    consume(|k| matches!(k, FaultKind::TuneAbort { period } if evals.is_multiple_of(*period)))
+        .is_some()
+}
+
 /// Hook: shard cache lookup. Returns the injected latency of a matching
 /// `serve-shard-slow` fault, if any — the caller sleeps that long.
 #[inline]
@@ -470,6 +490,19 @@ mod tests {
             assert!(!journal_fail_hook());
             assert!(serve_batch_panic());
             assert!(!serve_batch_panic());
+        });
+    }
+
+    #[test]
+    fn tune_abort_parses_and_fires_on_period() {
+        let p = FaultPlan::parse("tune-abort:3:2").unwrap();
+        assert_eq!(p.faults[0].kind, FaultKind::TuneAbort { period: 3 });
+        assert_eq!(p.faults[0].remaining.load(Ordering::Relaxed), 2);
+        with_plan("tune-abort:3:1", || {
+            assert!(!tune_abort(1));
+            assert!(!tune_abort(2));
+            assert!(tune_abort(3));
+            assert!(!tune_abort(6), "budget of 1 spent");
         });
     }
 

@@ -42,6 +42,7 @@ pub mod sentinel;
 pub mod single;
 pub mod store;
 pub mod study;
+pub mod tune;
 
 pub mod prelude {
     pub use crate::calibrate::{calibrate, CalibrationReport, PAPER_PLATFORM};
@@ -69,4 +70,7 @@ pub mod prelude {
     pub use crate::single::{run_single_program, run_single_program_on, SingleStudy};
     pub use crate::store::{TraceKey, TraceStore};
     pub use crate::study::{Cell, StudyOptions};
+    pub use crate::tune::{
+        nan_last_cmp, TuneAlgo, TunePlan, TuneRequest, TuneResult, TuneRound, TuneStats,
+    };
 }

@@ -27,6 +27,14 @@
 //! records wire latency plus server-side evaluation cost alongside the
 //! exact tier's numbers in `BENCH_serve.json`.
 //!
+//! Then an **autotune** pass: one budgeted `op=tune` search over a small
+//! config × schedule grid, then an identical repeat. The pass asserts
+//! the endpoint's contract — a search never enters the batcher, books no
+//! simulate traffic (the conservation envelope below stays exact), and a
+//! finished search replays byte-identical from its own cache — and
+//! records the winner, search provenance, and both wall times in
+//! `BENCH_serve.json`.
+//!
 //! With `--chaos` a third phase soaks the server under an injected fault
 //! plan — connection kills every ~97 dispatched frames plus worker
 //! panics on ~1% of jobs — using a **self-healing client**: every
@@ -159,7 +167,9 @@ fn hot_phase(addr: &str, lines: &[String], connections: usize, total: usize) -> 
             .collect()
     });
     let wall = t0.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // total_cmp, not partial_cmp().expect(): a NaN latency must not
+    // panic the report after the run already succeeded.
+    latencies.sort_by(f64::total_cmp);
     (latencies, wall)
 }
 
@@ -430,6 +440,59 @@ fn main() {
     );
     assert!(audits > 0, "every pair's first prediction must be audited");
 
+    // Phase 2.7: autotune. One budgeted search over a 2x2 grid — the
+    // static cells are warm from phase 1, the dynamic cells compute
+    // fresh — then an identical repeat that must replay byte-identical
+    // from the finished-search cache without touching the engine.
+    const TUNE: &str = r#"{"op":"tune","kernel":"ep","configs":["CMP","CMT"],"schedules":["static","dynamic,2"],"budget":16}"#;
+    let batches_before_tune = service.batches();
+    let t_tune = Instant::now();
+    let tune_cold = roundtrip(&addr, TUNE).expect("tune I/O");
+    let tune_search_ms = t_tune.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        tune_cold.contains("\"ok\":true"),
+        "tune reply must be ok: {tune_cold}"
+    );
+    let t_tune = Instant::now();
+    let tune_repeat = roundtrip(&addr, TUNE).expect("tune I/O");
+    let tune_replay_ms = t_tune.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        tune_cold, tune_repeat,
+        "a finished search must replay byte-identical from cache"
+    );
+    assert_eq!(
+        service.batches(),
+        batches_before_tune,
+        "a tune search must never enter the batcher"
+    );
+    assert_eq!(
+        (service.tunes(), service.tune_hits()),
+        (2, 1),
+        "the repeat must be a finished-search cache hit"
+    );
+    let tune_v = serde_json::parse(&tune_cold).expect("tune reply parses");
+    let tune_best = tune_v["tune"]["best_config"]
+        .as_str()
+        .unwrap_or("?")
+        .to_string();
+    let tune_best_schedule = tune_v["tune"]["best_schedule"]
+        .as_str()
+        .unwrap_or("?")
+        .to_string();
+    let tune_speedup = tune_v["tune"]["speedup"].as_f64().unwrap_or(f64::NAN);
+    let tune_grid = tune_v["tune"]["grid"].as_u64().unwrap_or(0);
+    let tune_evaluated = tune_v["tune"]["evaluated"].as_u64().unwrap_or(0);
+    let tune_spent = tune_v["tune"]["budget_spent"].as_u64().unwrap_or(0);
+    let tune_rounds = match &tune_v["tune"]["rounds"] {
+        Value::Array(a) => a.len() as u64,
+        _ => 0,
+    };
+    eprintln!(
+        "loadgen: tune {tune_grid}-cell grid in {tune_search_ms:.1} ms — best {tune_best} \
+         / {tune_best_schedule}, speedup {tune_speedup:.2}, {tune_evaluated} cells scored \
+         over {tune_rounds} rounds ({tune_spent} budget), cached replay {tune_replay_ms:.3} ms"
+    );
+
     // Phase 3 (optional): chaos soak under an injected fault plan.
     drop(quiesced);
     let chaos_report = if chaos {
@@ -613,6 +676,20 @@ fn main() {
                     "error_p95",
                     predict_error_p95.map_or(Value::Null, Value::Float),
                 ),
+            ]),
+        ),
+        (
+            "tune",
+            obj(vec![
+                ("grid", Value::UInt(tune_grid)),
+                ("evaluated", Value::UInt(tune_evaluated)),
+                ("rounds", Value::UInt(tune_rounds)),
+                ("budget_spent", Value::UInt(tune_spent)),
+                ("best_config", Value::String(tune_best.clone())),
+                ("best_schedule", Value::String(tune_best_schedule.clone())),
+                ("best_speedup", Value::Float(tune_speedup)),
+                ("search_wall_ms", Value::Float(tune_search_ms)),
+                ("cached_replay_ms", Value::Float(tune_replay_ms)),
             ]),
         ),
         (

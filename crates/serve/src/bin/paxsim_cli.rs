@@ -5,6 +5,11 @@
 //!            [--class T] [--trials N] [--jitter N] [--schedule S]
 //!            [--deadline-ms N] [--fidelity exact|fast|predicted]
 //!            [--concurrency N] [--repeat N]
+//! paxsim-cli (--tcp ADDR | --unix PATH) tune --kernel K
+//!            [--configs "C1;C2;…"] [--schedules "S1;S2;…"]
+//!            [--budget N] [--algo halving|hillclimb] [--margin F]
+//!            [--class T] [--trials N] [--jitter N] [--deadline-ms N]
+//!            [--fidelity exact|predicted]
 //! paxsim-cli (--tcp ADDR | --unix PATH) stats
 //! paxsim-cli (--tcp ADDR | --unix PATH) metrics
 //! paxsim-cli (--tcp ADDR | --unix PATH) health
@@ -58,6 +63,10 @@ fn usage() -> ! {
          \x20          [--jitter N] [--schedule S] [--deadline-ms N]\n\
          \x20          [--fidelity exact|fast|predicted]\n\
          \x20          [--concurrency N] [--repeat N]\n\
+         \x20 tune --kernel K [--configs \"C1;C2;…\"] [--schedules \"S1;S2;…\"]\n\
+         \x20      [--budget N] [--algo halving|hillclimb] [--margin F]\n\
+         \x20      [--class T] [--trials N] [--jitter N] [--deadline-ms N]\n\
+         \x20      [--fidelity exact|predicted]\n\
          \x20 stats\n\
          \x20 metrics\n\
          \x20 health\n\
@@ -296,7 +305,9 @@ fn run_load(
             }
         }
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // total_cmp, not partial_cmp().expect(): a NaN latency (clock skew,
+    // overflow in the ms conversion) must not panic the summary.
+    latencies.sort_by(f64::total_cmp);
     let requests = latencies.len();
     let summary = Value::Object(vec![
         (
@@ -421,16 +432,34 @@ fn main() {
         match arg.as_str() {
             "--tcp" => conn = Some(format!("tcp:{}", value(&mut it, "--tcp"))),
             "--unix" => conn = Some(format!("unix:{}", value(&mut it, "--unix"))),
-            "simulate" | "stats" | "metrics" | "health" if command.is_none() => {
+            "simulate" | "tune" | "stats" | "metrics" | "health" if command.is_none() => {
                 command = Some(arg.clone())
             }
             "raw" if command.is_none() => {
                 command = Some(arg.clone());
                 raw = Some(value(&mut it, "raw"));
             }
-            "--kernel" | "--config" | "--class" | "--schedule" | "--fidelity" => {
+            "--kernel" | "--config" | "--class" | "--schedule" | "--fidelity" | "--algo" => {
                 let key = arg.trim_start_matches("--").to_string();
                 fields.push((key, Value::String(value(&mut it, arg))));
+            }
+            // Schedule clauses contain commas ("dynamic,2"), so list
+            // flags split on ';' instead.
+            "--configs" | "--schedules" => {
+                let key = arg.trim_start_matches("--").to_string();
+                let items: Vec<Value> = value(&mut it, arg)
+                    .split(';')
+                    .map(|s| Value::String(s.trim().to_string()))
+                    .filter(|v| v.as_str().is_some_and(|s| !s.is_empty()))
+                    .collect();
+                fields.push((key, Value::Array(items)));
+            }
+            "--margin" => {
+                let f: f64 = value(&mut it, arg).parse().unwrap_or_else(|_| {
+                    eprintln!("{arg} needs a number");
+                    usage()
+                });
+                fields.push(("margin".to_string(), Value::Float(f)));
             }
             "--pretty" => pretty = true,
             "--concurrency" | "--repeat" | "--retries" | "--retry-base-ms" => {
@@ -445,7 +474,7 @@ fn main() {
                     _ => retry_base_ms = n.max(1),
                 }
             }
-            "--trials" | "--jitter" | "--deadline-ms" => {
+            "--trials" | "--jitter" | "--deadline-ms" | "--budget" => {
                 let key = arg.trim_start_matches("--").replace('-', "_");
                 let n: u64 = value(&mut it, arg).parse().unwrap_or_else(|_| {
                     eprintln!("{arg} needs a number");
@@ -468,16 +497,16 @@ fn main() {
         "metrics" => r#"{"op":"metrics"}"#.to_string(),
         "health" => r#"{"op":"health"}"#.to_string(),
         "raw" => raw.expect("raw command captured its payload"),
-        "simulate" => {
-            let mut entries = vec![("op".to_string(), Value::String("simulate".into()))];
+        "simulate" | "tune" => {
+            let mut entries = vec![("op".to_string(), Value::String(command.clone()))];
             entries.extend(fields);
             serde_json::to_string(&Value::Object(entries)).expect("request renders infallibly")
         }
         _ => usage(),
     };
     if concurrency > 1 || repeat > 1 {
-        if command != "simulate" && command != "raw" {
-            eprintln!("--concurrency/--repeat apply to simulate and raw only");
+        if command == "stats" || command == "metrics" || command == "health" {
+            eprintln!("--concurrency/--repeat apply to simulate, tune and raw only");
             usage();
         }
         run_load(&conn, &line, concurrency, repeat, retries, retry_base_ms);

@@ -30,8 +30,19 @@
 use paxsim_core::error::{StudyError, StudyResult};
 use paxsim_core::hash::{ConfigHash, Fidelity, StudySpec};
 use paxsim_core::journal::Record;
+use paxsim_core::tune::{TuneAlgo, TuneRequest, TuneResult};
 use paxsim_machine::config::MachineConfig;
 use serde::{Serialize, Value};
+
+/// Deepest object/array nesting a request line may use. The vendored
+/// JSON parser recurses per level, so unbounded nesting is a
+/// peer-controlled stack overflow; nothing in the protocol legitimately
+/// nests deeper than a machine config (3 levels).
+pub const MAX_NESTING_DEPTH: usize = 64;
+
+/// Largest trial count a request may ask for: each trial is a full
+/// simulation, so an absurd count is a peer-controlled compute bomb.
+pub const MAX_TRIALS: u64 = 100_000;
 
 /// A parsed client request.
 #[derive(Debug, Clone)]
@@ -44,6 +55,12 @@ pub enum Request {
         /// How the answer may be produced (`exact` is the wire default
         /// and keeps every pre-fidelity reply byte-identical).
         fidelity: Fidelity,
+    },
+    /// Run (or serve from cache) a budgeted configuration search.
+    Tune {
+        req: Box<TuneRequest>,
+        /// Per-request deadline applied to each exact-engine evaluation.
+        deadline_ms: Option<u64>,
     },
     /// Report daemon statistics.
     Stats,
@@ -83,6 +100,68 @@ fn u64_field(v: &Value, key: &str) -> StudyResult<Option<u64>> {
     }
 }
 
+fn str_list_field(v: &Value, key: &str) -> StudyResult<Option<Vec<String>>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| bad(key, "must be an array of strings"))
+            })
+            .collect::<StudyResult<Vec<String>>>()
+            .map(Some),
+        Some(_) => Err(bad(key, "must be an array of strings")),
+    }
+}
+
+fn f64_field(v: &Value, key: &str) -> StudyResult<Option<f64>> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(n) => n
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad(key, "must be a number")),
+    }
+}
+
+/// Reject peer-controlled nesting beyond [`MAX_NESTING_DEPTH`] *before*
+/// handing the line to the recursive JSON parser. String contents (and
+/// escaped quotes inside them) are skipped, so brackets in string
+/// literals don't count.
+fn check_nesting_depth(line: &str) -> StudyResult<()> {
+    let mut depth: usize = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for b in line.bytes() {
+        if in_string {
+            match (escaped, b) {
+                (true, _) => escaped = false,
+                (false, b'\\') => escaped = true,
+                (false, b'"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => {
+                depth += 1;
+                if depth > MAX_NESTING_DEPTH {
+                    return Err(bad(
+                        "request",
+                        format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                    ));
+                }
+            }
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 /// Parse one request line.
 ///
 /// # Errors
@@ -91,13 +170,14 @@ fn u64_field(v: &Value, key: &str) -> StudyResult<Option<u64>> {
 /// this to a `bad-request` reply. Client input must never panic the
 /// daemon.
 pub fn parse_request(line: &str) -> StudyResult<Request> {
+    check_nesting_depth(line)?;
     let v = serde_json::parse(line).map_err(|e| bad("request", format!("not JSON: {e}")))?;
     let obj = match &v {
         Value::Object(entries) => entries,
         _ => return Err(bad("request", "must be a JSON object")),
     };
     let op = str_field(&v, "op")?
-        .ok_or_else(|| bad("op", "missing (simulate, stats, metrics or health)"))?;
+        .ok_or_else(|| bad("op", "missing (simulate, tune, stats, metrics or health)"))?;
     match op.as_str() {
         "stats" => {
             for (k, _) in obj {
@@ -138,6 +218,9 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
                 spec.class = class;
             }
             if let Some(trials) = u64_field(&v, "trials")? {
+                if trials > MAX_TRIALS {
+                    return Err(bad("trials", format!("must be <= {MAX_TRIALS}")));
+                }
                 spec.trials = trials as usize;
             }
             if let Some(jitter) = u64_field(&v, "jitter")? {
@@ -164,6 +247,66 @@ pub fn parse_request(line: &str) -> StudyResult<Request> {
                 spec: Box::new(spec),
                 deadline_ms,
                 fidelity,
+            })
+        }
+        "tune" => {
+            for (k, _) in obj {
+                match k.as_str() {
+                    "op" | "kernel" | "class" | "trials" | "jitter" | "configs" | "schedules"
+                    | "budget" | "algo" | "fidelity" | "margin" | "machine" | "deadline_ms" => {}
+                    other => return Err(bad(other, "unknown field for op=tune")),
+                }
+            }
+            let kernel = str_field(&v, "kernel")?.ok_or_else(|| bad("kernel", "missing"))?;
+            let mut req = TuneRequest::new(&kernel);
+            if let Some(class) = str_field(&v, "class")? {
+                req.class = class;
+            }
+            if let Some(trials) = u64_field(&v, "trials")? {
+                if trials > MAX_TRIALS {
+                    return Err(bad("trials", format!("must be <= {MAX_TRIALS}")));
+                }
+                req.trials = trials as usize;
+            }
+            if let Some(jitter) = u64_field(&v, "jitter")? {
+                req.jitter = jitter;
+            }
+            if let Some(configs) = str_list_field(&v, "configs")? {
+                req.configs = configs;
+            }
+            if let Some(schedules) = str_list_field(&v, "schedules")? {
+                req.schedules = schedules;
+            }
+            if let Some(budget) = u64_field(&v, "budget")? {
+                req.budget = budget as usize;
+            }
+            if let Some(algo) = str_field(&v, "algo")? {
+                req.algo = TuneAlgo::parse(&algo).ok_or_else(|| {
+                    bad(
+                        "algo",
+                        format!("unknown algo `{algo}` (halving or hillclimb)"),
+                    )
+                })?;
+            }
+            if let Some(s) = str_field(&v, "fidelity")? {
+                req.fidelity = Fidelity::parse(&s).ok_or_else(|| {
+                    bad(
+                        "fidelity",
+                        format!("unknown fidelity `{s}` (exact or predicted)"),
+                    )
+                })?;
+            }
+            if let Some(margin) = f64_field(&v, "margin")? {
+                req.margin = margin;
+            }
+            if let Some(m) = v.get("machine") {
+                req.machine = serde_json::from_value::<MachineConfig>(m)
+                    .map_err(|e| bad("machine", format!("not a full machine config: {e}")))?;
+            }
+            let deadline_ms = u64_field(&v, "deadline_ms")?;
+            Ok(Request::Tune {
+                req: Box::new(req),
+                deadline_ms,
             })
         }
         other => Err(bad("op", format!("unknown op `{other}`"))),
@@ -215,6 +358,21 @@ pub fn render_result_predicted(
                 ("stall".to_string(), Value::Float(bounds.stall)),
             ]),
         ),
+    ]);
+    serde_json::to_string(&v).expect("value tree renders infallibly")
+}
+
+/// Render a tune reply: the request identity, the normalized request
+/// (so a client sees exactly which grid was searched after alias
+/// normalization and default expansion), and the search verdict with
+/// full round-by-round provenance. Cold computes and cache hits both
+/// render from the same [`TuneResult`], so replies are byte-identical.
+pub fn render_tune(hash: ConfigHash, req: &TuneRequest, result: &TuneResult) -> String {
+    let v = Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("hash".to_string(), Value::String(hash.to_string())),
+        ("request".to_string(), req.to_value()),
+        ("tune".to_string(), result.to_value()),
     ]);
     serde_json::to_string(&v).expect("value tree renders infallibly")
 }
@@ -382,6 +540,140 @@ mod tests {
             field(r#"{"op":"simulate","kernel":"ep","config":"CMP","machine":{"chips":2}}"#),
             "machine"
         );
+    }
+
+    #[test]
+    fn minimal_tune_takes_defaults() {
+        let r = parse_request(r#"{"op":"tune","kernel":"ep"}"#).unwrap();
+        let Request::Tune { req, deadline_ms } = r else {
+            panic!("wrong op");
+        };
+        assert_eq!(*req, TuneRequest::new("ep"));
+        assert_eq!(deadline_ms, None);
+    }
+
+    #[test]
+    fn full_tune_roundtrips_every_field() {
+        let r = parse_request(
+            r#"{"op":"tune","kernel":"cg","class":"S","trials":2,"jitter":500,
+                "configs":["CMP","CMT"],"schedules":["static","dynamic,2"],
+                "budget":16,"algo":"hillclimb","fidelity":"predicted",
+                "margin":0.1,"deadline_ms":9000}"#,
+        )
+        .unwrap();
+        let Request::Tune { req, deadline_ms } = r else {
+            panic!("wrong op");
+        };
+        assert_eq!(req.kernel, "cg");
+        assert_eq!(req.class, "S");
+        assert_eq!(req.trials, 2);
+        assert_eq!(req.jitter, 500);
+        assert_eq!(req.configs, vec!["CMP", "CMT"]);
+        assert_eq!(req.schedules, vec!["static", "dynamic,2"]);
+        assert_eq!(req.budget, 16);
+        assert_eq!(req.algo, TuneAlgo::HillClimb);
+        assert_eq!(req.fidelity, Fidelity::Predicted);
+        assert_eq!(req.margin, 0.1);
+        assert_eq!(deadline_ms, Some(9000));
+    }
+
+    #[test]
+    fn malformed_tune_names_the_field() {
+        let field = |line: &str| match parse_request(line).unwrap_err() {
+            StudyError::BadSpec { field, .. } => field,
+            e => panic!("unexpected error {e}"),
+        };
+        assert_eq!(field(r#"{"op":"tune"}"#), "kernel");
+        assert_eq!(field(r#"{"op":"tune","kernel":"ep","budge":4}"#), "budge");
+        assert_eq!(
+            field(r#"{"op":"tune","kernel":"ep","configs":"CMP"}"#),
+            "configs"
+        );
+        assert_eq!(
+            field(r#"{"op":"tune","kernel":"ep","configs":[1,2]}"#),
+            "configs"
+        );
+        assert_eq!(
+            field(r#"{"op":"tune","kernel":"ep","algo":"anneal"}"#),
+            "algo"
+        );
+        assert_eq!(
+            field(r#"{"op":"tune","kernel":"ep","margin":"wide"}"#),
+            "margin"
+        );
+        assert_eq!(
+            field(r#"{"op":"tune","kernel":"ep","fidelity":"turbo"}"#),
+            "fidelity"
+        );
+    }
+
+    #[test]
+    fn absurd_nesting_is_rejected_not_recursed() {
+        // Regression: the vendored JSON parser recurses per nesting
+        // level, so a deep-bracket line was a peer-controlled stack
+        // overflow. The depth guard must reject it as bad-request.
+        let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = parse_request(&deep).unwrap_err();
+        assert!(matches!(err, StudyError::BadSpec { field, .. } if field == "request"));
+        // Brackets inside string literals don't count toward depth:
+        // this parses fine (an unknown kernel is the service's problem,
+        // not the parser's).
+        let literal = format!(
+            r#"{{"op":"simulate","kernel":"{}","config":"CMP"}}"#,
+            "[".repeat(200)
+        );
+        assert!(parse_request(&literal).is_ok());
+        // ... including escaped quotes inside strings.
+        let escaped = r#"{"op":"simulate","kernel":"a\"[[[","config":"CMP"}"#;
+        assert!(parse_request(escaped).is_ok());
+    }
+
+    #[test]
+    fn absurd_trials_are_rejected() {
+        // Regression: each trial is a full simulation; a peer asking for
+        // u64::MAX trials was a compute bomb the gate couldn't shed.
+        for line in [
+            r#"{"op":"simulate","kernel":"ep","config":"CMP","trials":18446744073709551615}"#,
+            r#"{"op":"simulate","kernel":"ep","config":"CMP","trials":100001}"#,
+            r#"{"op":"tune","kernel":"ep","trials":100001}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                matches!(err, StudyError::BadSpec { ref field, .. } if field == "trials"),
+                "{line} -> {err}"
+            );
+        }
+        // The cap itself is fine.
+        assert!(
+            parse_request(r#"{"op":"simulate","kernel":"ep","config":"CMP","trials":100000}"#)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn tune_reply_is_wellformed_and_deterministic() {
+        let req = TuneRequest::new("ep");
+        let result = TuneResult {
+            best_config: "HT off -2-2".into(),
+            best_schedule: "static".into(),
+            speedup: 1.87,
+            fidelity: Fidelity::Exact,
+            algo: TuneAlgo::Halving,
+            grid: 35,
+            evaluated: 20,
+            budget: 64,
+            budget_spent: 20,
+            budget_exhausted: false,
+            rounds: vec![],
+        };
+        let a = render_tune(ConfigHash(0xbeef), &req, &result);
+        let b = render_tune(ConfigHash(0xbeef), &req, &result);
+        assert_eq!(a, b);
+        let v = serde_json::parse(&a).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["tune"]["best_config"].as_str(), Some("HT off -2-2"));
+        assert_eq!(v["tune"]["budget_spent"].as_u64(), Some(20));
+        assert!(!a.contains('\n'), "one line");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use paxsim_core::pool::{self, CellPolicy};
 use paxsim_core::sentinel::{MetricError, PredictAuditor};
 use paxsim_core::single::run_trials_with;
 use paxsim_core::store::{TraceKey, TraceStore};
+use paxsim_core::tune::{self, TuneRequest, TuneResult};
 use paxsim_machine::sim::simulate;
 use paxsim_perfmon::stats::Summary;
 use paxsim_predict::{predict_program, profile_program, ErrorBounds, Predicted};
@@ -302,6 +303,32 @@ pub struct Service {
     /// Model-evaluation latency in milliseconds (predicted tier only;
     /// excludes the content-addressed profile extraction it amortizes).
     predict_latencies: Mutex<Vec<f64>>,
+    /// The tune checkpoint journal (`tune.jsonl` beside the cache
+    /// shards): every scored search cell lands here before the search
+    /// moves on, so a killed tune resumes instead of restarting.
+    tune_journal: paxsim_core::journal::Journal,
+    /// Finished tune results, content-addressed by the normalized
+    /// request's `ConfigHash` (its own key space: the hash grafts an
+    /// `"op":"tune"` marker). In-memory only — durability comes from the
+    /// cell journal, which replays a completed search at zero engine
+    /// cost after a restart.
+    tune_cache: Mutex<HashMap<u64, TuneResult>>,
+    /// Single-flight table for tune searches. Like the predicted tier:
+    /// its own table (a search takes seconds and must not block exact
+    /// flights) and never batched — the search decides its own
+    /// evaluation order.
+    tune_inflight: Inflight<Result<TuneResult, Gated>>,
+    /// `tune` requests that reached the tune-cache lookup.
+    tunes: AtomicU64,
+    /// Tune requests answered from the finished-result cache.
+    tune_hits: AtomicU64,
+    /// Searches that ran to completion this process.
+    tune_completed: AtomicU64,
+    /// Searches that replayed at least one journaled cell (resumes).
+    tune_resumes: AtomicU64,
+    /// Search cells replayed from the journal / freshly evaluated.
+    tune_replayed: AtomicU64,
+    tune_fresh: AtomicU64,
 }
 
 impl Service {
@@ -324,6 +351,8 @@ impl Service {
             paxsim_core::journal::FsyncPolicy::Flush
         };
         let cache = ResultCache::open_with(&cfg.cache_dir, cfg.mem_cap, cfg.shards, policy)?;
+        let tune_journal =
+            paxsim_core::journal::Journal::open_with(&cfg.cache_dir.join("tune.jsonl"), policy)?;
         let gate = Gate::new(cfg.max_running, cfg.max_queue);
         let batcher = Batcher::new(Duration::from_millis(cfg.batch_window_ms));
         let breaker = Breaker::new(
@@ -354,6 +383,15 @@ impl Service {
             auditor,
             predicted_served: AtomicU64::new(0),
             predict_latencies: Mutex::new(Vec::new()),
+            tune_journal,
+            tune_cache: Mutex::new(HashMap::new()),
+            tune_inflight: Inflight::new(),
+            tunes: AtomicU64::new(0),
+            tune_hits: AtomicU64::new(0),
+            tune_completed: AtomicU64::new(0),
+            tune_resumes: AtomicU64::new(0),
+            tune_replayed: AtomicU64::new(0),
+            tune_fresh: AtomicU64::new(0),
         })
     }
 
@@ -406,6 +444,10 @@ impl Service {
                     }
                 }
             }
+            Ok(Request::Tune { req, deadline_ms }) => match self.tune(&req, deadline_ms) {
+                Ok((hash, normalized, result)) => protocol::render_tune(hash, &normalized, &result),
+                Err(rej) => Self::render_rejection(rej),
+            },
             Err(e) => protocol::render_error(protocol::error_category(&e), &e.to_string()),
         }
     }
@@ -776,6 +818,184 @@ impl Service {
         }
     }
 
+    /// Serve one `tune` request: a budgeted configuration search over
+    /// the request's grid.
+    ///
+    /// Same shape as every other tier — content-addressed cache (own
+    /// key space: the tune hash grafts an `"op":"tune"` marker), own
+    /// single-flight table, **never batched** — plus the full service
+    /// envelope: drain check, circuit breaker keyed on the tune hash,
+    /// and *one* admission-gate permit held across the whole search (a
+    /// search is one long computation; re-gating each cell could
+    /// deadlock a loaded daemon, exactly like the serial-baseline
+    /// argument).
+    ///
+    /// Every scored cell journals through `tune.jsonl` before the
+    /// search advances, and the budget is charged per scored cell
+    /// whether fresh or replayed — so a tune killed mid-search resumes
+    /// where it stopped and renders a byte-identical reply.
+    ///
+    /// Cell evaluation is deliberately **counter-neutral** on the
+    /// conservation law (`peek`/`put` only, never `get`): tune requests
+    /// don't book `simulate_requests`, so the law's two sides stay
+    /// balanced no matter how many cells a search touches. (The serial
+    /// baselines inside exact cells go through [`Service::fetch_baseline`],
+    /// which books both sides equally.)
+    #[allow(clippy::type_complexity)]
+    fn tune(
+        &self,
+        req: &TuneRequest,
+        deadline_ms: Option<u64>,
+    ) -> Result<(paxsim_core::hash::ConfigHash, TuneRequest, TuneResult), Rejection> {
+        static ROUNDS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.tune.rounds");
+        static PRUNED: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.tune.pruned");
+        static RESUMES: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.tune.resumes");
+        static SEARCHES: paxsim_obs::LazyCounter =
+            paxsim_obs::LazyCounter::new("serve.tune.searches");
+        static HITS: paxsim_obs::LazyCounter = paxsim_obs::LazyCounter::new("serve.tune.hits");
+        let plan = req.plan().map_err(Rejection::Failed)?;
+        let hash = plan.content_hash();
+        self.tunes.fetch_add(1, Ordering::Relaxed);
+        if let Some(result) = lock(&self.tune_cache).get(&hash.0).cloned() {
+            self.tune_hits.fetch_add(1, Ordering::Relaxed);
+            HITS.inc();
+            return Ok((hash, plan.request, result));
+        }
+        let (result, _flight) = self.tune_inflight.run(hash.0, || {
+            let _span = paxsim_obs::span!("serve.tune", kernel = plan.request.kernel);
+            // Double-check under the flight slot.
+            if let Some(result) = lock(&self.tune_cache).get(&hash.0).cloned() {
+                self.tune_hits.fetch_add(1, Ordering::Relaxed);
+                HITS.inc();
+                return Ok(Ok(result));
+            }
+            if self.draining() {
+                self.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                return Ok(Err(Gated::Draining));
+            }
+            if let Err(retry_ms) = self.breaker.check(hash.0) {
+                return Ok(Err(Gated::Quarantined { retry_ms }));
+            }
+            let effective_deadline_ms = deadline_ms.or(self.cfg.default_deadline_ms);
+            let admitted = {
+                let _span = paxsim_obs::span!("serve.admission");
+                let admit_by =
+                    effective_deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+                self.gate.admit(admit_by)
+            };
+            let _permit = match admitted {
+                Ok(p) => p,
+                Err(AdmitError::Full { running, queued }) => {
+                    self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Err(Gated::Overloaded { running, queued }));
+                }
+                Err(AdmitError::Shed) => {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Err(Gated::Shed));
+                }
+            };
+            SEARCHES.inc();
+            let mut fresh_evals: u64 = 0;
+            let res = tune::run(&plan, Some(&self.tune_journal), |spec, fidelity| {
+                // Chaos hook: a `tune-abort` plan fails the search on the
+                // matching fresh evaluation — after its predecessors are
+                // already journaled — so the resume path is exercised
+                // end to end.
+                fresh_evals += 1;
+                if paxsim_core::faultinject::tune_abort(fresh_evals) {
+                    return Err(StudyError::CellPanicked {
+                        index: fresh_evals as usize,
+                        payload: "injected tune-abort fault".to_string(),
+                    });
+                }
+                let resolved = spec.resolve()?;
+                if fidelity == Fidelity::Exact {
+                    self.tune_eval_exact(&resolved, effective_deadline_ms)
+                } else {
+                    self.tune_eval_predicted(&resolved)
+                }
+            });
+            match &res {
+                Ok(_) => self.breaker.success(hash.0),
+                Err(StudyError::CellPanicked { .. }) | Err(StudyError::BuildFailed { .. }) => {
+                    self.breaker.failure(hash.0);
+                }
+                Err(_) => {}
+            }
+            let (result, stats) = res?;
+            self.tune_completed.fetch_add(1, Ordering::Relaxed);
+            self.tune_fresh
+                .fetch_add(stats.fresh as u64, Ordering::Relaxed);
+            self.tune_replayed
+                .fetch_add(stats.replayed as u64, Ordering::Relaxed);
+            if stats.replayed > 0 {
+                self.tune_resumes.fetch_add(1, Ordering::Relaxed);
+                RESUMES.inc();
+            }
+            ROUNDS.add(result.rounds.len() as u64);
+            PRUNED.add(result.rounds.iter().map(|r| r.pruned as u64).sum());
+            if paxsim_obs::enabled() {
+                paxsim_obs::gauge("serve.tune.best_speedup").set(result.speedup);
+            }
+            lock(&self.tune_cache).insert(hash.0, result.clone());
+            Ok(Ok(result))
+        });
+        match result {
+            Ok(Ok(result)) => Ok((hash, plan.request, result)),
+            Ok(Err(Gated::Overloaded { running, queued })) => {
+                Err(Rejection::Overloaded { running, queued })
+            }
+            Ok(Err(Gated::Draining)) => Err(Rejection::Draining),
+            Ok(Err(Gated::Shed)) => Err(Rejection::Shed),
+            Ok(Err(Gated::Quarantined { retry_ms })) => Err(Rejection::Quarantined { retry_ms }),
+            Err(e) => Err(Rejection::Failed(e)),
+        }
+    }
+
+    /// Exact-engine evaluation of one search cell: shared result cache
+    /// first (`peek` — counter-neutral), then the ungated sub-request
+    /// path (the search already holds the admission permit). Results
+    /// land in the shared cache, so a later `simulate` of the winning
+    /// config is a warm hit.
+    fn tune_eval_exact(
+        &self,
+        resolved: &ResolvedSpec,
+        deadline_ms: Option<u64>,
+    ) -> StudyResult<Vec<SideRecord>> {
+        let hash = resolved.content_hash();
+        if let Some(rec) = self.cache.peek(hash) {
+            return Ok(rec.sides);
+        }
+        let (result, _flight) = self.sub_inflight.run(hash.0, || {
+            if let Some(rec) = self.cache.peek(hash) {
+                return Ok(rec);
+            }
+            self.compute_and_cache(resolved, deadline_ms)
+        });
+        result.map(|rec| rec.sides)
+    }
+
+    /// Predicted-tier evaluation of one search cell: shared predicted
+    /// cache first (`peek`), then the model. No sentinel audit inside a
+    /// search — the tier's error bounds are already fidelity-gated, and
+    /// auditing every probe round would multiply the search cost by the
+    /// exact engine's.
+    fn tune_eval_predicted(&self, resolved: &ResolvedSpec) -> StudyResult<Vec<SideRecord>> {
+        let hash = resolved.content_hash_with_fidelity(Fidelity::Predicted);
+        if let Some(rec) = self.cache.peek(hash) {
+            return Ok(rec.sides);
+        }
+        let (result, _flight) = self.predict_inflight.run(hash.0, || {
+            if let Some(rec) = self.cache.peek(hash) {
+                return Ok(rec);
+            }
+            let (sides, _predicted) = self.predict_cell(resolved)?;
+            self.cache.put(hash, sides)
+        });
+        result.map(|rec| rec.sides)
+    }
+
     /// The batch-compatibility key: the canonical spec with the sweep
     /// coordinates (kernel, configuration) blanked, content-hashed, with
     /// the request deadline folded in. Two misses merge into one sweep
@@ -1141,6 +1361,29 @@ impl Service {
                 Value::UInt(self.baseline_fetches.load(Ordering::Relaxed)),
             ),
             ("predict", self.predict_block()),
+            (
+                "tune",
+                obj(vec![
+                    ("requests", Value::UInt(self.tunes.load(Ordering::Relaxed))),
+                    ("hits", Value::UInt(self.tune_hits.load(Ordering::Relaxed))),
+                    (
+                        "completed",
+                        Value::UInt(self.tune_completed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "resumes",
+                        Value::UInt(self.tune_resumes.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "fresh_cells",
+                        Value::UInt(self.tune_fresh.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "replayed_cells",
+                        Value::UInt(self.tune_replayed.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
             ("traces_built", Value::UInt(self.store.builds())),
             ("latency_ms", Value::Object(latency)),
         ]);
@@ -1417,6 +1660,27 @@ impl Service {
     /// Requests that rode another request's batch (merge count).
     pub fn batch_merged(&self) -> u64 {
         self.batcher.merged()
+    }
+
+    /// Tune requests received (including cache hits and rejections).
+    pub fn tunes(&self) -> u64 {
+        self.tunes.load(Ordering::Relaxed)
+    }
+
+    /// Tune requests answered from the finished-search cache.
+    pub fn tune_hits(&self) -> u64 {
+        self.tune_hits.load(Ordering::Relaxed)
+    }
+
+    /// Tune searches run to completion.
+    pub fn tune_completed(&self) -> u64 {
+        self.tune_completed.load(Ordering::Relaxed)
+    }
+
+    /// Completed searches that replayed at least one journaled cell —
+    /// i.e. resumed the work of an earlier (killed or failed) search.
+    pub fn tune_resumes(&self) -> u64 {
+        self.tune_resumes.load(Ordering::Relaxed)
     }
 }
 
@@ -1973,5 +2237,104 @@ mod tests {
                 s.handle_line(r#"{"op":"simulate","kernel":"ep","config":"CMP","deadline_ms":1}"#);
             assert!(r.contains("\"error\":\"deadline\""), "{r}");
         });
+    }
+
+    const EP_TUNE: &str =
+        r#"{"op":"tune","kernel":"ep","configs":["CMP","CMT"],"schedules":["static"],"budget":16}"#;
+
+    #[test]
+    fn tune_matches_exhaustive_sweep_on_small_grid() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("tune_sweep");
+        let reply = s.handle_line(EP_TUNE);
+        let v = serde_json::parse(&reply).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{reply}");
+        let best = v["tune"]["best_config"].as_str().unwrap().to_string();
+        let best_speedup = v["tune"]["speedup"].as_f64().unwrap();
+        assert_eq!(v["tune"]["fidelity"].as_str(), Some("exact"), "{reply}");
+        // Exhaustive sweep of the same grid through the exact tier: the
+        // search's winner must be the sweep's argmax, with the same score.
+        // Tune normalizes config aliases to canonical paper names, so the
+        // sweep labels go through the same resolution.
+        let canon = |cfg: &str| {
+            paxsim_core::hash::StudySpec::new("ep", cfg)
+                .resolve()
+                .unwrap()
+                .spec
+                .config
+        };
+        let mut sweep: Vec<(String, f64)> = ["CMP", "CMT"]
+            .iter()
+            .map(|cfg| {
+                let r = s.handle_line(&format!(
+                    r#"{{"op":"simulate","kernel":"ep","config":"{cfg}"}}"#
+                ));
+                let v = serde_json::parse(&r).unwrap();
+                (
+                    canon(cfg),
+                    v["result"]["sides"][0]["speedup"]["mean"].as_f64().unwrap(),
+                )
+            })
+            .collect();
+        sweep.sort_by(|a, b| paxsim_core::tune::nan_last_cmp(b.1, a.1));
+        assert_eq!(best, sweep[0].0, "tune winner must match the sweep");
+        assert_eq!(best_speedup, sweep[0].1, "same engine, same score");
+        // Tune cells are counter-neutral: the conservation law holds with
+        // only the two sweep simulates on the right-hand side.
+        assert_eq!(
+            s.cache().hits() + s.cache().misses(),
+            s.simulate_requests() + s.baseline_fetches(),
+        );
+    }
+
+    #[test]
+    fn tune_repeat_is_cached_hit_never_batched_and_byte_identical() {
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let s = service("tune_hit");
+        let cold = s.handle_line(EP_TUNE);
+        assert!(cold.contains("\"ok\":true"), "{cold}");
+        let computed = s.computed();
+        let hot = s.handle_line(EP_TUNE);
+        assert_eq!(cold, hot, "finished-search cache must be byte-identical");
+        assert_eq!(s.computed(), computed, "hit recomputed nothing");
+        assert_eq!((s.tunes(), s.tune_hits(), s.tune_completed()), (2, 1, 1));
+        assert_eq!(s.batches(), 0, "tune must never ride the batcher");
+        let stats = s.handle_line(r#"{"op":"stats"}"#);
+        let v = serde_json::parse(&stats).unwrap();
+        assert_eq!(v["tune"]["requests"].as_u64(), Some(2), "{stats}");
+        assert_eq!(v["tune"]["hits"].as_u64(), Some(1), "{stats}");
+        assert_eq!(
+            v["simulate_requests"].as_u64(),
+            Some(0),
+            "tune books no simulate traffic: {stats}"
+        );
+    }
+
+    #[test]
+    fn tune_resumes_from_aborted_search_without_reevaluating_cells() {
+        // A `tune-abort` fault kills the search on its second fresh
+        // evaluation — after the first cell is journaled. The retry must
+        // replay that cell from the journal (no second evaluation) and
+        // render byte-for-byte what an uninterrupted service renders.
+        let killed = paxsim_core::faultinject::with_plan("tune-abort:2:1", || {
+            let s = service("tune_abort");
+            let r = s.handle_line(EP_TUNE);
+            assert!(r.contains("\"error\":\"panic\""), "{r}");
+            assert!(r.contains("tune-abort"), "{r}");
+            assert_eq!(s.tune_completed(), 0);
+            s
+        });
+        let _quiet = paxsim_core::faultinject::quiesced();
+        let resumed = killed.handle_line(EP_TUNE);
+        assert!(resumed.contains("\"ok\":true"), "{resumed}");
+        assert_eq!(killed.tune_completed(), 1);
+        assert_eq!(killed.tune_resumes(), 1, "replayed cells mark a resume");
+        let fresh = service("tune_fresh");
+        let uninterrupted = fresh.handle_line(EP_TUNE);
+        assert_eq!(
+            resumed, uninterrupted,
+            "resume must be invisible in the reply"
+        );
+        assert_eq!(fresh.tune_resumes(), 0, "nothing to replay on a cold run");
     }
 }
